@@ -1,0 +1,355 @@
+// Benchmarks regenerating the paper's evaluation (§3): one target per
+// table/figure plus ablations. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// Table-1 rows are split per data set and per algorithm so that
+// individual comparisons (Brute vs Gen vs Gen°) read directly off the
+// benchmark output, mirroring the paper's columns. Absolute times
+// differ from the 2001 hardware; the shapes — brute force exploding
+// with dimensionality and failing on Musk, the optimized crossover
+// beating two-point — are the reproduction targets (EXPERIMENTS.md
+// records both).
+package hido_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hido/internal/bench"
+	"hido/internal/core"
+	"hido/internal/cube"
+	"hido/internal/grid"
+	"hido/internal/synth"
+)
+
+// table1Detector builds the detector for one Table 1 profile.
+func table1Detector(b *testing.B, name string) (*core.Detector, synth.Profile) {
+	b.Helper()
+	p, err := synth.ProfileByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := p.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewDetector(ds, p.Phi), p
+}
+
+func benchBrute(b *testing.B, name string) {
+	det, p := table1Detector(b, name)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.BruteForce(core.BruteForceOptions{K: p.K, M: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEvo(b *testing.B, name string, kind core.CrossoverKind) {
+	det, p := table1Detector(b, name)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := det.Evolutionary(core.EvoOptions{
+			K: p.K, M: 20, Seed: uint64(i + 1), Crossover: kind,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Quality()
+	}
+}
+
+// --- Table 1: BreastCancer (14) ---
+
+func BenchmarkTable1_BreastCancer_Brute(b *testing.B) { benchBrute(b, "BreastCancer") }
+func BenchmarkTable1_BreastCancer_Gen(b *testing.B) {
+	benchEvo(b, "BreastCancer", core.TwoPointCrossover)
+}
+func BenchmarkTable1_BreastCancer_GenOpt(b *testing.B) {
+	benchEvo(b, "BreastCancer", core.OptimizedCrossover)
+}
+
+// --- Table 1: Ionosphere (34) ---
+
+func BenchmarkTable1_Ionosphere_Brute(b *testing.B) { benchBrute(b, "Ionosphere") }
+func BenchmarkTable1_Ionosphere_Gen(b *testing.B) {
+	benchEvo(b, "Ionosphere", core.TwoPointCrossover)
+}
+func BenchmarkTable1_Ionosphere_GenOpt(b *testing.B) {
+	benchEvo(b, "Ionosphere", core.OptimizedCrossover)
+}
+
+// --- Table 1: Segmentation (19) ---
+
+func BenchmarkTable1_Segmentation_Brute(b *testing.B) { benchBrute(b, "Segmentation") }
+func BenchmarkTable1_Segmentation_Gen(b *testing.B) {
+	benchEvo(b, "Segmentation", core.TwoPointCrossover)
+}
+func BenchmarkTable1_Segmentation_GenOpt(b *testing.B) {
+	benchEvo(b, "Segmentation", core.OptimizedCrossover)
+}
+
+// --- Table 1: Musk (160) — brute force cannot finish (the paper
+// reports "-"); its bench runs with a budget and reports how far the
+// enumeration got, preserving the phenomenon without hanging CI. ---
+
+func BenchmarkTable1_Musk_BruteBudgeted(b *testing.B) {
+	det, p := table1Detector(b, "Musk")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := det.BruteForce(core.BruteForceOptions{
+			K: p.K, M: 20, MaxDuration: 2 * time.Second,
+		})
+		if err == nil {
+			b.Fatal("brute force finished Musk inside 2s; the untenability claim needs checking")
+		}
+		b.ReportMetric(float64(res.Evaluations), "evals-before-budget")
+	}
+}
+func BenchmarkTable1_Musk_Gen(b *testing.B)    { benchEvo(b, "Musk", core.TwoPointCrossover) }
+func BenchmarkTable1_Musk_GenOpt(b *testing.B) { benchEvo(b, "Musk", core.OptimizedCrossover) }
+
+// --- Table 1: Machine (8) ---
+
+func BenchmarkTable1_Machine_Brute(b *testing.B) { benchBrute(b, "Machine") }
+func BenchmarkTable1_Machine_Gen(b *testing.B) {
+	benchEvo(b, "Machine", core.TwoPointCrossover)
+}
+func BenchmarkTable1_Machine_GenOpt(b *testing.B) {
+	benchEvo(b, "Machine", core.OptimizedCrossover)
+}
+
+// --- Table 2 + arrhythmia rare-class study (§3.1) ---
+
+func BenchmarkTable2_ClassDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable2(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArrhythmia_RareClassStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunArrhythmia(bench.ArrhythmiaOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.RareFractionProjection(), "proj-rare-%")
+		b.ReportMetric(100*res.RareFractionKNN(), "knn-rare-%")
+	}
+}
+
+// --- Figure 1: subspace visibility demonstration ---
+
+func BenchmarkFigure1_SubspaceVisibility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure1(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.FoundA || !res.FoundB {
+			b.Fatal("planted points not found")
+		}
+	}
+}
+
+// --- Housing case study (§3.1) ---
+
+func BenchmarkHousing_CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunHousing(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		covered := 0
+		for _, ok := range res.PlantedCovered {
+			if ok {
+				covered++
+			}
+		}
+		b.ReportMetric(float64(covered), "contrarians-covered")
+	}
+}
+
+// --- Combinatorial scaling (§3's untenability argument) ---
+
+func BenchmarkScaling_BruteVsEvo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunScaling(bench.ScalingOptions{
+			Seed: 1, Dims: []int{8, 16, 24}, BruteBudget: 30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.BruteEvals), "brute-evals-d24")
+		b.ReportMetric(float64(last.EvoEvals), "evo-evals-d24")
+	}
+}
+
+// --- Ablations (design decisions from DESIGN.md §4) ---
+
+func BenchmarkAblation_CrossoverOptimized(b *testing.B) {
+	det, p := table1Detector(b, "Ionosphere")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := det.Evolutionary(core.EvoOptions{
+			K: p.K, M: 20, Seed: uint64(i + 1), Crossover: core.OptimizedCrossover,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(-res.Quality(), "neg-quality")
+	}
+}
+
+func BenchmarkAblation_CrossoverTwoPoint(b *testing.B) {
+	det, p := table1Detector(b, "Ionosphere")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := det.Evolutionary(core.EvoOptions{
+			K: p.K, M: 20, Seed: uint64(i + 1), Crossover: core.TwoPointCrossover,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(-res.Quality(), "neg-quality")
+	}
+}
+
+func BenchmarkAblation_EquiDepthVsEquiWidth(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblation(bench.AblationOptions{Seed: 1, Profile: "Machine"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.GridMethod
+	}
+}
+
+// --- Distance concentration (§1's thin-shell argument) ---
+
+func BenchmarkShell_DistanceConcentration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunShell(bench.ShellOptions{Seed: 1, Dims: []int{2, 20, 60}, N: 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.RelContrast, "rel-contrast-d60")
+		b.ReportMetric(last.WindowRel, "lambda-window-d60")
+	}
+}
+
+// --- Search-topology ablation: single population vs restarts vs islands ---
+
+func BenchmarkAblation_TopologyIslands(b *testing.B) {
+	det, p := table1Detector(b, "Ionosphere")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := det.EvolutionaryIslands(core.IslandOptions{
+			Evo:     core.EvoOptions{K: p.K, M: 20, Seed: uint64(i + 1), PopSize: 40},
+			Islands: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(-res.Quality(), "neg-quality")
+	}
+}
+
+func BenchmarkAblation_TopologyRestarts(b *testing.B) {
+	det, p := table1Detector(b, "Ionosphere")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := det.EvolutionaryRestarts(
+			core.EvoOptions{K: p.K, M: 20, Seed: uint64(i + 1), PopSize: 40}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Projections)), "distinct-projections")
+	}
+}
+
+// --- Counting backend ablation: bitmap index vs naive scan ---
+
+func BenchmarkAblation_CountBitmap(b *testing.B) {
+	det, p := table1Detector(b, "Segmentation")
+	c := cubeFor(det, p.K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = det.Index.Count(c)
+	}
+}
+
+func BenchmarkAblation_CountNaive(b *testing.B) {
+	det, p := table1Detector(b, "Segmentation")
+	c := cubeFor(det, p.K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = grid.NaiveCount(det.Grid, c)
+	}
+}
+
+// --- Parallel brute force scaling ---
+
+func BenchmarkBruteForceParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			det, p := table1Detector(b, "Segmentation")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.BruteForceParallel(
+					core.BruteForceOptions{K: p.K, M: 20}, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// cubeFor builds a deterministic k-dimensional probe cube.
+func cubeFor(det *core.Detector, k int) cube.Cube {
+	c := cube.New(det.D())
+	for j := 0; j < k; j++ {
+		c[j*2%det.D()] = uint16(j%det.Phi() + 1)
+	}
+	if c.K() < k { // collision from the stride; fall back to prefix dims
+		c = cube.New(det.D())
+		for j := 0; j < k; j++ {
+			c[j] = 1
+		}
+	}
+	return c
+}
+
+// --- Detection quality: full-ranking AUC comparison ---
+
+func BenchmarkQuality_RankingComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunQuality(bench.QualityOptions{Seed: 1, Samples: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "projection-sampled-tail" {
+				b.ReportMetric(r.AUC, "tail-AUC")
+			}
+			if r.Method == "knn-dist[25]" {
+				b.ReportMetric(r.AUC, "knn-AUC")
+			}
+		}
+	}
+}

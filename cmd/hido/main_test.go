@@ -1,0 +1,109 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hido/internal/synth"
+)
+
+// writeFixture generates a small housing CSV for the CLI to consume.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	ds := synth.Housing(1)
+	path := filepath.Join(t.TempDir(), "housing.csv")
+	if err := ds.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseConfig(path string) config {
+	return config{
+		in: path, header: true, labelCol: 13, phi: 3, k: 3, s: -3, m: 10,
+		algo: "evo", crossover: "optimized", seed: 1, top: 3,
+		budget: time.Minute, restarts: 1, workers: 1,
+	}
+}
+
+func TestRunEvo(t *testing.T) {
+	cfg := baseConfig(writeFixture(t))
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBruteParallel(t *testing.T) {
+	cfg := baseConfig(writeFixture(t))
+	cfg.algo = "brute"
+	cfg.workers = 2
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAdvisedK(t *testing.T) {
+	cfg := baseConfig(writeFixture(t))
+	cfg.k = 0 // use the advisor
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	for name, mod := range map[string]func(*config){
+		"twopoint":  func(c *config) { c.crossover = "twopoint" },
+		"equiwidth": func(c *config) { c.equiwidth = true },
+		"restarts":  func(c *config) { c.restarts = 2 },
+		"islands":   func(c *config) { c.islands = 2 },
+		"minimal":   func(c *config) { c.minimal = true; c.filter = -4 },
+		"explain":   func(c *config) { c.explain = true },
+		"base-knn":  func(c *config) { c.baseline = "knn" },
+		"base-lof":  func(c *config) { c.baseline = "lof" },
+		"base-db":   func(c *config) { c.baseline = "db" },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig(writeFixture(t))
+			mod(&cfg)
+			if err := run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeFixture(t)
+	for name, mod := range map[string]func(*config){
+		"bad algo":      func(c *config) { c.algo = "nope" },
+		"bad crossover": func(c *config) { c.crossover = "nope" },
+		"bad baseline":  func(c *config) { c.baseline = "nope" },
+		"missing file":  func(c *config) { c.in = filepath.Join(t.TempDir(), "absent.csv") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig(path)
+			mod(&cfg)
+			if err := run(cfg); err == nil {
+				t.Error("no error")
+			}
+		})
+	}
+}
+
+func TestRunSampled(t *testing.T) {
+	cfg := baseConfig(writeFixture(t))
+	cfg.algo = "sampled"
+	cfg.samples = 64
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	cfg := baseConfig(writeFixture(t))
+	cfg.jsonOut = true
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Command hidobench regenerates the paper's tables and figures from
+// the synthetic stand-ins (see DESIGN.md for the per-experiment
+// index).
+//
+// Usage:
+//
+//	hidobench -exp table1 [-seed 1] [-brute-budget 30s]
+//	hidobench -exp table2
+//	hidobench -exp arrhythmia
+//	hidobench -exp figure1 [-outdir DIR]   # also writes view CSVs
+//	hidobench -exp housing
+//	hidobench -exp scaling
+//	hidobench -exp shell
+//	hidobench -exp ablation
+//	hidobench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hido/internal/bench"
+)
+
+func main() {
+	var (
+		exp         = flag.String("exp", "all", "experiment: table1|table2|arrhythmia|figure1|housing|scaling|shell|quality|convergence|ablation|all")
+		seed        = flag.Uint64("seed", 1, "random seed (all experiments are deterministic per seed)")
+		bruteBudget = flag.Duration("brute-budget", 30*time.Second, "per-dataset brute-force budget for table1")
+		outdir      = flag.String("outdir", "", "directory for figure1 view CSVs (omit to skip)")
+		csvdir      = flag.String("csvdir", "", "run every experiment and write CSV results into this directory")
+	)
+	flag.Parse()
+
+	if *csvdir != "" {
+		paths, err := bench.WriteAllCSV(*csvdir, *seed, *bruteBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hidobench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			fmt.Println("wrote", p)
+		}
+		return
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "hidobench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		rows, err := bench.RunTable1(bench.Table1Options{Seed: *seed, BruteBudget: *bruteBudget})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable1(rows))
+		return nil
+	})
+
+	run("table2", func() error {
+		rows, err := bench.RunTable2(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable2(rows))
+		return nil
+	})
+
+	run("arrhythmia", func() error {
+		res, err := bench.RunArrhythmia(bench.ArrhythmiaOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatArrhythmia(res))
+		return nil
+	})
+
+	run("figure1", func() error {
+		res, err := bench.RunFigure1(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFigure1(res))
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				return err
+			}
+			views := bench.Figure1Views(*seed)
+			for v, ds := range views {
+				path := filepath.Join(*outdir, fmt.Sprintf("figure1_view%d.csv", v+1))
+				if err := ds.WriteCSVFile(path); err != nil {
+					return err
+				}
+				fmt.Printf("  wrote %s\n", path)
+			}
+		}
+		return nil
+	})
+
+	run("housing", func() error {
+		res, err := bench.RunHousing(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatHousing(res))
+		return nil
+	})
+
+	run("scaling", func() error {
+		rows, err := bench.RunScaling(bench.ScalingOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatScaling(rows))
+		return nil
+	})
+
+	run("convergence", func() error {
+		rows, err := bench.RunConvergence(bench.ConvergenceOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatConvergence(rows))
+		return nil
+	})
+
+	run("quality", func() error {
+		rows, err := bench.RunQuality(bench.QualityOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatQuality(rows))
+		return nil
+	})
+
+	run("shell", func() error {
+		rows, err := bench.RunShell(bench.ShellOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatShell(rows))
+		return nil
+	})
+
+	run("ablation", func() error {
+		res, err := bench.RunAblation(bench.AblationOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation(res))
+		return nil
+	})
+}

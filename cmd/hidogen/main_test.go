@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+
+	"hido/internal/synth"
+)
+
+func TestGenerateNamedDatasets(t *testing.T) {
+	cases := []struct {
+		name string
+		n, d int
+	}{
+		{"arrhythmia", 452, synth.ArrhythmiaDims},
+		{"housing", synth.HousingN, 13},
+		{"figure1", synth.FigureOneN + 2, synth.FigureOneD},
+		{"Machine", 209, 8},
+		{"BreastCancer", 699, 14},
+	}
+	for _, c := range cases {
+		ds, err := generate(c.name, false, 0, 0, "", 0, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if ds.N() != c.n || ds.D() != c.d {
+			t.Errorf("%s: shape %dx%d, want %dx%d", c.name, ds.N(), ds.D(), c.n, c.d)
+		}
+	}
+}
+
+func TestGenerateUnknownName(t *testing.T) {
+	if _, err := generate("nope", false, 0, 0, "", 0, 0, 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	ds, err := generate("", true, 100, 8, "0,1,2;4,5", 3, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 103 || ds.D() != 8 {
+		t.Errorf("custom shape %dx%d", ds.N(), ds.D())
+	}
+	if ds.MissingCount() == 0 {
+		t.Error("custom missing rate ignored")
+	}
+}
+
+func TestParseGroups(t *testing.T) {
+	gs, err := parseGroups("0,1,2;4,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 || len(gs[0].Dims) != 3 || gs[1].Dims[1] != 5 {
+		t.Errorf("parseGroups = %+v", gs)
+	}
+	if gs, err := parseGroups(""); err != nil || gs != nil {
+		t.Error("empty spec should give nil groups")
+	}
+	if _, err := parseGroups("0,x"); err == nil {
+		t.Error("bad token accepted")
+	}
+}
+
+func TestGenerateCustomBadGroups(t *testing.T) {
+	if _, err := generate("", true, 10, 4, "0,9", 0, 0, 1); err == nil {
+		t.Error("out-of-range group dim accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hido/internal/dataset"
+	"hido/internal/synth"
+	"hido/internal/xrand"
+)
+
+func fixtureCSV(t *testing.T, name string, build func() *dataset.Dataset) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := build().WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func refDS() *dataset.Dataset {
+	ds, err := synth.Generate(synth.Config{
+		Name: "ref", N: 600, D: 6,
+		Groups: []synth.Group{{Dims: []int{0, 1}, Noise: 0.03}},
+	}, 1)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func streamDS() *dataset.Dataset {
+	r := xrand.New(2)
+	ds := dataset.New([]string{"a", "b", "c", "d", "e", "f"}, 20)
+	for i := 0; i < 19; i++ {
+		f := r.Float64()
+		ds.AppendRow([]float64{f, f, r.Float64(), r.Float64(), r.Float64(), r.Float64()}, "ok")
+	}
+	ds.AppendRow([]float64{0.02, 0.98, 0.5, 0.5, 0.5, 0.5}, "bad")
+	return ds
+}
+
+func TestFitThenScore(t *testing.T) {
+	ref := fixtureCSV(t, "ref.csv", refDS)
+	st := fixtureCSV(t, "stream.csv", streamDS)
+	model := filepath.Join(t.TempDir(), "model.json")
+
+	if err := runFit(ref, model, 5, -3, 100, 1, true, 6); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(model)
+	if err != nil || info.Size() == 0 {
+		t.Fatal("model file missing or empty")
+	}
+	if err := runScore(st, model, true, 6, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	model := filepath.Join(t.TempDir(), "m.json")
+	if err := runFit(filepath.Join(t.TempDir(), "absent.csv"), model, 5, -3, 10, 1, true, -1); err == nil {
+		t.Error("missing input accepted")
+	}
+	ref := fixtureCSV(t, "ref.csv", refDS)
+	if err := runFit(ref, model, 1, -3, 10, 1, true, 6); err == nil {
+		t.Error("phi=1 accepted")
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	st := fixtureCSV(t, "stream.csv", streamDS)
+	if err := runScore(st, filepath.Join(t.TempDir(), "absent.json"), true, -1, false); err == nil {
+		t.Error("missing model accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScore(st, bad, true, -1, false); err == nil {
+		t.Error("corrupt model accepted")
+	}
+}

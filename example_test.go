@@ -1,0 +1,63 @@
+package hido_test
+
+import (
+	"fmt"
+
+	"hido"
+)
+
+// ExampleNewDetector mines sparse projections from a small table with
+// one planted contrarian record: every normal row has b tracking a,
+// while the last row pairs a low a with a high b.
+func ExampleNewDetector() {
+	rows := make([][]float64, 0, 61)
+	for i := 0; i < 60; i++ {
+		x := float64(i) / 60
+		rows = append(rows, []float64{x, x, float64(i % 7)})
+	}
+	rows = append(rows, []float64{0.05, 0.95, 3}) // contrarian
+	ds := hido.DatasetFromRows([]string{"a", "b", "c"}, rows)
+
+	det := hido.NewDetector(ds, 3)
+	res, err := det.BruteForce(hido.BruteForceOptions{K: 2, M: 1})
+	if err != nil {
+		panic(err)
+	}
+	p := res.Projections[0]
+	fmt.Println("projection:", p.Cube, "covers", p.Count, "record")
+	fmt.Println("outliers:", res.Outliers)
+	// Output:
+	// projection: 13* covers 1 record
+	// outliers: [60]
+}
+
+// ExampleAdvise reproduces §2.4's parameter choice: for 10,000 points
+// on a 10-range grid with a target sparsity coefficient of −3, the
+// advised projection dimensionality is 3.
+func ExampleAdvise() {
+	a := hido.Advise(10000, 10, -3)
+	fmt.Println("k* =", a.K)
+	fmt.Printf("empty-cube sparsity: %.2f\n", a.EmptySparsity)
+	// Output:
+	// k* = 3
+	// empty-cube sparsity: -3.16
+}
+
+// ExampleSparsity evaluates Equation 1 directly: an empty 2-d cube on
+// a 10-range grid over 10,000 points sits 10.05 standard deviations
+// below the expected count.
+func ExampleSparsity() {
+	fmt.Printf("%.2f\n", hido.Sparsity(0, 10000, 2, 10))
+	// Output:
+	// -10.05
+}
+
+// ExampleParseCube parses the paper's string notation: "*3*9" is a
+// 2-dimensional projection of a 4-dimensional data set constraining
+// the second and fourth attributes.
+func ExampleParseCube() {
+	c, _ := hido.ParseCube("*3*9")
+	fmt.Println("dims:", c.Dims(), "k:", c.K())
+	// Output:
+	// dims: [1 3] k: 2
+}

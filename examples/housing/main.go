@@ -1,0 +1,61 @@
+// Housing: the paper's Boston-housing interpretability case study.
+//
+// The value of projection-based outliers is not just *which* records
+// are flagged but *why*: each sparse projection is a readable
+// statement "these attribute ranges almost never occur together".
+// The paper narrates three such findings (high crime + high
+// pupil-teacher ratio yet close to employment centers; low NOX despite
+// old housing stock and high highway access; low crime and modest
+// industry yet a low median price). This example mines 3- and
+// 4-dimensional projections and prints each planted contrarian with
+// its explanation.
+//
+// Run with: go run ./examples/housing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hido/internal/core"
+	"hido/internal/synth"
+)
+
+func main() {
+	ds := synth.Housing(1)
+	fmt.Println(ds.Describe())
+
+	stories := []string{
+		"high CRIM and high PTRATIO, yet low DIS (usually such areas are far out)",
+		"low NOX despite high AGE and high RAD (those usually mean smog)",
+		"low CRIM, modest INDUS, yet low MEDV (those usually mean high prices)",
+	}
+
+	for _, k := range []int{3, 4} {
+		// §2.4: N=506 keeps singleton cubes meaningful only for small
+		// phi^k, so the grid is coarse (phi=3).
+		det := core.NewDetector(ds, 3)
+		res, err := det.Evolutionary(core.EvoOptions{K: k, M: 15, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nbest %d-dimensional projections:\n", k)
+		for i, p := range res.Projections {
+			if i == 4 {
+				break
+			}
+			fmt.Printf("  %s\n", p.Describe(det))
+		}
+		planted := synth.HousingPlanted()
+		for pi, rec := range planted {
+			if !res.OutlierSet.Test(rec) {
+				continue
+			}
+			fmt.Printf("  -> contrarian %d (%s)\n", pi+1, stories[pi])
+			for _, idx := range res.CoveringProjections(det, rec) {
+				fmt.Printf("     exposed by %s\n", res.Projections[idx].Describe(det))
+				break
+			}
+		}
+	}
+}

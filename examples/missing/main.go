@@ -1,0 +1,99 @@
+// Missing: mining outliers in data with missing attribute values.
+//
+// §1.2 of the paper observes that lower-dimensional projections "can
+// be mined even in data sets which have missing attribute values" —
+// a record that lacks an attribute simply never matches a cube
+// constraining it, while its present attributes still participate.
+// Full-dimensional distance methods, by contrast, cannot compute a
+// distance at all and must impute first — a modeling concession the
+// projection method never makes.
+//
+// This example plants subspace outliers in a data set, generates a
+// twin of it with 15% of all attribute values removed, and shows the
+// projection method's recall holding up across the two, consuming the
+// incomplete data as-is.
+//
+// Run with: go run ./examples/missing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hido/internal/baseline/knnout"
+	"hido/internal/core"
+	"hido/internal/dataset"
+	"hido/internal/synth"
+)
+
+func run(missingRate float64) (recall float64, missingCount int, outliers int) {
+	ds, err := synth.Generate(synth.Config{
+		Name: "missing-demo", N: 1200, D: 24,
+		Groups: []synth.Group{
+			{Dims: []int{0, 1, 2, 3}},
+			{Dims: []int{8, 9, 10}},
+		},
+		Outliers:    6,
+		MissingRate: missingRate,
+	}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := synth.OutlierIndices(ds)
+	det := core.NewDetector(ds, 6)
+	advice := det.Advise(-3)
+
+	covered := map[int]bool{}
+	for restart := uint64(0); restart < 3; restart++ {
+		res, err := det.Evolutionary(core.EvoOptions{K: advice.K, M: 30, Seed: 2 + restart})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, o := range res.Outliers {
+			covered[o] = true
+		}
+	}
+	found := make([]int, 0, len(covered))
+	for i := range covered {
+		found = append(found, i)
+	}
+	return synth.Recall(found, truth), ds.MissingCount(), len(found)
+}
+
+func main() {
+	fullRecall, _, nFull := run(0)
+	fmt.Printf("complete data:   recall %.0f%% of planted outliers (%d covered records)\n",
+		100*fullRecall, nFull)
+
+	missRecall, nMissing, nMiss := run(0.15)
+	fmt.Printf("15%% missing:     recall %.0f%% of planted outliers (%d covered records,\n"+
+		"                 %d attribute values absent, no imputation performed)\n",
+		100*missRecall, nMiss, nMissing)
+
+	// Reference: what the imputation-dependent baseline does on the
+	// incomplete data at the same outlier budget.
+	ds, err := synth.Generate(synth.Config{
+		Name: "missing-demo", N: 1200, D: 24,
+		Groups: []synth.Group{
+			{Dims: []int{0, 1, 2, 3}},
+			{Dims: []int{8, 9, 10}},
+		},
+		Outliers:    6,
+		MissingRate: 0.15,
+	}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := synth.OutlierIndices(ds)
+	imputed := ds.ImputeMissing(dataset.ImputeMean).Standardize()
+	top, err := knnout.TopN(imputed, knnout.Options{K: 5, N: nMiss})
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx := make([]int, len(top))
+	for i, o := range top {
+		idx[i] = o.Index
+	}
+	fmt.Printf("kNN (must impute): recall %.0f%% at the same outlier budget\n",
+		100*synth.Recall(idx, truth))
+}

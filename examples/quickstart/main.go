@@ -1,0 +1,68 @@
+// Quickstart: detect subspace outliers in a small synthetic data set.
+//
+// The data has 800 records over 12 attributes. Attributes 0-3 move
+// together (one latent factor) and the rest are noise. Five planted
+// records take individually unremarkable values that form an
+// impossible *combination* in the correlated group — the kind of
+// outlier full-dimensional distances cannot see.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hido/internal/core"
+	"hido/internal/synth"
+)
+
+func main() {
+	// 1. Generate (or load) data. Any dataset.Dataset works; here we
+	//    plant ground truth so the example can check itself.
+	ds, err := synth.Generate(synth.Config{
+		Name: "quickstart", N: 800, D: 12,
+		Groups:   []synth.Group{{Dims: []int{0, 1, 2, 3}}},
+		Outliers: 5,
+	}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ds.Describe())
+
+	// 2. Build the detector: an equi-depth grid with phi ranges per
+	//    attribute plus the bitmap counting index.
+	const phi = 6
+	det := core.NewDetector(ds, phi)
+
+	// 3. Ask the paper's advisor (§2.4) for the projection
+	//    dimensionality: the largest k at which an empty cube is still
+	//    |s| standard deviations below expectation.
+	advice := det.Advise(-3)
+	fmt.Printf("advisor: %s\n", advice)
+
+	// 4. Mine the m sparsest k-dimensional projections with the
+	//    evolutionary search (optimized crossover is the default).
+	res, err := det.Evolutionary(core.EvoOptions{K: advice.K, M: 15, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search: %d evaluations in %d generations (%s)\n",
+		res.Evaluations, res.Generations, res.Elapsed)
+
+	// 5. Inspect the projections — each is an interpretable statement
+	//    of which attribute ranges jointly almost never occur.
+	fmt.Println("\nsparsest projections:")
+	for i, p := range res.Projections {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %s\n", p.Describe(det))
+	}
+
+	// 6. The outliers are the records covered by those projections.
+	fmt.Printf("\noutliers: %v\n", res.Outliers)
+	truth := synth.OutlierIndices(ds)
+	fmt.Printf("planted:  %v\n", truth)
+	fmt.Printf("recall:   %.0f%%\n", 100*synth.Recall(res.Outliers, truth))
+}

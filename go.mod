@@ -1,0 +1,3 @@
+module hido
+
+go 1.22

@@ -1,0 +1,225 @@
+// Package hido — High-dimensional Outlier Detection — implements
+// outlier detection by sparse subspace projections, reproducing
+// Aggarwal & Yu, "Outlier Detection for High Dimensional Data"
+// (SIGMOD 2001), together with the distance-based baselines the paper
+// evaluates against.
+//
+// The package is a façade over the implementation packages; it
+// re-exports everything a downstream user needs:
+//
+//	ds, _ := hido.ReadCSVFile("data.csv", hido.ReadCSVOptions{Header: true, LabelColumn: -1})
+//	det := hido.NewDetector(ds, 8)
+//	advice := det.Advise(-3)                     // §2.4 parameter advisor
+//	res, _ := det.Evolutionary(hido.EvoOptions{  // Figure 3's genetic search
+//		K: advice.K, M: 20, Seed: 1,
+//	})
+//	for _, p := range res.Projections {          // interpretable findings
+//		fmt.Println(p.Describe(det))
+//	}
+//	fmt.Println(res.Outliers)                    // covered records (§2.3)
+//
+// A record is an outlier when it lies in a k-dimensional grid cube
+// whose record count is abnormally far below the count expected under
+// attribute independence — the sparsity coefficient of Equation 1.
+// Cubes are discretized with equi-depth ranges (φ per attribute) so
+// locality adapts to density, and the exponential space of cubes is
+// searched either exhaustively (BruteForce, Figure 2) or by a genetic
+// algorithm with a problem-specific optimized crossover (Evolutionary,
+// Figures 3-6).
+package hido
+
+import (
+	"hido/internal/baseline/dbout"
+	"hido/internal/baseline/knnout"
+	"hido/internal/baseline/lof"
+	"hido/internal/baseline/neighbors"
+	"hido/internal/core"
+	"hido/internal/cube"
+	"hido/internal/dataset"
+	"hido/internal/discretize"
+	"hido/internal/evo"
+	"hido/internal/stats"
+	"hido/internal/stream"
+)
+
+// Core detector API (the paper's contribution).
+type (
+	// Detector binds a data set to its grid and counting index.
+	Detector = core.Detector
+	// Result is a search outcome: projections, outliers, telemetry.
+	Result = core.Result
+	// Projection is one mined sparse cube.
+	Projection = core.Projection
+	// BruteForceOptions configures Figure 2's exhaustive search.
+	BruteForceOptions = core.BruteForceOptions
+	// EvoOptions configures Figure 3's evolutionary search.
+	EvoOptions = core.EvoOptions
+	// CrossoverKind selects the recombination operator.
+	CrossoverKind = core.CrossoverKind
+	// Advice is the §2.4 parameter recommendation.
+	Advice = core.Advice
+	// Cube is a subspace descriptor (0 = don't care, 1..φ = range).
+	Cube = cube.Cube
+	// IslandOptions configures the island-model evolutionary search.
+	IslandOptions = core.IslandOptions
+	// Explanation is a minimal sparse sub-cube explaining one record.
+	Explanation = core.Explanation
+	// SampledScoreOptions configures subspace-sampled scoring.
+	SampledScoreOptions = core.SampledScoreOptions
+	// SampledScores holds per-record continuous outlier scores.
+	SampledScores = core.SampledScores
+	// Monitor scores a stream of records against an offline-mined
+	// model (see the intrusion example).
+	Monitor = stream.Monitor
+	// MonitorOptions configures stream-model fitting.
+	MonitorOptions = stream.Options
+	// Alert is one scored record's outcome.
+	Alert = stream.Alert
+)
+
+// NewMonitor fits a streaming model on a reference window.
+func NewMonitor(reference *Dataset, opt MonitorOptions) (*Monitor, error) {
+	return stream.NewMonitor(reference, opt)
+}
+
+// LoadMonitor reconstructs a persisted streaming model (see
+// Monitor.Save); the loaded monitor scores without the reference data.
+var LoadMonitor = stream.Load
+
+// Dataset layer.
+type (
+	// Dataset is the N×D table consumed by every detector.
+	Dataset = dataset.Dataset
+	// ReadCSVOptions configures CSV ingestion.
+	ReadCSVOptions = dataset.ReadCSVOptions
+	// ImputeStrategy selects how missing values are filled for the
+	// full-dimensional baselines.
+	ImputeStrategy = dataset.ImputeStrategy
+)
+
+// Baselines.
+type (
+	// KNNOutlierOptions configures the Ramaswamy et al. [25] baseline.
+	KNNOutlierOptions = knnout.Options
+	// KNNOutlier is one kNN-distance outlier.
+	KNNOutlier = knnout.Outlier
+	// DBOutlierOptions configures the Knorr & Ng [22] baseline.
+	DBOutlierOptions = dbout.Options
+	// LOFOptions configures the Breunig et al. [10] baseline.
+	LOFOptions = lof.Options
+	// LOFResult holds per-point LOF scores.
+	LOFResult = lof.Result
+	// Metric selects the distance function for the baselines.
+	Metric = neighbors.Metric
+)
+
+// Re-exported constants.
+const (
+	// OptimizedCrossover is the paper's recombination operator.
+	OptimizedCrossover = core.OptimizedCrossover
+	// TwoPointCrossover is the unbiased baseline operator.
+	TwoPointCrossover = core.TwoPointCrossover
+	// DontCare marks an unconstrained cube position ('*').
+	DontCare = cube.DontCare
+	// Euclidean, Manhattan and Chebyshev select baseline metrics.
+	Euclidean = neighbors.Euclidean
+	Manhattan = neighbors.Manhattan
+	Chebyshev = neighbors.Chebyshev
+	// ImputeMean, ImputeMedian and ImputeZero select imputation.
+	ImputeMean   = dataset.ImputeMean
+	ImputeMedian = dataset.ImputeMedian
+	ImputeZero   = dataset.ImputeZero
+)
+
+// NewDetector discretizes the data set into phi equi-depth ranges per
+// attribute and builds the counting index.
+func NewDetector(ds *Dataset, phi int) *Detector { return core.NewDetector(ds, phi) }
+
+// NewDetectorEquiWidth is NewDetector with equi-width ranges (the
+// ablation alternative; the paper argues for equi-depth).
+func NewDetectorEquiWidth(ds *Dataset, phi int) *Detector {
+	return core.NewDetectorMethod(ds, phi, discretize.EquiWidth)
+}
+
+// Advise computes the §2.4 parameter recommendation for N records, a
+// grid resolution phi, and a negative target sparsity coefficient s.
+func Advise(n, phi int, s float64) Advice { return core.Advise(n, phi, s) }
+
+// Sparsity evaluates Equation 1: the sparsity coefficient of a
+// k-dimensional cube holding n of total records under resolution phi.
+func Sparsity(n, total, k, phi int) float64 { return stats.Sparsity(n, total, k, phi) }
+
+// KStar returns §2.4's advised projection dimensionality.
+func KStar(n, phi int, s float64) int { return stats.KStar(n, phi, s) }
+
+// Significance returns the one-sided probability, under the paper's
+// normal approximation, of a cube at the given sparsity coefficient.
+func Significance(s float64) float64 { return stats.Significance(s) }
+
+// ExactSignificance returns the exact binomial tail probability of a
+// k-dimensional cube holding n of total points — the honest version
+// of Significance where the normal approximation is crude (near-empty
+// cubes with small expected counts).
+func ExactSignificance(n, total, k, phi int) float64 {
+	return stats.ExactSignificance(n, total, k, phi)
+}
+
+// DBFractionOutliers applies the original fraction form of the
+// Knorr-Ng definition: at least a fraction p of the data set lies
+// beyond distance lambda.
+func DBFractionOutliers(ds *Dataset, p, lambda float64, metric Metric) ([]int, error) {
+	return dbout.FractionOutliers(ds, p, lambda, metric)
+}
+
+// ReadCSV parses a CSV stream into a Dataset; see dataset.ReadCSV.
+var ReadCSV = dataset.ReadCSV
+
+// ReadCSVFile parses a CSV file into a Dataset.
+var ReadCSVFile = dataset.ReadCSVFile
+
+// NewDataset returns an empty dataset with the given column names.
+func NewDataset(names []string, rowCap int) *Dataset { return dataset.New(names, rowCap) }
+
+// DatasetFromRows builds a dataset from rows.
+func DatasetFromRows(names []string, rows [][]float64) *Dataset {
+	return dataset.FromRows(names, rows)
+}
+
+// KNNOutliers runs the Ramaswamy et al. top-n kNN-distance baseline.
+func KNNOutliers(ds *Dataset, opt KNNOutlierOptions) ([]KNNOutlier, error) {
+	return knnout.TopN(ds, opt)
+}
+
+// KNNOutlierPartitionOptions configures the partition-based variant.
+type KNNOutlierPartitionOptions = knnout.PartitionOptions
+
+// KNNOutliersPartitioned runs the partition-pruned variant of the
+// Ramaswamy et al. algorithm (identical output, whole partitions
+// pruned through MBR distance bounds before exact scoring).
+func KNNOutliersPartitioned(ds *Dataset, opt KNNOutlierPartitionOptions) ([]KNNOutlier, error) {
+	return knnout.PartitionTopN(ds, opt)
+}
+
+// DBOutliers runs the Knorr-Ng DB(k, λ) nested-loop baseline.
+func DBOutliers(ds *Dataset, opt DBOutlierOptions) ([]int, error) {
+	return dbout.NestedLoop(ds, opt)
+}
+
+// DBOutliersCellBased runs the Knorr-Ng cell-based algorithm
+// (low-dimensional data, Euclidean metric only).
+func DBOutliersCellBased(ds *Dataset, opt DBOutlierOptions) ([]int, error) {
+	return dbout.CellBased(ds, opt)
+}
+
+// LOF computes Local Outlier Factor scores.
+func LOF(ds *Dataset, opt LOFOptions) (*LOFResult, error) { return lof.Compute(ds, opt) }
+
+// ParseCube parses the paper's string notation ("*3*9") into a Cube.
+func ParseCube(s string) (Cube, error) { return cube.Parse(s) }
+
+// Selection strategies for EvoOptions.Selection.
+const (
+	RankRoulette = evo.RankRoulette
+	Tournament   = evo.Tournament
+	Uniform      = evo.Uniform
+)

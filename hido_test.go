@@ -1,0 +1,138 @@
+package hido_test
+
+import (
+	"strings"
+	"testing"
+
+	"hido"
+)
+
+// TestFacadeQuickstart walks the README's quickstart path end-to-end
+// through the public façade.
+func TestFacadeQuickstart(t *testing.T) {
+	csv := strings.NewReader(
+		"a,b,c\n" + rows())
+	ds, err := hido.ReadCSV(csv, hido.ReadCSVOptions{Header: true, LabelColumn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := hido.NewDetector(ds, 4)
+	advice := det.Advise(-2)
+	if advice.K < 1 {
+		t.Fatalf("advice = %+v", advice)
+	}
+	res, err := det.Evolutionary(hido.EvoOptions{K: 2, M: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Projections) == 0 {
+		t.Fatal("no projections")
+	}
+	// The planted off-diagonal record (last row) must be covered.
+	if !res.OutlierSet.Test(ds.N() - 1) {
+		t.Error("planted outlier missed through the façade")
+	}
+	for _, p := range res.Projections {
+		if p.Describe(det) == "" {
+			t.Error("empty description")
+		}
+	}
+}
+
+// rows yields a correlated (a,b) pair over 120 records plus one
+// contrarian record, c is noise.
+func rows() string {
+	var b strings.Builder
+	for i := 0; i < 120; i++ {
+		x := float64(i) / 120
+		b.WriteString(
+			formatRow(x, x+0.001*float64(i%7), float64((i*37)%100)/100))
+	}
+	b.WriteString(formatRow(0.05, 0.95, 0.5)) // contrarian
+	return b.String()
+}
+
+func formatRow(a, bb, c float64) string {
+	var sb strings.Builder
+	sb.WriteString(ftoa(a))
+	sb.WriteByte(',')
+	sb.WriteString(ftoa(bb))
+	sb.WriteByte(',')
+	sb.WriteString(ftoa(c))
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func ftoa(f float64) string {
+	return strings.TrimRight(strings.TrimRight(
+		// three decimals are plenty for the test grid
+		fmtF(f), "0"), ".")
+}
+
+func fmtF(f float64) string {
+	const digits = "0123456789"
+	n := int(f * 1000)
+	if n < 0 {
+		n = 0
+	}
+	out := []byte{'0', '.', '0', '0', '0'}
+	out[4] = digits[n%10]
+	out[3] = digits[(n/10)%10]
+	out[2] = digits[(n/100)%10]
+	if n >= 1000 {
+		return "1.000"
+	}
+	return string(out)
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	ds := hido.DatasetFromRows([]string{"x", "y"}, [][]float64{
+		{0, 0}, {0.1, 0.1}, {0.2, 0.15}, {0.15, 0.2}, {0.05, 0.12},
+		{0.12, 0.07}, {0.18, 0.02}, {0.03, 0.18}, {9, 9}, {0.11, 0.13},
+	})
+	knn, err := hido.KNNOutliers(ds, hido.KNNOutlierOptions{K: 2, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knn[0].Index != 8 {
+		t.Errorf("kNN top outlier = %d, want 8", knn[0].Index)
+	}
+	db, err := hido.DBOutliers(ds, hido.DBOutlierOptions{K: 2, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 1 || db[0] != 8 {
+		t.Errorf("DB outliers = %v, want [8]", db)
+	}
+	cell, err := hido.DBOutliersCellBased(ds, hido.DBOutlierOptions{K: 2, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell) != 1 || cell[0] != 8 {
+		t.Errorf("cell-based DB outliers = %v, want [8]", cell)
+	}
+	lofRes, err := hido.LOF(ds, hido.LOFOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lofRes.TopN(1)[0] != 8 {
+		t.Errorf("LOF top outlier = %d, want 8", lofRes.TopN(1)[0])
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if hido.KStar(10000, 10, -3) != 3 {
+		t.Error("KStar via façade wrong")
+	}
+	if s := hido.Sparsity(0, 10000, 2, 10); s >= 0 {
+		t.Error("Sparsity via façade wrong sign")
+	}
+	c, err := hido.ParseCube("*3*9")
+	if err != nil || c.K() != 2 {
+		t.Errorf("ParseCube = %v, %v", c, err)
+	}
+	a := hido.Advise(10000, 10, -3)
+	if a.K != 3 {
+		t.Errorf("Advise K = %d", a.K)
+	}
+}

@@ -1,0 +1,136 @@
+package hido_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"hido"
+	"hido/internal/synth"
+)
+
+// TestIntegrationCSVToOutliers walks the full offline pipeline through
+// the public façade: generate → write CSV → read CSV → detect →
+// explain → compare against every baseline.
+func TestIntegrationCSVToOutliers(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Name: "integration", N: 600, D: 10,
+		Groups:   []synth.Group{{Dims: []int{0, 1, 2}, Noise: 0.03}},
+		Outliers: 4,
+	}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := ds.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := hido.ReadCSVFile(path, hido.ReadCSVOptions{Header: true, LabelColumn: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != ds.N() || loaded.D() != 10 {
+		t.Fatalf("reloaded shape %dx%d", loaded.N(), loaded.D())
+	}
+
+	det := hido.NewDetector(loaded, 5)
+	advice := det.Advise(-3)
+	res, err := det.EvolutionaryRestarts(hido.EvoOptions{
+		K: advice.K, M: 25, Seed: 1,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := synth.OutlierIndices(ds)
+	if rec := synth.Recall(res.Outliers, truth); rec < 0.75 {
+		t.Errorf("integration recall = %.0f%%", rec*100)
+	}
+	for _, i := range truth {
+		if !res.OutlierSet.Test(i) {
+			continue
+		}
+		if exps := res.MinimalExplanations(det, i, -2.5); len(exps) == 0 {
+			t.Errorf("planted record %d has no explanation", i)
+		}
+	}
+
+	// Baselines run on the same loaded data.
+	std := loaded.ImputeMissing(hido.ImputeMean).Standardize()
+	if _, err := hido.KNNOutliers(std, hido.KNNOutlierOptions{K: 3, N: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hido.LOF(std, hido.LOFOptions{K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hido.DBOutliers(std, hido.DBOutlierOptions{K: 2, Lambda: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntegrationModelLifecycle exercises fit → save → load → score
+// through the façade, with missing values in the scored stream.
+func TestIntegrationModelLifecycle(t *testing.T) {
+	ref, err := synth.Generate(synth.Config{
+		Name: "ref", N: 700, D: 8,
+		Groups: []synth.Group{{Dims: []int{0, 1}, Noise: 0.03}},
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := hido.NewMonitor(ref, hido.MonitorOptions{Phi: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := hido.LoadMonitor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	contrarian := []float64{0.02, 0.98, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	a := loaded.Score(contrarian)
+	if !a.Flagged() {
+		t.Error("loaded monitor missed the contrarian")
+	}
+	if len(loaded.Explain(a)) == 0 {
+		t.Error("no explanation from loaded monitor")
+	}
+}
+
+// TestIntegrationSampledScoresAgainstEval ties the continuous scorer
+// to the evaluation metrics through the façade types.
+func TestIntegrationSampledScoresAgainstEval(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Name: "scored", N: 500, D: 12,
+		Groups:   []synth.Group{{Dims: []int{0, 1, 2}, Noise: 0.03}},
+		Outliers: 5,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := hido.NewDetector(ds, 5)
+	sc, err := det.SampleScores(hido.SampledScoreOptions{K: 2, Samples: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthSet := map[int]bool{}
+	for _, i := range synth.OutlierIndices(ds) {
+		truthSet[i] = true
+	}
+	// Planted records must rank near the top by tail score.
+	worse := 0
+	for _, i := range synth.OutlierIndices(ds) {
+		for j := 0; j < ds.N(); j++ {
+			if !truthSet[j] && sc.TailMean[j] < sc.TailMean[i] {
+				worse++
+			}
+		}
+	}
+	if worse > ds.N()/2 {
+		t.Errorf("planted records poorly ranked (%d inversions)", worse)
+	}
+}

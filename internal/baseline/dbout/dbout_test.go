@@ -1,0 +1,257 @@
+package dbout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hido/internal/baseline/neighbors"
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+func randomDS(n, d int, seed uint64) *dataset.Dataset {
+	r := xrand.New(seed)
+	names := make([]string, d)
+	for j := range names {
+		names[j] = "x"
+	}
+	ds := dataset.New(names, n)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		ds.AppendRow(row, "")
+	}
+	return ds
+}
+
+// bruteDB is the literal-definition oracle.
+func bruteDB(ds *dataset.Dataset, k int, lambda float64, m neighbors.Metric) []int {
+	var out []int
+	for i := 0; i < ds.N(); i++ {
+		count := 0
+		for j := 0; j < ds.N(); j++ {
+			if j != i && neighbors.Dist(m, ds.RowView(i), ds.RowView(j)) <= lambda {
+				count++
+			}
+		}
+		if count <= k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNestedLoopMatchesOracle(t *testing.T) {
+	ds := randomDS(150, 3, 1)
+	for _, k := range []int{0, 2, 5} {
+		for _, lambda := range []float64{0.1, 0.25, 0.5} {
+			got, err := NestedLoop(ds, Options{K: k, Lambda: lambda})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteDB(ds, k, lambda, neighbors.Euclidean)
+			if !equalInts(got, want) {
+				t.Errorf("k=%d λ=%v: got %d outliers, oracle %d", k, lambda, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestNestedLoopManhattan(t *testing.T) {
+	ds := randomDS(100, 2, 2)
+	got, err := NestedLoop(ds, Options{K: 1, Lambda: 0.2, Metric: neighbors.Manhattan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteDB(ds, 1, 0.2, neighbors.Manhattan)
+	if !equalInts(got, want) {
+		t.Errorf("manhattan mismatch: %v vs %v", got, want)
+	}
+}
+
+func TestCellBasedMatchesNestedLoop(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		ds := randomDS(300, d, uint64(d)+10)
+		for _, k := range []int{1, 4} {
+			for _, lambda := range []float64{0.15, 0.3} {
+				nl, err := NestedLoop(ds, Options{K: k, Lambda: lambda})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cb, err := CellBased(ds, Options{K: k, Lambda: lambda})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalInts(nl, cb) {
+					t.Errorf("d=%d k=%d λ=%v: nested %v vs cell %v", d, k, lambda, nl, cb)
+				}
+			}
+		}
+	}
+}
+
+func TestCellBasedRefusesHighDim(t *testing.T) {
+	ds := randomDS(100, 20, 3)
+	if _, err := CellBased(ds, Options{K: 1, Lambda: 0.5}); err == nil {
+		t.Error("cell-based accepted d=20")
+	}
+}
+
+func TestCellBasedRequiresEuclidean(t *testing.T) {
+	ds := randomDS(50, 2, 4)
+	if _, err := CellBased(ds, Options{K: 1, Lambda: 0.3, Metric: neighbors.Manhattan}); err == nil {
+		t.Error("cell-based accepted manhattan")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds := randomDS(20, 2, 5)
+	if _, err := NestedLoop(ds, Options{K: -1, Lambda: 0.5}); err == nil {
+		t.Error("k=-1 accepted")
+	}
+	if _, err := NestedLoop(ds, Options{K: 20, Lambda: 0.5}); err == nil {
+		t.Error("k=N accepted")
+	}
+	if _, err := NestedLoop(ds, Options{K: 1, Lambda: 0}); err == nil {
+		t.Error("lambda=0 accepted")
+	}
+	if _, err := NestedLoop(ds, Options{K: 1, Lambda: math.NaN()}); err == nil {
+		t.Error("lambda=NaN accepted")
+	}
+	bad := ds.Clone()
+	bad.SetAt(0, 0, math.NaN())
+	if _, err := NestedLoop(bad, Options{K: 1, Lambda: 0.5}); err == nil {
+		t.Error("missing values accepted")
+	}
+}
+
+func TestLambdaExtremes(t *testing.T) {
+	// §1's argument: tiny λ → everything is an outlier; huge λ → nothing.
+	ds := randomDS(100, 5, 6)
+	all, err := NestedLoop(ds, Options{K: 1, Lambda: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 100 {
+		t.Errorf("tiny λ: %d outliers, want all 100", len(all))
+	}
+	none, err := NestedLoop(ds, Options{K: 1, Lambda: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("huge λ: %d outliers, want 0", len(none))
+	}
+}
+
+func TestLambdaSweepMonotone(t *testing.T) {
+	ds := randomDS(200, 8, 7)
+	lambdas := []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2}
+	counts, err := LambdaSweep(ds, 2, lambdas, neighbors.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Errorf("outlier count increased with λ: %v", counts)
+		}
+	}
+	if counts[0] != 200 && counts[len(counts)-1] != 0 {
+		t.Logf("sweep did not span full range: %v (acceptable, depends on shell location)", counts)
+	}
+}
+
+// Property: cell-based equals nested loop on random 2-d data.
+func TestQuickCellOracle(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, lRaw uint8) bool {
+		k := int(kRaw) % 6
+		lambda := 0.05 + float64(lRaw%40)/100
+		ds := randomDS(120, 2, seed)
+		nl, err := NestedLoop(ds, Options{K: k, Lambda: lambda})
+		if err != nil {
+			return false
+		}
+		cb, err := CellBased(ds, Options{K: k, Lambda: lambda})
+		if err != nil {
+			return false
+		}
+		return equalInts(nl, cb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNestedLoop(b *testing.B) {
+	ds := randomDS(1000, 10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NestedLoop(ds, Options{K: 3, Lambda: 0.8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCellBased2D(b *testing.B) {
+	ds := randomDS(1000, 2, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CellBased(ds, Options{K: 3, Lambda: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFractionOutliersMatchesCountForm(t *testing.T) {
+	ds := randomDS(120, 3, 9)
+	// p = 1: no point may be within λ ⇒ k = 0.
+	got, err := FractionOutliers(ds, 1, 0.3, neighbors.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NestedLoop(ds, Options{K: 0, Lambda: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, want) {
+		t.Errorf("p=1 fraction form != k=0 count form")
+	}
+	// p = 0.95 over N=120: k = floor(0.05·119) = 5.
+	got, err = FractionOutliers(ds, 0.95, 0.3, neighbors.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = NestedLoop(ds, Options{K: 5, Lambda: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, want) {
+		t.Errorf("p=0.95 fraction form != k=5 count form")
+	}
+}
+
+func TestFractionOutliersValidation(t *testing.T) {
+	ds := randomDS(20, 2, 10)
+	for _, p := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := FractionOutliers(ds, p, 0.3, neighbors.Euclidean); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+}

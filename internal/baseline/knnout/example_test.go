@@ -1,0 +1,23 @@
+package knnout_test
+
+import (
+	"fmt"
+
+	"hido/internal/baseline/knnout"
+	"hido/internal/dataset"
+)
+
+// The Ramaswamy et al. definition: rank points by the distance to
+// their kth nearest neighbor and report the top n.
+func ExampleTopN() {
+	ds := dataset.FromRows([]string{"x"}, [][]float64{
+		{1}, {1.1}, {0.9}, {1.05}, {10},
+	})
+	out, err := knnout.TopN(ds, knnout.Options{K: 2, N: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("record %d, 2-NN distance %.2f\n", out[0].Index, out[0].KDist)
+	// Output:
+	// record 4, 2-NN distance 8.95
+}

@@ -1,0 +1,177 @@
+// Package knnout implements the distance-based outlier definition of
+// Ramaswamy, Rastogi & Shim (SIGMOD 2000) — reference [25] of the
+// paper, and its head-to-head comparator in the arrhythmia study:
+//
+//	Given k and n, a point p is an outlier if the distance to its kth
+//	nearest neighbor is smaller than the corresponding value for no
+//	more than n−1 other points.
+//
+// Equivalently: rank all points by their kth-NN distance, descending;
+// the top n are the outliers. The implementation is the optimized
+// nested loop: while scanning candidates it maintains the current
+// top-n threshold and abandons a point's neighbor scan as soon as its
+// kth-NN distance provably falls below the threshold — the pruning
+// described in the original paper.
+package knnout
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"hido/internal/baseline/neighbors"
+	"hido/internal/dataset"
+)
+
+// Outlier is one detected outlier with its score.
+type Outlier struct {
+	Index int
+	// KDist is the distance to the point's kth nearest neighbor —
+	// larger means more outlying.
+	KDist float64
+}
+
+// Options configures the detector.
+type Options struct {
+	// K is the neighbor rank used for the distance score (the paper's
+	// arrhythmia comparison uses the 1-nearest neighbor and notes
+	// k-nearest results were no better).
+	K int
+	// N is the number of outliers to report.
+	N int
+	// Metric defaults to Euclidean.
+	Metric neighbors.Metric
+	// NoPrune disables the threshold-based early abandon; used by tests
+	// and the pruning ablation bench.
+	NoPrune bool
+}
+
+// TopN returns the n points with the largest kth-NN distances,
+// descending. The dataset must have no missing values.
+func TopN(ds *dataset.Dataset, opt Options) ([]Outlier, error) {
+	if opt.K < 1 || opt.K > ds.N()-1 {
+		return nil, fmt.Errorf("knnout: k=%d outside [1,%d]", opt.K, ds.N()-1)
+	}
+	if opt.N < 1 || opt.N > ds.N() {
+		return nil, fmt.Errorf("knnout: n=%d outside [1,%d]", opt.N, ds.N())
+	}
+	if ds.MissingCount() > 0 {
+		return nil, fmt.Errorf("knnout: dataset has %d missing values; impute first", ds.MissingCount())
+	}
+
+	useSq := opt.Metric == neighbors.Euclidean
+	// top keeps the n best (largest kth-NN distance) outliers found so
+	// far as a min-heap on the score; its root is the admission
+	// threshold.
+	top := make(minHeap, 0, opt.N+1)
+
+	// kbuf holds the k smallest distances seen so far for the current
+	// candidate, as a max-heap: its root is the running upper bound on
+	// the candidate's kth-NN distance.
+	kbuf := make(maxHeap, 0, opt.K+1)
+
+	for i := 0; i < ds.N(); i++ {
+		q := ds.RowView(i)
+		kbuf = kbuf[:0]
+		threshold := math.Inf(-1)
+		if len(top) == opt.N {
+			threshold = top[0].KDist
+		}
+		pruned := false
+		for j := 0; j < ds.N(); j++ {
+			if j == i {
+				continue
+			}
+			var d float64
+			if useSq {
+				d = neighbors.SqDist(q, ds.RowView(j))
+			} else {
+				d = neighbors.Dist(opt.Metric, q, ds.RowView(j))
+			}
+			if len(kbuf) < opt.K {
+				heap.Push(&kbuf, d)
+			} else if d < kbuf[0] {
+				kbuf[0] = d
+				heap.Fix(&kbuf, 0)
+			}
+			// Once k neighbors are buffered, kbuf[0] can only decrease;
+			// if it is already below the admission threshold, this point
+			// cannot enter the top-n.
+			if !opt.NoPrune && len(kbuf) == opt.K && score(kbuf[0], useSq) <= threshold {
+				pruned = true
+				break
+			}
+		}
+		if pruned || len(kbuf) < opt.K {
+			continue
+		}
+		sc := score(kbuf[0], useSq)
+		if len(top) < opt.N {
+			heap.Push(&top, Outlier{i, sc})
+		} else if sc > top[0].KDist {
+			top[0] = Outlier{i, sc}
+			heap.Fix(&top, 0)
+		}
+	}
+
+	out := make([]Outlier, len(top))
+	copy(out, top)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].KDist != out[b].KDist {
+			return out[a].KDist > out[b].KDist
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out, nil
+}
+
+func score(d float64, sq bool) float64 {
+	if sq {
+		return math.Sqrt(d)
+	}
+	return d
+}
+
+// Scores returns every point's kth-NN distance (no top-n pruning), for
+// tests and score-distribution studies.
+func Scores(ds *dataset.Dataset, k int, metric neighbors.Metric) ([]float64, error) {
+	if k < 1 || k > ds.N()-1 {
+		return nil, fmt.Errorf("knnout: k=%d outside [1,%d]", k, ds.N()-1)
+	}
+	if ds.MissingCount() > 0 {
+		return nil, fmt.Errorf("knnout: dataset has %d missing values; impute first", ds.MissingCount())
+	}
+	s := neighbors.NewSearch(ds, metric)
+	return s.AllKDist(k), nil
+}
+
+// minHeap orders outliers by ascending score (root = weakest member).
+type minHeap []Outlier
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].KDist < h[j].KDist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Outlier)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// maxHeap keeps candidate neighbor distances; root is the largest.
+type maxHeap []float64
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i] > h[j] }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

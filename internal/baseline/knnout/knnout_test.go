@@ -1,0 +1,294 @@
+package knnout
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hido/internal/baseline/neighbors"
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+func randomDS(n, d int, seed uint64) *dataset.Dataset {
+	r := xrand.New(seed)
+	names := make([]string, d)
+	for j := range names {
+		names[j] = "x"
+	}
+	ds := dataset.New(names, n)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		ds.AppendRow(row, "")
+	}
+	return ds
+}
+
+// withOutlier appends one point far away from the unit cube.
+func withOutlier(ds *dataset.Dataset) *dataset.Dataset {
+	out := ds.Clone()
+	row := make([]float64, ds.D())
+	for j := range row {
+		row[j] = 10
+	}
+	out.AppendRow(row, "outlier")
+	return out
+}
+
+func TestTopNFindsFarPoint(t *testing.T) {
+	ds := withOutlier(randomDS(200, 4, 1))
+	res, err := TopN(ds, Options{K: 3, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d outliers", len(res))
+	}
+	if res[0].Index != 200 {
+		t.Errorf("top outlier = %d, want the planted far point 200", res[0].Index)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].KDist > res[i-1].KDist {
+			t.Error("results not sorted by descending kth-NN distance")
+		}
+	}
+}
+
+func TestTopNMatchesScoresOracle(t *testing.T) {
+	ds := randomDS(150, 5, 2)
+	const k, n = 4, 10
+	res, err := TopN(ds, Options{K: k, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := Scores(ds, k, neighbors.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	for i := 0; i < n; i++ {
+		if math.Abs(res[i].KDist-scores[idx[i]]) > 1e-9 {
+			t.Errorf("pos %d: pruned %v (idx %d), oracle %v (idx %d)",
+				i, res[i].KDist, res[i].Index, scores[idx[i]], idx[i])
+		}
+	}
+}
+
+func TestPrunedEqualsUnpruned(t *testing.T) {
+	ds := withOutlier(randomDS(120, 6, 3))
+	for _, m := range []neighbors.Metric{neighbors.Euclidean, neighbors.Manhattan} {
+		pruned, err := TopN(ds, Options{K: 2, N: 8, Metric: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := TopN(ds, Options{K: 2, N: 8, Metric: m, NoPrune: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pruned) != len(plain) {
+			t.Fatalf("%v: lengths differ", m)
+		}
+		for i := range pruned {
+			if math.Abs(pruned[i].KDist-plain[i].KDist) > 1e-9 {
+				t.Errorf("%v pos %d: pruned %v vs plain %v", m, i, pruned[i], plain[i])
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds := randomDS(20, 2, 4)
+	if _, err := TopN(ds, Options{K: 0, N: 5}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopN(ds, Options{K: 20, N: 5}); err == nil {
+		t.Error("k=N accepted")
+	}
+	if _, err := TopN(ds, Options{K: 1, N: 0}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := TopN(ds, Options{K: 1, N: 21}); err == nil {
+		t.Error("n>N accepted")
+	}
+	bad := ds.Clone()
+	bad.SetAt(0, 0, math.NaN())
+	if _, err := TopN(bad, Options{K: 1, N: 5}); err == nil {
+		t.Error("missing values accepted")
+	}
+	if _, err := Scores(bad, 1, neighbors.Euclidean); err == nil {
+		t.Error("Scores with missing values accepted")
+	}
+	if _, err := Scores(ds, 0, neighbors.Euclidean); err == nil {
+		t.Error("Scores k=0 accepted")
+	}
+}
+
+func TestTopNAllPoints(t *testing.T) {
+	ds := randomDS(30, 3, 5)
+	res, err := TopN(ds, Options{K: 1, N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 30 {
+		t.Fatalf("got %d results, want all 30", len(res))
+	}
+	seen := map[int]bool{}
+	for _, o := range res {
+		if seen[o.Index] {
+			t.Fatal("duplicate index in results")
+		}
+		seen[o.Index] = true
+	}
+}
+
+func BenchmarkTopNPruned(b *testing.B) {
+	ds := withOutlier(randomDS(1000, 10, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopN(ds, Options{K: 5, N: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopNUnpruned(b *testing.B) {
+	ds := withOutlier(randomDS(1000, 10, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopN(ds, Options{K: 5, N: 10, NoPrune: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPartitionTopNMatchesTopN(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		ds := withOutlier(randomDS(300, 6, seed))
+		want, err := TopN(ds, Options{K: 3, N: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PartitionTopN(ds, PartitionOptions{
+			Options: Options{K: 3, N: 8}, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d vs %d outliers", seed, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].KDist-want[i].KDist) > 1e-9 {
+				t.Errorf("seed %d pos %d: %v vs %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPartitionTopNClusteredData(t *testing.T) {
+	// Two tight clusters plus scattered outliers: partition bounds
+	// should prune aggressively without changing the answer.
+	r := xrand.New(5)
+	ds := dataset.New([]string{"x", "y"}, 0)
+	for i := 0; i < 200; i++ {
+		ds.AppendRow([]float64{r.NormMS(0, 0.2), r.NormMS(0, 0.2)}, "")
+	}
+	for i := 0; i < 200; i++ {
+		ds.AppendRow([]float64{r.NormMS(10, 0.2), r.NormMS(10, 0.2)}, "")
+	}
+	for i := 0; i < 5; i++ {
+		ds.AppendRow([]float64{r.NormMS(5, 0.1), r.NormMS(5, 0.1)}, "")
+	}
+	want, err := TopN(ds, Options{K: 4, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PartitionTopN(ds, PartitionOptions{Options: Options{K: 4, N: 5}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index {
+			t.Errorf("pos %d: record %d vs %d", i, got[i].Index, want[i].Index)
+		}
+	}
+}
+
+func TestPartitionTopNValidation(t *testing.T) {
+	ds := randomDS(30, 2, 6)
+	if _, err := PartitionTopN(ds, PartitionOptions{
+		Options: Options{K: 1, N: 5, Metric: neighbors.Manhattan},
+	}); err == nil {
+		t.Error("manhattan accepted")
+	}
+	if _, err := PartitionTopN(ds, PartitionOptions{Options: Options{K: 0, N: 5}}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PartitionTopN(ds, PartitionOptions{Options: Options{K: 1, N: 0}}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := PartitionTopN(ds, PartitionOptions{
+		Options: Options{K: 1, N: 5}, Partitions: -1,
+	}); err == nil {
+		t.Error("negative partitions accepted")
+	}
+}
+
+func BenchmarkPartitionTopN(b *testing.B) {
+	ds := withOutlier(randomDS(1000, 10, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartitionTopN(ds, PartitionOptions{
+			Options: Options{K: 5, N: 10}, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: the partition algorithm returns identical scores to the
+// nested loop on arbitrary random data.
+func TestQuickPartitionOracle(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		ds := withOutlier(randomDS(120, 4, seed))
+		parts := int(pRaw)%20 + 1
+		want, err := TopN(ds, Options{K: 2, N: 6})
+		if err != nil {
+			return false
+		}
+		got, err := PartitionTopN(ds, PartitionOptions{
+			Options: Options{K: 2, N: 6}, Partitions: parts, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].KDist-want[i].KDist) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,315 @@
+package knnout
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"hido/internal/baseline/neighbors"
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+// PartitionOptions configures the partition-based algorithm of
+// Ramaswamy, Rastogi & Shim — the third algorithm of their paper,
+// which first groups points into partitions, bounds every partition's
+// possible kth-NN distances through MBR distance bounds, and computes
+// exact distances only for points in partitions that could still
+// contain a top-n outlier. The original uses BIRCH for partitioning;
+// this implementation uses deterministic k-means, which preserves the
+// algorithm's structure (any space partitioning works — only the
+// bounds matter for correctness).
+type PartitionOptions struct {
+	Options
+	// Partitions is the number of k-means cells (default ~sqrt(N)).
+	Partitions int
+	// Seed drives the k-means initialization.
+	Seed uint64
+}
+
+// PartitionTopN returns exactly the same outliers as TopN, pruning
+// whole partitions first. The Euclidean metric is required (MBR
+// bounds assume it).
+func PartitionTopN(ds *dataset.Dataset, opt PartitionOptions) ([]Outlier, error) {
+	if opt.Metric != neighbors.Euclidean {
+		return nil, fmt.Errorf("knnout: partition algorithm requires the Euclidean metric")
+	}
+	if opt.K < 1 || opt.K > ds.N()-1 {
+		return nil, fmt.Errorf("knnout: k=%d outside [1,%d]", opt.K, ds.N()-1)
+	}
+	if opt.N < 1 || opt.N > ds.N() {
+		return nil, fmt.Errorf("knnout: n=%d outside [1,%d]", opt.N, ds.N())
+	}
+	if ds.MissingCount() > 0 {
+		return nil, fmt.Errorf("knnout: dataset has %d missing values; impute first", ds.MissingCount())
+	}
+	if opt.Partitions == 0 {
+		opt.Partitions = int(math.Sqrt(float64(ds.N())))
+	}
+	if opt.Partitions < 1 {
+		return nil, fmt.Errorf("knnout: partitions=%d must be positive", opt.Partitions)
+	}
+
+	parts := kmeansPartition(ds, opt.Partitions, opt.Seed)
+
+	// Pairwise MBR bounds. MINDIST is the smallest possible distance
+	// between a point of P and a point of Q; MAXDIST the largest.
+	np := len(parts)
+	lower := make([]float64, np)
+	upper := make([]float64, np)
+	for pi, p := range parts {
+		minB := make([]bound2, 0, np)
+		maxB := make([]bound2, 0, np)
+		for qi, q := range parts {
+			c := len(q.points)
+			if qi == pi {
+				// Same partition: a point's neighbors inside its own
+				// partition are at least 0 and at most the MBR diameter
+				// apart; exclude the point itself from the count.
+				c--
+				if c > 0 {
+					minB = append(minB, bound2{0, c})
+					maxB = append(maxB, bound2{mbrDiameter(p), c})
+				}
+				continue
+			}
+			minB = append(minB, bound2{mbrMinDist(p, q), c})
+			maxB = append(maxB, bound2{mbrMaxDist(p, q), c})
+		}
+		lower[pi] = kthBound(minB, opt.K)
+		upper[pi] = kthBound(maxB, opt.K)
+	}
+
+	// minDkDist: take partitions by descending lower bound until their
+	// points could fill the top n; the smallest lower bound among them
+	// bounds the n-th outlier's score from below.
+	order := make([]int, np)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return lower[order[a]] > lower[order[b]] })
+	total := 0
+	minDkDist := 0.0
+	for _, pi := range order {
+		total += len(parts[pi].points)
+		minDkDist = lower[pi]
+		if total >= opt.N {
+			break
+		}
+	}
+
+	// Candidate points: those in partitions whose upper bound reaches
+	// minDkDist.
+	var candidates []int
+	for pi, p := range parts {
+		if upper[pi] >= minDkDist {
+			candidates = append(candidates, p.points...)
+		}
+	}
+
+	// Exact phase: kth-NN distance for each candidate (scanning all
+	// points), keeping the top n — the pruned nested loop restricted to
+	// the candidate set.
+	top := make(minHeap, 0, opt.N+1)
+	kbuf := make(maxHeap, 0, opt.K+1)
+	for _, i := range candidates {
+		q := ds.RowView(i)
+		kbuf = kbuf[:0]
+		threshold := math.Inf(-1)
+		if len(top) == opt.N {
+			threshold = top[0].KDist
+		}
+		pruned := false
+		for j := 0; j < ds.N(); j++ {
+			if j == i {
+				continue
+			}
+			d := neighbors.SqDist(q, ds.RowView(j))
+			if len(kbuf) < opt.K {
+				heap.Push(&kbuf, d)
+			} else if d < kbuf[0] {
+				kbuf[0] = d
+				heap.Fix(&kbuf, 0)
+			}
+			if !opt.NoPrune && len(kbuf) == opt.K && math.Sqrt(kbuf[0]) <= threshold {
+				pruned = true
+				break
+			}
+		}
+		if pruned || len(kbuf) < opt.K {
+			continue
+		}
+		sc := math.Sqrt(kbuf[0])
+		if len(top) < opt.N {
+			heap.Push(&top, Outlier{i, sc})
+		} else if sc > top[0].KDist {
+			top[0] = Outlier{i, sc}
+			heap.Fix(&top, 0)
+		}
+	}
+	out := make([]Outlier, len(top))
+	copy(out, top)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].KDist != out[b].KDist {
+			return out[a].KDist > out[b].KDist
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out, nil
+}
+
+// bound2 pairs an MBR distance bound with the point count it covers.
+type bound2 struct {
+	dist  float64
+	count int
+}
+
+// kthBound returns the distance at which the cumulative point count
+// reaches k when bounds are visited in ascending distance order — the
+// generic lower/upper bound on a partition's kth-NN distances.
+func kthBound(bs []bound2, k int) float64 {
+	sort.Slice(bs, func(a, b int) bool { return bs[a].dist < bs[b].dist })
+	total := 0
+	for _, b := range bs {
+		total += b.count
+		if total >= k {
+			return b.dist
+		}
+	}
+	return math.Inf(1) // fewer than k other points exist
+}
+
+// partition is one k-means cell with its MBR.
+type partition struct {
+	points   []int
+	min, max []float64
+}
+
+// kmeansPartition runs deterministic Lloyd k-means (random-point
+// initialization, fixed iteration cap) and returns the non-empty
+// partitions with their bounding boxes.
+func kmeansPartition(ds *dataset.Dataset, k int, seed uint64) []partition {
+	n, d := ds.N(), ds.D()
+	if k > n {
+		k = n
+	}
+	rng := xrand.New(seed)
+	centers := make([][]float64, k)
+	for i, idx := range rng.Sample(n, k) {
+		centers[i] = ds.Row(idx)
+	}
+	assign := make([]int, n)
+	const iters = 12
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			row := ds.RowView(i)
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if dist := neighbors.SqDist(row, centers[c]); dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := ds.RowView(i)
+			for j := 0; j < d; j++ {
+				sums[c][j] += row[j]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				continue // empty cluster keeps its center
+			}
+			for j := 0; j < d; j++ {
+				centers[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+
+	byCluster := make(map[int]*partition)
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		p, ok := byCluster[c]
+		if !ok {
+			p = &partition{
+				min: append([]float64(nil), ds.RowView(i)...),
+				max: append([]float64(nil), ds.RowView(i)...),
+			}
+			byCluster[c] = p
+		}
+		p.points = append(p.points, i)
+		row := ds.RowView(i)
+		for j := 0; j < d; j++ {
+			if row[j] < p.min[j] {
+				p.min[j] = row[j]
+			}
+			if row[j] > p.max[j] {
+				p.max[j] = row[j]
+			}
+		}
+	}
+	out := make([]partition, 0, len(byCluster))
+	for c := 0; c < k; c++ {
+		if p, ok := byCluster[c]; ok {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// mbrMinDist returns the smallest possible Euclidean distance between
+// a point in p's MBR and a point in q's MBR.
+func mbrMinDist(p, q partition) float64 {
+	s := 0.0
+	for j := range p.min {
+		var gap float64
+		switch {
+		case q.min[j] > p.max[j]:
+			gap = q.min[j] - p.max[j]
+		case p.min[j] > q.max[j]:
+			gap = p.min[j] - q.max[j]
+		}
+		s += gap * gap
+	}
+	return math.Sqrt(s)
+}
+
+// mbrMaxDist returns the largest possible Euclidean distance between
+// a point in p's MBR and a point in q's MBR.
+func mbrMaxDist(p, q partition) float64 {
+	s := 0.0
+	for j := range p.min {
+		a := math.Abs(q.max[j] - p.min[j])
+		if b := math.Abs(p.max[j] - q.min[j]); b > a {
+			a = b
+		}
+		s += a * a
+	}
+	return math.Sqrt(s)
+}
+
+// mbrDiameter returns the diagonal of a partition's MBR.
+func mbrDiameter(p partition) float64 {
+	s := 0.0
+	for j := range p.min {
+		d := p.max[j] - p.min[j]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,27 @@
+package lof_test
+
+import (
+	"fmt"
+
+	"hido/internal/baseline/lof"
+	"hido/internal/dataset"
+)
+
+// LOF scores near 1 mark inliers; the point far from the cluster
+// scores much higher.
+func ExampleCompute() {
+	ds := dataset.FromRows([]string{"x", "y"}, [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}, {0.05, 0.05},
+		{5, 5}, // the outlier
+	})
+	res, err := lof.Compute(ds, lof.Options{K: 3})
+	if err != nil {
+		panic(err)
+	}
+	top := res.TopN(1)[0]
+	fmt.Println("most outlying record:", top)
+	fmt.Println("its LOF is above 5:", res.Scores[top] > 5)
+	// Output:
+	// most outlying record: 5
+	// its LOF is above 5: true
+}

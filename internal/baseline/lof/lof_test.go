@@ -1,0 +1,190 @@
+package lof
+
+import (
+	"math"
+	"testing"
+
+	"hido/internal/baseline/neighbors"
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+// clusterWithOutlier builds a tight Gaussian cluster plus one point
+// far outside it; index n is the planted outlier.
+func clusterWithOutlier(n int, seed uint64) *dataset.Dataset {
+	r := xrand.New(seed)
+	ds := dataset.New([]string{"x", "y"}, n+1)
+	for i := 0; i < n; i++ {
+		ds.AppendRow([]float64{r.NormMS(0, 1), r.NormMS(0, 1)}, "in")
+	}
+	ds.AppendRow([]float64{15, 15}, "out")
+	return ds
+}
+
+func TestOutlierScoresHigh(t *testing.T) {
+	ds := clusterWithOutlier(200, 1)
+	res, err := Compute(ds, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[200] < 2 {
+		t.Errorf("planted outlier LOF = %v, want >> 1", res.Scores[200])
+	}
+	// Bulk of the cluster scores near 1.
+	near1 := 0
+	for i := 0; i < 200; i++ {
+		if res.Scores[i] > 0.8 && res.Scores[i] < 1.5 {
+			near1++
+		}
+	}
+	if near1 < 150 {
+		t.Errorf("only %d/200 inliers score near 1", near1)
+	}
+	if got := res.TopN(1); got[0] != 200 {
+		t.Errorf("TopN(1) = %v, want [200]", got)
+	}
+}
+
+func TestUniformDataScoresNearOne(t *testing.T) {
+	r := xrand.New(2)
+	ds := dataset.New([]string{"x", "y", "z"}, 300)
+	for i := 0; i < 300; i++ {
+		ds.AppendRow([]float64{r.Float64(), r.Float64(), r.Float64()}, "")
+	}
+	res, err := Compute(ds, Options{K: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range res.Scores {
+		sum += s
+	}
+	mean := sum / 300
+	if mean < 0.9 || mean > 1.4 {
+		t.Errorf("mean LOF on uniform data = %v, want ≈1", mean)
+	}
+}
+
+func TestTwoDensityClusters(t *testing.T) {
+	// A point on the edge of a sparse cluster should not outscore a
+	// point wedged between clusters; the classic LOF motivation is that
+	// a point just outside the *dense* cluster gets a high score even
+	// though its absolute distance is small.
+	r := xrand.New(3)
+	ds := dataset.New([]string{"x", "y"}, 0)
+	for i := 0; i < 100; i++ { // dense cluster at (0,0), sd 0.1
+		ds.AppendRow([]float64{r.NormMS(0, 0.1), r.NormMS(0, 0.1)}, "")
+	}
+	for i := 0; i < 100; i++ { // sparse cluster at (10,0), sd 2
+		ds.AppendRow([]float64{r.NormMS(10, 2), r.NormMS(0, 2)}, "")
+	}
+	// planted: just outside the dense cluster (absolute distance small)
+	ds.AppendRow([]float64{1.0, 0}, "planted")
+	res, err := Compute(ds, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[200] < 2 {
+		t.Errorf("locality-sensitive outlier LOF = %v, want >> 1", res.Scores[200])
+	}
+}
+
+func TestDuplicatePointsNoNaN(t *testing.T) {
+	ds := dataset.New([]string{"x"}, 0)
+	for i := 0; i < 20; i++ {
+		ds.AppendRow([]float64{5}, "") // all identical
+	}
+	ds.AppendRow([]float64{9}, "")
+	res, err := Compute(ds, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Scores {
+		if math.IsNaN(s) {
+			t.Errorf("Scores[%d] = NaN", i)
+		}
+	}
+	// Points inside the duplicate cluster score 1.
+	if res.Scores[0] != 1 {
+		t.Errorf("duplicate-cluster LOF = %v, want 1", res.Scores[0])
+	}
+	// The separated point is the worst.
+	if res.TopN(1)[0] != 20 {
+		t.Errorf("TopN = %v, want [20]", res.TopN(1))
+	}
+}
+
+func TestKDistanceTiesExpandNeighborhood(t *testing.T) {
+	// Four points at identical distance from the query: with K=2 the
+	// neighborhood must include all ties at the 2-distance.
+	ds := dataset.New([]string{"x", "y"}, 0)
+	ds.AppendRow([]float64{0, 0}, "") // query
+	ds.AppendRow([]float64{1, 0}, "") // all at distance 1
+	ds.AppendRow([]float64{-1, 0}, "")
+	ds.AppendRow([]float64{0, 1}, "")
+	ds.AppendRow([]float64{0, -1}, "")
+	res, err := Compute(ds, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Neighborhood(0)); got != 4 {
+		t.Errorf("neighborhood size = %d, want 4 (ties included)", got)
+	}
+	if res.KDist[0] != 1 {
+		t.Errorf("k-distance = %v, want 1", res.KDist[0])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds := clusterWithOutlier(20, 4)
+	if _, err := Compute(ds, Options{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Compute(ds, Options{K: 21}); err == nil {
+		t.Error("k=N accepted")
+	}
+	bad := ds.Clone()
+	bad.SetAt(0, 0, math.NaN())
+	if _, err := Compute(bad, Options{K: 2}); err == nil {
+		t.Error("missing values accepted")
+	}
+}
+
+func TestTopNBounds(t *testing.T) {
+	ds := clusterWithOutlier(30, 5)
+	res, err := Compute(ds, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TopN(1000); len(got) != 31 {
+		t.Errorf("TopN over-asked returned %d", len(got))
+	}
+	top := res.TopN(10)
+	for i := 1; i < len(top); i++ {
+		if res.Scores[top[i]] > res.Scores[top[i-1]] {
+			t.Error("TopN not descending")
+		}
+	}
+}
+
+func TestManhattanMetric(t *testing.T) {
+	ds := clusterWithOutlier(100, 6)
+	res, err := Compute(ds, Options{K: 5, Metric: neighbors.Manhattan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TopN(1)[0] != 100 {
+		t.Errorf("manhattan TopN = %v, want [100]", res.TopN(1))
+	}
+}
+
+func BenchmarkLOF(b *testing.B) {
+	ds := clusterWithOutlier(500, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(ds, Options{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

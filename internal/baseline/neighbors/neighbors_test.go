@@ -1,0 +1,257 @@
+package neighbors
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+func randomDS(n, d int, seed uint64) *dataset.Dataset {
+	r := xrand.New(seed)
+	names := make([]string, d)
+	for j := range names {
+		names[j] = "x"
+	}
+	ds := dataset.New(names, n)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		ds.AppendRow(row, "")
+	}
+	return ds
+}
+
+func TestDistKnownValues(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := Dist(Euclidean, a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("euclidean = %v", got)
+	}
+	if got := Dist(Manhattan, a, b); got != 7 {
+		t.Errorf("manhattan = %v", got)
+	}
+	if got := Dist(Chebyshev, a, b); got != 4 {
+		t.Errorf("chebyshev = %v", got)
+	}
+	if got := SqDist(a, b); got != 25 {
+		t.Errorf("sqdist = %v", got)
+	}
+}
+
+func TestDistPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length":     func() { Dist(Euclidean, []float64{1}, []float64{1, 2}) },
+		"nan eucl":   func() { Dist(Euclidean, []float64{math.NaN()}, []float64{1}) },
+		"nan man":    func() { Dist(Manhattan, []float64{math.NaN()}, []float64{1}) },
+		"nan cheb":   func() { Dist(Chebyshev, []float64{math.NaN()}, []float64{1}) },
+		"bad metric": func() { Dist(Metric(42), []float64{1}, []float64{1}) },
+		"nan sq":     func() { SqDist([]float64{math.NaN()}, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Euclidean.String() != "euclidean" || Manhattan.String() != "manhattan" ||
+		Chebyshev.String() != "chebyshev" || Metric(9).String() == "" {
+		t.Error("Metric.String wrong")
+	}
+}
+
+func TestNewSearchRejectsMissing(t *testing.T) {
+	ds := dataset.FromRows([]string{"x"}, [][]float64{{1}, {math.NaN()}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSearch with NaN did not panic")
+		}
+	}()
+	NewSearch(ds, Euclidean)
+}
+
+// bruteKNN is the oracle: sort all distances.
+func bruteKNN(ds *dataset.Dataset, m Metric, i, k int) []Neighbor {
+	var all []Neighbor
+	for j := 0; j < ds.N(); j++ {
+		if j == i {
+			continue
+		}
+		all = append(all, Neighbor{j, Dist(m, ds.RowView(i), ds.RowView(j))})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist != all[b].Dist {
+			return all[a].Dist < all[b].Dist
+		}
+		return all[a].Index < all[b].Index
+	})
+	return all[:k]
+}
+
+func TestKNNMatchesOracle(t *testing.T) {
+	for _, m := range []Metric{Euclidean, Manhattan, Chebyshev} {
+		ds := randomDS(100, 5, 1)
+		s := NewSearch(ds, m)
+		for _, i := range []int{0, 50, 99} {
+			for _, k := range []int{1, 3, 10} {
+				got := s.KNN(i, k)
+				want := bruteKNN(ds, m, i, k)
+				if len(got) != len(want) {
+					t.Fatalf("%v: lengths %d vs %d", m, len(got), len(want))
+				}
+				for x := range got {
+					if math.Abs(got[x].Dist-want[x].Dist) > 1e-9 {
+						t.Errorf("%v i=%d k=%d pos %d: dist %v vs %v", m, i, k, x, got[x].Dist, want[x].Dist)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKNNOrderedAndExcludesSelf(t *testing.T) {
+	ds := randomDS(60, 4, 2)
+	s := NewSearch(ds, Euclidean)
+	nn := s.KNN(7, 10)
+	prev := -1.0
+	for _, x := range nn {
+		if x.Index == 7 {
+			t.Error("KNN includes the query point")
+		}
+		if x.Dist < prev {
+			t.Error("KNN not sorted")
+		}
+		prev = x.Dist
+	}
+}
+
+func TestKNNPanics(t *testing.T) {
+	s := NewSearch(randomDS(10, 2, 3), Euclidean)
+	for _, k := range []int{0, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KNN(k=%d) did not panic", k)
+				}
+			}()
+			s.KNN(0, k)
+		}()
+	}
+}
+
+func TestKNNVectorNoSkip(t *testing.T) {
+	ds := randomDS(30, 3, 4)
+	s := NewSearch(ds, Euclidean)
+	q := ds.Row(5)
+	nn := s.KNNVector(q, 1, -1)
+	if nn[0].Index != 5 || nn[0].Dist != 0 {
+		t.Errorf("nearest to own vector = %+v, want self at 0", nn[0])
+	}
+}
+
+func TestKDist(t *testing.T) {
+	ds := randomDS(50, 3, 5)
+	s := NewSearch(ds, Euclidean)
+	nn := s.KNN(3, 7)
+	if got := s.KDist(3, 7); got != nn[6].Dist {
+		t.Errorf("KDist = %v, want %v", got, nn[6].Dist)
+	}
+}
+
+func TestRangeCountExact(t *testing.T) {
+	ds := randomDS(80, 4, 6)
+	s := NewSearch(ds, Euclidean)
+	for _, i := range []int{0, 40} {
+		for _, rad := range []float64{0.2, 0.5, 1.0} {
+			want := 0
+			for j := 0; j < 80; j++ {
+				if j != i && Dist(Euclidean, ds.RowView(i), ds.RowView(j)) <= rad {
+					want++
+				}
+			}
+			if got := s.RangeCount(i, rad, -1); got != want {
+				t.Errorf("RangeCount(%d, %v) = %d, want %d", i, rad, got, want)
+			}
+		}
+	}
+}
+
+func TestRangeCountEarlyStop(t *testing.T) {
+	ds := randomDS(200, 2, 7)
+	s := NewSearch(ds, Euclidean)
+	exact := s.RangeCount(0, 1.5, -1) // nearly everything
+	if exact < 50 {
+		t.Skip("unexpectedly sparse")
+	}
+	if got := s.RangeCount(0, 1.5, 5); got != 6 {
+		t.Errorf("early-stopped count = %d, want 6 (k+1)", got)
+	}
+}
+
+func TestAllKDist(t *testing.T) {
+	ds := randomDS(40, 3, 8)
+	s := NewSearch(ds, Euclidean)
+	all := s.AllKDist(3)
+	if len(all) != 40 {
+		t.Fatalf("len = %d", len(all))
+	}
+	for i, v := range all {
+		if want := s.KDist(i, 3); v != want {
+			t.Errorf("AllKDist[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := NewSearch(randomDS(10, 2, 9), Manhattan)
+	if s.N() != 10 || s.MetricKind() != Manhattan {
+		t.Error("accessors wrong")
+	}
+}
+
+// Property: triangle inequality for all metrics on random vectors.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		a, b, c := make([]float64, 4), make([]float64, 4), make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			a[i], b[i], c[i] = r.Float64(), r.Float64(), r.Float64()
+		}
+		for _, m := range []Metric{Euclidean, Manhattan, Chebyshev} {
+			if Dist(m, a, c) > Dist(m, a, b)+Dist(m, b, c)+1e-12 {
+				return false
+			}
+			if math.Abs(Dist(m, a, b)-Dist(m, b, a)) > 1e-12 {
+				return false
+			}
+			if Dist(m, a, a) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	ds := randomDS(2000, 20, 1)
+	s := NewSearch(ds, Euclidean)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.KNN(i%2000, 5)
+	}
+}

@@ -1,0 +1,160 @@
+package neighbors
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+// VPTree is a vantage-point tree for exact nearest-neighbor queries
+// under a metric: each node picks a vantage point and splits the rest
+// by median distance to it; queries prune subtrees with the triangle
+// inequality.
+//
+// The tree exists as much for the experiment it powers as for speed:
+// §1 of the paper rests on distance concentration, and the same
+// effect destroys metric-tree pruning — when all distances look
+// alike, |d(q,v) − μ| < τ holds for every node and the "index"
+// degenerates into a slow linear scan. The IndexEffectiveness
+// experiment measures exactly that collapse.
+type VPTree struct {
+	ds     *dataset.Dataset
+	metric Metric
+	root   *vpNode
+	// Visited counts distance evaluations of the most recent query
+	// (not concurrency-safe; the measurement hook for the experiment).
+	Visited int
+}
+
+type vpNode struct {
+	point         int // index of the vantage point
+	radius        float64
+	inside, outer *vpNode
+}
+
+// NewVPTree builds the tree over the full dataset. The dataset must
+// have no missing values.
+func NewVPTree(ds *dataset.Dataset, metric Metric, seed uint64) *VPTree {
+	if ds.MissingCount() > 0 {
+		panic("neighbors: dataset has missing values; impute first")
+	}
+	t := &VPTree{ds: ds, metric: metric}
+	idx := make([]int, ds.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := xrand.New(seed)
+	t.root = t.build(idx, rng)
+	return t
+}
+
+func (t *VPTree) build(idx []int, rng *xrand.RNG) *vpNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	// Random vantage point: move it to the end and slice it off.
+	v := rng.Intn(len(idx))
+	idx[v], idx[len(idx)-1] = idx[len(idx)-1], idx[v]
+	node := &vpNode{point: idx[len(idx)-1]}
+	rest := idx[:len(idx)-1]
+	if len(rest) == 0 {
+		return node
+	}
+	vp := t.ds.RowView(node.point)
+	dists := make([]float64, len(rest))
+	for i, j := range rest {
+		dists[i] = Dist(t.metric, vp, t.ds.RowView(j))
+	}
+	order := make([]int, len(rest))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+	mid := len(order) / 2
+	node.radius = dists[order[mid]]
+	inside := make([]int, 0, mid+1)
+	outer := make([]int, 0, len(order)-mid)
+	for _, oi := range order {
+		if dists[oi] <= node.radius {
+			inside = append(inside, rest[oi])
+		} else {
+			outer = append(outer, rest[oi])
+		}
+	}
+	node.inside = t.build(inside, rng)
+	node.outer = t.build(outer, rng)
+	return node
+}
+
+// KNN returns the k nearest neighbors of record i (excluding i),
+// ordered by increasing distance — the same contract as Search.KNN.
+func (t *VPTree) KNN(i, k int) []Neighbor {
+	if k < 1 || k > t.ds.N()-1 {
+		panic(fmt.Sprintf("neighbors: k=%d outside [1,%d]", k, t.ds.N()-1))
+	}
+	t.Visited = 0
+	h := make(maxHeap, 0, k+1)
+	q := t.ds.RowView(i)
+	tau := math.Inf(1)
+	var search func(n *vpNode)
+	search = func(n *vpNode) {
+		if n == nil {
+			return
+		}
+		d := Dist(t.metric, q, t.ds.RowView(n.point))
+		t.Visited++
+		if n.point != i {
+			if len(h) < k {
+				heap.Push(&h, Neighbor{n.point, d})
+			} else if d < h[0].Dist {
+				h[0] = Neighbor{n.point, d}
+				heap.Fix(&h, 0)
+			}
+			if len(h) == k {
+				tau = h[0].Dist
+			}
+		}
+		// Visit the more promising side first; prune with the triangle
+		// inequality.
+		if d <= n.radius {
+			if d-tau <= n.radius {
+				search(n.inside)
+			}
+			if d+tau > n.radius {
+				search(n.outer)
+			}
+		} else {
+			if d+tau > n.radius {
+				search(n.outer)
+			}
+			if d-tau <= n.radius {
+				search(n.inside)
+			}
+		}
+	}
+	search(t.root)
+	out := make([]Neighbor, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+// PruningRate reports, for the most recent query, the fraction of
+// records whose distance computation the tree avoided (0 = the tree
+// degenerated to a linear scan).
+func (t *VPTree) PruningRate() float64 {
+	n := t.ds.N()
+	if n == 0 {
+		return 0
+	}
+	return 1 - float64(t.Visited)/float64(n)
+}

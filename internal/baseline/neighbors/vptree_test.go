@@ -1,0 +1,133 @@
+package neighbors
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hido/internal/xrand"
+)
+
+func TestVPTreeMatchesLinearScan(t *testing.T) {
+	for _, m := range []Metric{Euclidean, Manhattan} {
+		ds := randomDS(200, 4, 1)
+		tree := NewVPTree(ds, m, 7)
+		scan := NewSearch(ds, m)
+		for _, i := range []int{0, 50, 199} {
+			for _, k := range []int{1, 5, 15} {
+				got := tree.KNN(i, k)
+				want := scan.KNN(i, k)
+				if len(got) != len(want) {
+					t.Fatalf("%v i=%d k=%d: lengths %d vs %d", m, i, k, len(got), len(want))
+				}
+				for x := range got {
+					if math.Abs(got[x].Dist-want[x].Dist) > 1e-9 {
+						t.Errorf("%v i=%d k=%d pos %d: %v vs %v", m, i, k, x, got[x], want[x])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVPTreePrunesInLowDimensions(t *testing.T) {
+	ds := randomDS(2000, 2, 2)
+	tree := NewVPTree(ds, Euclidean, 3)
+	total := 0.0
+	for i := 0; i < 50; i++ {
+		tree.KNN(i, 3)
+		total += tree.PruningRate()
+	}
+	if avg := total / 50; avg < 0.5 {
+		t.Errorf("2-d pruning rate %.2f, want > 0.5", avg)
+	}
+}
+
+func TestVPTreePruningCollapsesInHighDimensions(t *testing.T) {
+	// The §1 phenomenon: with concentrated distances the triangle
+	// inequality prunes almost nothing.
+	lowDS := randomDS(1000, 2, 4)
+	highDS := randomDS(1000, 64, 4)
+	low := NewVPTree(lowDS, Euclidean, 5)
+	high := NewVPTree(highDS, Euclidean, 5)
+	lowRate, highRate := 0.0, 0.0
+	for i := 0; i < 30; i++ {
+		low.KNN(i, 5)
+		lowRate += low.PruningRate()
+		high.KNN(i, 5)
+		highRate += high.PruningRate()
+	}
+	lowRate /= 30
+	highRate /= 30
+	if highRate >= lowRate {
+		t.Errorf("pruning did not degrade with dimensionality: low-d %.2f, high-d %.2f",
+			lowRate, highRate)
+	}
+	if highRate > 0.3 {
+		t.Errorf("high-d pruning rate %.2f; expected near-total collapse", highRate)
+	}
+}
+
+func TestVPTreePanics(t *testing.T) {
+	ds := randomDS(10, 2, 6)
+	tree := NewVPTree(ds, Euclidean, 1)
+	for _, k := range []int{0, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KNN(k=%d) did not panic", k)
+				}
+			}()
+			tree.KNN(0, k)
+		}()
+	}
+	bad := ds.Clone()
+	bad.SetAt(0, 0, math.NaN())
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN dataset did not panic")
+		}
+	}()
+	NewVPTree(bad, Euclidean, 1)
+}
+
+// Property: tree results equal scan results on random data and seeds.
+func TestQuickVPTreeOracle(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		ds := randomDS(100, 3, seed)
+		k := int(kRaw)%10 + 1
+		tree := NewVPTree(ds, Euclidean, seed^0xff)
+		scan := NewSearch(ds, Euclidean)
+		r := xrand.New(seed)
+		i := r.Intn(100)
+		got := tree.KNN(i, k)
+		want := scan.KNN(i, k)
+		for x := range got {
+			if math.Abs(got[x].Dist-want[x].Dist) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkVPTreeKNNLowDim(b *testing.B) {
+	ds := randomDS(5000, 2, 1)
+	tree := NewVPTree(ds, Euclidean, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tree.KNN(i%5000, 5)
+	}
+}
+
+func BenchmarkVPTreeKNNHighDim(b *testing.B) {
+	ds := randomDS(5000, 64, 1)
+	tree := NewVPTree(ds, Euclidean, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tree.KNN(i%5000, 5)
+	}
+}

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hido/internal/core"
+	"hido/internal/discretize"
+	"hido/internal/evo"
+	"hido/internal/synth"
+)
+
+// AblationResult collects the design-choice ablations DESIGN.md calls
+// out: crossover operator, selection strategy, grid construction,
+// population size, grid resolution, and search topology.
+type AblationResult struct {
+	Crossover  []CrossoverAblationRow
+	Selection  []SelectionAblationRow
+	GridMethod []GridAblationRow
+	PopSize    []PopAblationRow
+	PhiSweep   []PhiAblationRow
+	Topology   []TopologyAblationRow
+}
+
+// TopologyAblationRow compares search topologies at an equal total
+// population budget: one population, unioned restarts, and the island
+// model. Distinct counts how many distinct projections were retained —
+// the diversity the topologies trade off.
+type TopologyAblationRow struct {
+	Name     string
+	Quality  float64
+	Distinct int
+	Evals    int
+	Time     time.Duration
+}
+
+// CrossoverAblationRow compares the two crossover operators on one
+// profile (the Gen vs Gen° columns of Table 1, isolated).
+type CrossoverAblationRow struct {
+	Profile  string
+	Kind     core.CrossoverKind
+	Quality  float64
+	Time     time.Duration
+	Recall   float64 // planted-outlier recall
+	Converge bool    // stopped on the De Jong criterion
+}
+
+// SelectionAblationRow compares selection strategies.
+type SelectionAblationRow struct {
+	Strategy evo.Selection
+	Quality  float64
+	Recall   float64
+}
+
+// GridAblationRow compares equi-depth against equi-width grids.
+type GridAblationRow struct {
+	Method  discretize.Method
+	Quality float64
+	Recall  float64
+}
+
+// PopAblationRow sweeps the population size.
+type PopAblationRow struct {
+	PopSize int
+	Quality float64
+	Time    time.Duration
+}
+
+// PhiAblationRow sweeps the grid resolution, reporting the advised k
+// and the singleton-cube sparsity that governs coverage (§2.4).
+type PhiAblationRow struct {
+	Phi               int
+	AdvisedK          int
+	SingletonSparsity float64
+	Quality           float64
+	Recall            float64
+}
+
+// AblationOptions configures the ablations.
+type AblationOptions struct {
+	Seed uint64
+	// Profile defaults to Ionosphere (34 dims: large enough for the
+	// operators to matter, small enough to iterate).
+	Profile string
+	// M is the best-set size (default 20).
+	M int
+}
+
+func (o AblationOptions) withDefaults() AblationOptions {
+	if o.Profile == "" {
+		o.Profile = "Ionosphere"
+	}
+	if o.M == 0 {
+		o.M = 20
+	}
+	return o
+}
+
+// RunAblation runs every ablation on the configured profile.
+func RunAblation(opt AblationOptions) (*AblationResult, error) {
+	opt = opt.withDefaults()
+	p, err := synth.ProfileByName(opt.Profile)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := p.Generate(opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	truth := synth.OutlierIndices(ds)
+	out := &AblationResult{}
+
+	// Crossover.
+	det := core.NewDetector(ds, p.Phi)
+	for _, kind := range []core.CrossoverKind{core.OptimizedCrossover, core.TwoPointCrossover} {
+		res, err := det.Evolutionary(core.EvoOptions{
+			K: p.K, M: opt.M, Seed: opt.Seed, Crossover: kind,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Crossover = append(out.Crossover, CrossoverAblationRow{
+			Profile: p.Name, Kind: kind,
+			Quality: res.Quality(), Time: res.Elapsed,
+			Recall:   synth.Recall(res.Outliers, truth),
+			Converge: res.ConvergedDeJong,
+		})
+	}
+
+	// Selection.
+	for _, strat := range []evo.Selection{evo.RankRoulette, evo.Tournament, evo.Uniform} {
+		res, err := det.Evolutionary(core.EvoOptions{
+			K: p.K, M: opt.M, Seed: opt.Seed, Selection: strat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Selection = append(out.Selection, SelectionAblationRow{
+			Strategy: strat, Quality: res.Quality(),
+			Recall: synth.Recall(res.Outliers, truth),
+		})
+	}
+
+	// Grid method.
+	for _, method := range []discretize.Method{discretize.EquiDepth, discretize.EquiWidth} {
+		d := core.NewDetectorMethod(ds, p.Phi, method)
+		res, err := d.Evolutionary(core.EvoOptions{K: p.K, M: opt.M, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		out.GridMethod = append(out.GridMethod, GridAblationRow{
+			Method: method, Quality: res.Quality(),
+			Recall: synth.Recall(res.Outliers, truth),
+		})
+	}
+
+	// Population size.
+	for _, pop := range []int{20, 50, 100, 200} {
+		res, err := det.Evolutionary(core.EvoOptions{
+			K: p.K, M: opt.M, Seed: opt.Seed, PopSize: pop,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.PopSize = append(out.PopSize, PopAblationRow{
+			PopSize: pop, Quality: res.Quality(), Time: res.Elapsed,
+		})
+	}
+
+	// Search topology at equal total population budget (120 members).
+	addTopology := func(name string, res *core.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		out.Topology = append(out.Topology, TopologyAblationRow{
+			Name: name, Quality: res.Quality(),
+			Distinct: len(res.Projections),
+			Evals:    res.Evaluations, Time: res.Elapsed,
+		})
+		return nil
+	}
+	single, err := det.Evolutionary(core.EvoOptions{K: p.K, M: opt.M, Seed: opt.Seed, PopSize: 120})
+	if err := addTopology("single-pop-120", single, err); err != nil {
+		return nil, err
+	}
+	restarts, err := det.EvolutionaryRestarts(core.EvoOptions{K: p.K, M: opt.M, Seed: opt.Seed, PopSize: 40}, 3)
+	if err := addTopology("restarts-3x40", restarts, err); err != nil {
+		return nil, err
+	}
+	isl, err := det.EvolutionaryIslands(core.IslandOptions{
+		Evo: core.EvoOptions{K: p.K, M: opt.M, Seed: opt.Seed, PopSize: 40}, Islands: 3,
+	})
+	if err := addTopology("islands-3x40", isl, err); err != nil {
+		return nil, err
+	}
+
+	// Phi sweep (rebuilds the grid each time; k follows §2.4).
+	for _, phi := range []int{3, 5, 8, 12} {
+		d := core.NewDetector(ds, phi)
+		advice := d.Advise(-3)
+		res, err := d.Evolutionary(core.EvoOptions{K: advice.K, M: opt.M, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		out.PhiSweep = append(out.PhiSweep, PhiAblationRow{
+			Phi: phi, AdvisedK: advice.K,
+			SingletonSparsity: advice.SingletonSparsity,
+			Quality:           res.Quality(),
+			Recall:            synth.Recall(res.Outliers, truth),
+		})
+	}
+	return out, nil
+}
+
+// FormatAblation renders every ablation table.
+func FormatAblation(r *AblationResult) string {
+	var b strings.Builder
+	b.WriteString("crossover ablation:\n")
+	for _, row := range r.Crossover {
+		fmt.Fprintf(&b, "  %-10s quality=%.3f recall=%.2f time=%s dejong=%v\n",
+			row.Kind, row.Quality, row.Recall, row.Time.Round(time.Millisecond), row.Converge)
+	}
+	b.WriteString("selection ablation:\n")
+	for _, row := range r.Selection {
+		fmt.Fprintf(&b, "  %-14s quality=%.3f recall=%.2f\n", row.Strategy, row.Quality, row.Recall)
+	}
+	b.WriteString("grid-method ablation:\n")
+	for _, row := range r.GridMethod {
+		fmt.Fprintf(&b, "  %-11s quality=%.3f recall=%.2f\n", row.Method, row.Quality, row.Recall)
+	}
+	b.WriteString("population-size ablation:\n")
+	for _, row := range r.PopSize {
+		fmt.Fprintf(&b, "  p=%-4d quality=%.3f time=%s\n",
+			row.PopSize, row.Quality, row.Time.Round(time.Millisecond))
+	}
+	b.WriteString("search-topology ablation (equal 120-member budget):\n")
+	for _, row := range r.Topology {
+		fmt.Fprintf(&b, "  %-15s quality=%.3f distinct=%d evals=%d time=%s\n",
+			row.Name, row.Quality, row.Distinct, row.Evals, row.Time.Round(time.Millisecond))
+	}
+	b.WriteString("phi sweep (k from Eq. 2 at s=-3):\n")
+	for _, row := range r.PhiSweep {
+		fmt.Fprintf(&b, "  phi=%-3d k*=%d singletonS=%.2f quality=%.3f recall=%.2f\n",
+			row.Phi, row.AdvisedK, row.SingletonSparsity, row.Quality, row.Recall)
+	}
+	return b.String()
+}

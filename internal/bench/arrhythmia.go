@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hido/internal/baseline/knnout"
+	"hido/internal/baseline/lof"
+	"hido/internal/baseline/neighbors"
+	"hido/internal/core"
+	"hido/internal/cube"
+	"hido/internal/dataset"
+	"hido/internal/synth"
+)
+
+// Table2Row is one row of the paper's Table 2 (class distribution of
+// the arrhythmia data set).
+type Table2Row struct {
+	Case       string
+	ClassCodes []string
+	Percentage float64
+}
+
+// RunTable2 regenerates Table 2 from the arrhythmia stand-in.
+func RunTable2(seed uint64) ([]Table2Row, error) {
+	ds, err := synth.Arrhythmia(seed)
+	if err != nil {
+		return nil, err
+	}
+	var common, rare []string
+	commonN, rareN := 0, 0
+	for _, c := range synth.ArrhythmiaClasses() {
+		if c.Rare {
+			rare = append(rare, c.Code)
+		} else {
+			common = append(common, c.Code)
+		}
+	}
+	for i := 0; i < ds.N(); i++ {
+		if synth.RareLabel(ds.Label(i)) {
+			rareN++
+		} else {
+			commonN++
+		}
+	}
+	total := float64(ds.N())
+	return []Table2Row{
+		{Case: "Commonly Occurring Classes (>= 5%)", ClassCodes: common,
+			Percentage: 100 * float64(commonN) / total},
+		{Case: "Rare Classes (< 5%)", ClassCodes: rare,
+			Percentage: 100 * float64(rareN) / total},
+	}, nil
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %-34s %s\n", "Case", "Class Codes", "Percentage of Instances")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-36s %-34s %.1f%%\n", r.Case, strings.Join(r.ClassCodes, ", "), r.Percentage)
+	}
+	return b.String()
+}
+
+// ArrhythmiaOptions configures the §3.1 rare-class study.
+type ArrhythmiaOptions struct {
+	Seed uint64
+	// Phi is the grid resolution (default 6, which puts the advised
+	// projection dimensionality at k=2 for N=452 and target s=-3).
+	Phi int
+	// Threshold is the sparsity cutoff defining the reported
+	// projections (the paper uses -3).
+	Threshold float64
+	// M is how many best projections the evolutionary search tracks
+	// before thresholding (default 200).
+	M int
+	// BaselineK is the neighbor rank for the kNN comparison (the paper
+	// reports 1-NN, noting k-NN did not improve).
+	BaselineK int
+	// Restarts is how many evolutionary runs (distinct seeds) are
+	// unioned (default 3). The genetic search is stochastic and each
+	// convergence finds a subset of the qualifying sparse projections;
+	// the paper reports "all the sparse projections ... with a sparsity
+	// coefficient of -3 or less", which a single converged population
+	// does not exhaust.
+	Restarts int
+}
+
+func (o ArrhythmiaOptions) withDefaults() ArrhythmiaOptions {
+	if o.Phi == 0 {
+		o.Phi = 6
+	}
+	if o.Threshold == 0 {
+		o.Threshold = -3
+	}
+	if o.M == 0 {
+		o.M = 200
+	}
+	if o.BaselineK == 0 {
+		o.BaselineK = 1
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	return o
+}
+
+// ArrhythmiaResult is the outcome of the §3.1 study. The paper
+// reports 85 covered points of which 43 belong to a rare class for
+// the projection method, against 28 of the 85 best kNN outliers.
+type ArrhythmiaResult struct {
+	Phi, K    int
+	Threshold float64
+
+	// Projection method: points covered by projections with sparsity
+	// <= Threshold, and how many are rare-class.
+	Covered     int
+	RareCovered int
+
+	// kNN baseline [25] at the same outlier count.
+	RareKNN int
+	// LOF baseline [10] at the same outlier count (extension: the
+	// introduction discusses LOF; the paper does not run it).
+	RareLOF int
+
+	// RecordingErrorFound reports whether the planted impossible
+	// height/weight record (index 0) was among the covered points —
+	// the paper's anecdote about data-entry errors surfacing. Exactly
+	// one qualifying cube covers it, so the stochastic search surfaces
+	// it only in some runs; RecordingErrorSparsity shows the cube
+	// qualifies regardless.
+	RecordingErrorFound bool
+	// RecordingErrorSparsity is the sparsity coefficient of the
+	// (height, weight) cube holding the impossible record — it is at
+	// or below the threshold by construction, demonstrating that the
+	// definition flags data-entry errors even when a particular search
+	// run does not enumerate that cube.
+	RecordingErrorSparsity float64
+}
+
+// RareFractionProjection returns the projection method's rare-class
+// fraction.
+func (r *ArrhythmiaResult) RareFractionProjection() float64 {
+	if r.Covered == 0 {
+		return 0
+	}
+	return float64(r.RareCovered) / float64(r.Covered)
+}
+
+// RareFractionKNN returns the kNN baseline's rare-class fraction.
+func (r *ArrhythmiaResult) RareFractionKNN() float64 {
+	if r.Covered == 0 {
+		return 0
+	}
+	return float64(r.RareKNN) / float64(r.Covered)
+}
+
+// RunArrhythmia regenerates the arrhythmia rare-class study.
+func RunArrhythmia(opt ArrhythmiaOptions) (*ArrhythmiaResult, error) {
+	opt = opt.withDefaults()
+	ds, err := synth.Arrhythmia(opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	det := core.NewDetector(ds, opt.Phi)
+	advice := det.Advise(opt.Threshold)
+
+	out := &ArrhythmiaResult{Phi: opt.Phi, K: advice.K, Threshold: opt.Threshold}
+
+	// Union the qualifying projections over several restarts; keep only
+	// projections at or below the threshold; their covered points are
+	// the outliers.
+	countRare := func(points []int) int {
+		n := 0
+		for _, i := range points {
+			if synth.RareLabel(ds.Label(i)) {
+				n++
+			}
+		}
+		return n
+	}
+	coveredSet := map[int]bool{}
+	for restart := 0; restart < opt.Restarts; restart++ {
+		res, err := det.Evolutionary(core.EvoOptions{
+			K: advice.K, M: opt.M, Seed: opt.Seed + uint64(restart)*0x9e37,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range res.Projections {
+			if p.Sparsity > opt.Threshold {
+				continue
+			}
+			cov := det.Index.Cover(p.Cube)
+			cov.ForEach(func(i int) bool {
+				coveredSet[i] = true
+				return true
+			})
+		}
+	}
+	covered := make([]int, 0, len(coveredSet))
+	for i := range coveredSet {
+		covered = append(covered, i)
+	}
+	out.Covered = len(covered)
+	out.RareCovered = countRare(covered)
+	out.RecordingErrorFound = coveredSet[0]
+	// Evaluate the recording-error cube directly: height in its top
+	// range, weight in its bottom range.
+	h, w := ds.ColumnIndex("height"), ds.ColumnIndex("weight")
+	errCube := cube.New(det.D()).
+		With(h, det.Grid.Cell(0, h)).
+		With(w, det.Grid.Cell(0, w))
+	out.RecordingErrorSparsity = det.Index.Sparsity(errCube)
+	if out.Covered == 0 {
+		return out, nil
+	}
+
+	// Baselines rank every point and take the same number of outliers.
+	// They need complete, comparable-scale vectors.
+	full := ds.ImputeMissing(dataset.ImputeMean).Standardize()
+	knn, err := knnout.TopN(full, knnout.Options{K: opt.BaselineK, N: out.Covered})
+	if err != nil {
+		return nil, err
+	}
+	knnIdx := make([]int, len(knn))
+	for i, o := range knn {
+		knnIdx[i] = o.Index
+	}
+	out.RareKNN = countRare(knnIdx)
+
+	lofRes, err := lof.Compute(full, lof.Options{K: 10, Metric: neighbors.Euclidean})
+	if err != nil {
+		return nil, err
+	}
+	out.RareLOF = countRare(lofRes.TopN(out.Covered))
+	return out, nil
+}
+
+// FormatArrhythmia renders the study outcome next to the paper's
+// numbers.
+func FormatArrhythmia(r *ArrhythmiaResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "arrhythmia study (phi=%d, k=%d, S <= %.1f)\n", r.Phi, r.K, r.Threshold)
+	fmt.Fprintf(&b, "  projection method: %d/%d rare-class among covered outliers (%.0f%%)  [paper: 43/85]\n",
+		r.RareCovered, r.Covered, 100*r.RareFractionProjection())
+	fmt.Fprintf(&b, "  kNN baseline [25]: %d/%d rare-class among top outliers (%.0f%%)      [paper: 28/85]\n",
+		r.RareKNN, r.Covered, 100*r.RareFractionKNN())
+	fmt.Fprintf(&b, "  LOF baseline [10]: %d/%d rare-class among top outliers (%.0f%%)      [extension]\n",
+		r.RareLOF, r.Covered, 100*float64(r.RareLOF)/float64(max(1, r.Covered)))
+	fmt.Fprintf(&b, "  recording-error record surfaced this run: %v (its cube qualifies at S=%.2f)\n",
+		r.RecordingErrorFound, r.RecordingErrorSparsity)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"hido/internal/core"
+	"hido/internal/synth"
+)
+
+// smallProfiles keeps unit tests fast: only the low-dimensional rows.
+func smallProfiles(t *testing.T) []synth.Profile {
+	t.Helper()
+	var out []synth.Profile
+	for _, p := range synth.Table1Profiles() {
+		if p.D <= 20 {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no small profiles")
+	}
+	return out
+}
+
+func TestRunTable1SmallProfiles(t *testing.T) {
+	rows, err := RunTable1(Table1Options{
+		Seed: 1, M: 10, BruteBudget: 20 * time.Second, Profiles: smallProfiles(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.BruteOK {
+			t.Errorf("%s: brute force exceeded budget on a small profile", r.Profile.Name)
+			continue
+		}
+		// Brute force is the optimum: no GA may beat it.
+		if r.GenOptQuality < r.BruteQuality-1e-9 {
+			t.Errorf("%s: Gen° quality %.4f beats brute optimum %.4f",
+				r.Profile.Name, r.GenOptQuality, r.BruteQuality)
+		}
+		if r.GenQuality < r.BruteQuality-1e-9 {
+			t.Errorf("%s: Gen quality %.4f beats brute optimum %.4f",
+				r.Profile.Name, r.GenQuality, r.BruteQuality)
+		}
+		// The optimized crossover is at least as good as two-point
+		// (allowing a small tolerance for stochastic inversions).
+		if r.GenOptQuality > r.GenQuality+0.35 {
+			t.Errorf("%s: Gen° quality %.4f much worse than Gen %.4f",
+				r.Profile.Name, r.GenOptQuality, r.GenQuality)
+		}
+		if math.IsNaN(r.GenQuality) || math.IsNaN(r.GenOptQuality) {
+			t.Errorf("%s: NaN quality", r.Profile.Name)
+		}
+	}
+	text := FormatTable1(rows)
+	if !strings.Contains(text, "Machine (8)") {
+		t.Errorf("FormatTable1 missing profile line:\n%s", text)
+	}
+}
+
+func TestRunTable1BudgetMarksBruteUnfinished(t *testing.T) {
+	p, err := synth.ProfileByName("Ionosphere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunTable1(Table1Options{
+		Seed: 1, M: 5, BruteBudget: time.Nanosecond, Profiles: []synth.Profile{p},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].BruteOK {
+		t.Error("1ns budget did not mark brute force unfinished")
+	}
+	if !strings.Contains(FormatTable1(rows), "-") {
+		t.Error("unfinished brute not rendered as \"-\"")
+	}
+}
+
+func TestRunTable2MatchesPaper(t *testing.T) {
+	rows, err := RunTable2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if math.Abs(rows[0].Percentage-85.4) > 0.1 {
+		t.Errorf("common percentage %.2f, paper reports 85.4", rows[0].Percentage)
+	}
+	if math.Abs(rows[1].Percentage-14.6) > 0.1 {
+		t.Errorf("rare percentage %.2f, paper reports 14.6", rows[1].Percentage)
+	}
+	if len(rows[0].ClassCodes) != 5 || len(rows[1].ClassCodes) != 8 {
+		t.Errorf("class code counts %d/%d, want 5/8", len(rows[0].ClassCodes), len(rows[1].ClassCodes))
+	}
+	if !strings.Contains(FormatTable2(rows), "85.4%") {
+		t.Error("FormatTable2 missing percentage")
+	}
+}
+
+func TestRunArrhythmiaShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunArrhythmia(ArrhythmiaOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Errorf("advised k = %d, want 2 at N=452 phi=6 s=-3", res.K)
+	}
+	if res.Covered < 40 {
+		t.Fatalf("only %d covered outliers", res.Covered)
+	}
+	// The paper's central claim: rare classes are over-represented in
+	// the projection method's outliers (base rate 14.6%, paper 50.6%),
+	// and more so than in the kNN baseline's.
+	projFrac := res.RareFractionProjection()
+	knnFrac := res.RareFractionKNN()
+	if projFrac < 0.30 {
+		t.Errorf("projection rare fraction %.2f, want >> 0.146 base rate", projFrac)
+	}
+	if projFrac <= knnFrac {
+		t.Errorf("projection rare fraction %.2f not above kNN baseline %.2f", projFrac, knnFrac)
+	}
+	// The recording-error cube qualifies by construction.
+	if res.RecordingErrorSparsity > res.Threshold {
+		t.Errorf("recording-error cube S=%.2f above threshold %.2f",
+			res.RecordingErrorSparsity, res.Threshold)
+	}
+	if !strings.Contains(FormatArrhythmia(res), "rare-class") {
+		t.Error("FormatArrhythmia missing content")
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	res, err := RunFigure1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FoundA || !res.FoundB {
+		t.Errorf("planted points found: A=%v B=%v", res.FoundA, res.FoundB)
+	}
+	if !res.ViewExposes[0] || !res.ViewExposes[3] {
+		t.Error("structured views 1/4 not among projections")
+	}
+	if res.ViewExposes[1] || res.ViewExposes[2] {
+		t.Error("noise views 2/3 among projections")
+	}
+	// Full-dimensional kNN must NOT rank A and B at the very top —
+	// that masking is the figure's whole point.
+	if res.KNNRankA <= 2 && res.KNNRankB <= 2 {
+		t.Errorf("full-dim kNN ranked A=%d B=%d at top; masking failed",
+			res.KNNRankA, res.KNNRankB)
+	}
+	if !strings.Contains(FormatFigure1(res), "view 4") {
+		t.Error("FormatFigure1 missing view lines")
+	}
+}
+
+func TestFigure1Views(t *testing.T) {
+	views := Figure1Views(1)
+	for v, ds := range views {
+		if ds.N() != synth.FigureOneN+2 || ds.D() != 2 {
+			t.Errorf("view %d shape %dx%d", v, ds.N(), ds.D())
+		}
+	}
+	if views[0].Label(synth.FigureOneN) != "A" {
+		t.Error("view datasets lost labels")
+	}
+}
+
+func TestRunHousing(t *testing.T) {
+	res, err := RunHousing(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Projections3) == 0 || len(res.Projections4) == 0 {
+		t.Fatal("no projections retained")
+	}
+	covered := 0
+	for _, ok := range res.PlantedCovered {
+		if ok {
+			covered++
+		}
+	}
+	if covered < 2 {
+		t.Errorf("only %d/3 planted contrarians covered", covered)
+	}
+	text := FormatHousing(res)
+	if !strings.Contains(text, "CRIM") && !strings.Contains(text, "planted") {
+		t.Errorf("FormatHousing missing content:\n%s", text)
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	rows, err := RunScaling(ScalingOptions{
+		Seed: 1, Dims: []int{6, 10, 14}, BruteBudget: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SpaceSize <= rows[i-1].SpaceSize {
+			t.Error("space size not growing with d")
+		}
+		if rows[i].BruteOK && rows[i-1].BruteOK && rows[i].BruteEvals <= rows[i-1].BruteEvals {
+			t.Error("brute evaluations not growing with d")
+		}
+	}
+	// Brute evaluates the whole space; the GA must not.
+	last := rows[len(rows)-1]
+	if last.BruteOK && uint64(last.BruteEvals) != last.SpaceSize {
+		t.Errorf("brute evals %d != space %d", last.BruteEvals, last.SpaceSize)
+	}
+	if uint64(last.EvoEvals) >= last.SpaceSize {
+		t.Errorf("GA evaluated %d >= space %d", last.EvoEvals, last.SpaceSize)
+	}
+	if PaperCombinatoricsClaim() != 48450000 {
+		t.Errorf("paper claim = %d", PaperCombinatoricsClaim())
+	}
+	if !strings.Contains(FormatScaling(rows), "space") {
+		t.Error("FormatScaling missing header")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunAblation(AblationOptions{Seed: 1, Profile: "Machine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crossover) != 2 || len(res.Selection) != 3 ||
+		len(res.GridMethod) != 2 || len(res.PopSize) != 4 || len(res.PhiSweep) != 4 || len(res.Topology) != 3 {
+		t.Fatalf("ablation row counts wrong: %+v", res)
+	}
+	if res.Crossover[0].Kind != core.OptimizedCrossover {
+		t.Error("crossover rows out of order")
+	}
+	// Optimized must not be much worse than two-point.
+	if res.Crossover[0].Quality > res.Crossover[1].Quality+0.35 {
+		t.Errorf("optimized quality %.3f much worse than two-point %.3f",
+			res.Crossover[0].Quality, res.Crossover[1].Quality)
+	}
+	if !strings.Contains(FormatAblation(res), "phi sweep") {
+		t.Error("FormatAblation missing sections")
+	}
+}
+
+func TestRunAblationUnknownProfile(t *testing.T) {
+	if _, err := RunAblation(AblationOptions{Profile: "nope"}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestRunShell(t *testing.T) {
+	rows, err := RunShell(ShellOptions{Seed: 1, Dims: []int{2, 20, 60}, N: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Relative contrast must fall monotonically with dimensionality,
+	// and the usable λ window must narrow (§1's thin-shell argument).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RelContrast >= rows[i-1].RelContrast {
+			t.Errorf("contrast not shrinking: d=%d %.3f vs d=%d %.3f",
+				rows[i].D, rows[i].RelContrast, rows[i-1].D, rows[i-1].RelContrast)
+		}
+		if rows[i].WindowRel >= rows[i-1].WindowRel {
+			t.Errorf("λ window not narrowing: d=%d %.3f vs d=%d %.3f",
+				rows[i].D, rows[i].WindowRel, rows[i-1].D, rows[i-1].WindowRel)
+		}
+	}
+	for _, r := range rows {
+		if r.LambdaAll >= r.LambdaNone {
+			t.Errorf("d=%d: inverted λ window [%v, %v]", r.D, r.LambdaAll, r.LambdaNone)
+		}
+		if r.MinNN > r.MeanNN || r.MeanNN > r.MaxNN {
+			t.Errorf("d=%d: NN stats disordered", r.D)
+		}
+	}
+	if !strings.Contains(FormatShell(rows), "relContrast") {
+		t.Error("FormatShell missing header")
+	}
+}
+
+func TestRunQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := RunQuality(QualityOptions{Seed: 1, Samples: 256, Profile: "Machine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]QualityRow{}
+	for _, r := range rows {
+		if math.IsNaN(r.AUC) || r.AUC < 0 || r.AUC > 1 {
+			t.Errorf("%s: AUC = %v", r.Method, r.AUC)
+		}
+		byName[r.Method] = r
+	}
+	// The subspace scorer must beat chance decisively on planted data.
+	if tail := byName["projection-sampled-tail"]; tail.AUC < 0.7 {
+		t.Errorf("tail AUC = %v, want >= 0.7", tail.AUC)
+	}
+	if !strings.Contains(FormatQuality(rows), "AUC") {
+		t.Error("FormatQuality missing header")
+	}
+}
+
+func TestRunQualityUnknownProfile(t *testing.T) {
+	if _, err := RunQuality(QualityOptions{Profile: "nope"}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestRunConvergence(t *testing.T) {
+	rows, err := RunConvergence(ConvergenceOptions{Seed: 1, Profile: "Machine", Generations: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("only %d generations traced", len(rows))
+	}
+	// Best-set quality is monotone non-increasing for both operators.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Optimized > rows[i-1].Optimized+1e-9 {
+			t.Errorf("optimized quality worsened at gen %d", i)
+		}
+		if rows[i].TwoPoint > rows[i-1].TwoPoint+1e-9 {
+			t.Errorf("two-point quality worsened at gen %d", i)
+		}
+		if rows[i].OptimizedEvals < rows[i-1].OptimizedEvals {
+			t.Errorf("optimized evals decreased at gen %d", i)
+		}
+	}
+	// The optimized operator's final quality is at least as good.
+	last := rows[len(rows)-1]
+	if last.Optimized > last.TwoPoint+0.3 {
+		t.Errorf("optimized final quality %.3f much worse than two-point %.3f",
+			last.Optimized, last.TwoPoint)
+	}
+	if !strings.Contains(FormatConvergence(rows), "Gen°(quality)") {
+		t.Error("FormatConvergence missing header")
+	}
+}
+
+func TestRunConvergenceUnknownProfile(t *testing.T) {
+	if _, err := RunConvergence(ConvergenceOptions{Profile: "nope"}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestShellVPPruningCollapses(t *testing.T) {
+	rows, err := RunShell(ShellOptions{Seed: 1, Dims: []int{2, 60}, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].VPPruneRate >= rows[0].VPPruneRate {
+		t.Errorf("VP pruning did not collapse: d=2 %.2f vs d=60 %.2f",
+			rows[0].VPPruneRate, rows[1].VPPruneRate)
+	}
+}

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// CSV renderings of every experiment, for spreadsheet/plotting
+// pipelines. Each writer emits a header row; durations are reported
+// in milliseconds, qualities and fractions as plain floats.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("bench: writing csv: %w", err)
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("bench: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ms(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Microseconds())/1000, 'f', 3, 64)
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Table1CSV writes the Table 1 rows.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	header := []string{"dataset", "d", "brute_ok", "brute_ms", "brute_quality",
+		"gen_ms", "gen_quality", "genopt_ms", "genopt_quality", "quality_match"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		bruteMS, bruteQ := "", ""
+		if r.BruteOK {
+			bruteMS, bruteQ = ms(r.BruteTime), f64(r.BruteQuality)
+		}
+		out = append(out, []string{
+			r.Profile.Name, strconv.Itoa(r.Profile.D),
+			strconv.FormatBool(r.BruteOK), bruteMS, bruteQ,
+			ms(r.GenTime), f64(r.GenQuality),
+			ms(r.GenOptTime), f64(r.GenOptQuality),
+			strconv.FormatBool(r.QualityMatch),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// Table2CSV writes the class-distribution rows.
+func Table2CSV(w io.Writer, rows []Table2Row) error {
+	header := []string{"case", "classes", "percentage"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case, fmt.Sprintf("%v", r.ClassCodes), f64(r.Percentage),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// ArrhythmiaCSV writes the rare-class study as one row.
+func ArrhythmiaCSV(w io.Writer, r *ArrhythmiaResult) error {
+	header := []string{"phi", "k", "threshold", "covered", "rare_covered",
+		"rare_knn", "rare_lof", "recording_error_found", "recording_error_sparsity"}
+	row := []string{
+		strconv.Itoa(r.Phi), strconv.Itoa(r.K), f64(r.Threshold),
+		strconv.Itoa(r.Covered), strconv.Itoa(r.RareCovered),
+		strconv.Itoa(r.RareKNN), strconv.Itoa(r.RareLOF),
+		strconv.FormatBool(r.RecordingErrorFound), f64(r.RecordingErrorSparsity),
+	}
+	return writeCSV(w, header, [][]string{row})
+}
+
+// ScalingCSV writes the scaling sweep.
+func ScalingCSV(w io.Writer, rows []ScalingRow) error {
+	header := []string{"d", "k", "phi", "space", "brute_ok", "brute_ms",
+		"brute_evals", "evo_ms", "evo_evals"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		bruteMS := ""
+		if r.BruteOK {
+			bruteMS = ms(r.BruteTime)
+		}
+		out = append(out, []string{
+			strconv.Itoa(r.D), strconv.Itoa(r.K), strconv.Itoa(r.Phi),
+			strconv.FormatUint(r.SpaceSize, 10),
+			strconv.FormatBool(r.BruteOK), bruteMS,
+			strconv.Itoa(r.BruteEvals), ms(r.EvoTime), strconv.Itoa(r.EvoEvals),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// ShellCSV writes the distance-concentration sweep.
+func ShellCSV(w io.Writer, rows []ShellRow) error {
+	header := []string{"d", "mean_nn", "min_nn", "max_nn", "rel_contrast",
+		"lambda_all", "lambda_none", "window_rel", "vp_prune_rate"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.D), f64(r.MeanNN), f64(r.MinNN), f64(r.MaxNN),
+			f64(r.RelContrast), f64(r.LambdaAll), f64(r.LambdaNone), f64(r.WindowRel),
+			f64(r.VPPruneRate),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// QualityCSV writes the detection-quality comparison.
+func QualityCSV(w io.Writer, rows []QualityRow) error {
+	header := []string{"method", "auc", "ap", "p_at_10"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Method, f64(r.AUC), f64(r.AP), f64(r.P10)})
+	}
+	return writeCSV(w, header, out)
+}
+
+// AblationCSV writes every ablation table into one file with a
+// section column.
+func AblationCSV(w io.Writer, r *AblationResult) error {
+	header := []string{"section", "variant", "quality", "recall", "time_ms", "extra"}
+	var out [][]string
+	for _, row := range r.Crossover {
+		out = append(out, []string{"crossover", row.Kind.String(),
+			f64(row.Quality), f64(row.Recall), ms(row.Time),
+			fmt.Sprintf("dejong=%v", row.Converge)})
+	}
+	for _, row := range r.Selection {
+		out = append(out, []string{"selection", row.Strategy.String(),
+			f64(row.Quality), f64(row.Recall), "", ""})
+	}
+	for _, row := range r.GridMethod {
+		out = append(out, []string{"grid", row.Method.String(),
+			f64(row.Quality), f64(row.Recall), "", ""})
+	}
+	for _, row := range r.PopSize {
+		out = append(out, []string{"popsize", strconv.Itoa(row.PopSize),
+			f64(row.Quality), "", ms(row.Time), ""})
+	}
+	for _, row := range r.Topology {
+		out = append(out, []string{"topology", row.Name,
+			f64(row.Quality), "", ms(row.Time),
+			fmt.Sprintf("distinct=%d evals=%d", row.Distinct, row.Evals)})
+	}
+	for _, row := range r.PhiSweep {
+		out = append(out, []string{"phi", strconv.Itoa(row.Phi),
+			f64(row.Quality), f64(row.Recall), "",
+			fmt.Sprintf("k=%d singletonS=%.3f", row.AdvisedK, row.SingletonSparsity)})
+	}
+	return writeCSV(w, header, out)
+}
+
+// WriteAllCSV runs every experiment and writes one CSV per experiment
+// into dir, returning the file paths. Table 1's brute budget follows
+// bruteBudget.
+func WriteAllCSV(dir string, seed uint64, bruteBudget time.Duration) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var paths []string
+	save := func(name string, fn func(io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		paths = append(paths, path)
+		return nil
+	}
+
+	t1, err := RunTable1(Table1Options{Seed: seed, BruteBudget: bruteBudget})
+	if err != nil {
+		return nil, err
+	}
+	if err := save("table1.csv", func(w io.Writer) error { return Table1CSV(w, t1) }); err != nil {
+		return nil, err
+	}
+	t2, err := RunTable2(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := save("table2.csv", func(w io.Writer) error { return Table2CSV(w, t2) }); err != nil {
+		return nil, err
+	}
+	arr, err := RunArrhythmia(ArrhythmiaOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := save("arrhythmia.csv", func(w io.Writer) error { return ArrhythmiaCSV(w, arr) }); err != nil {
+		return nil, err
+	}
+	sc, err := RunScaling(ScalingOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := save("scaling.csv", func(w io.Writer) error { return ScalingCSV(w, sc) }); err != nil {
+		return nil, err
+	}
+	sh, err := RunShell(ShellOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := save("shell.csv", func(w io.Writer) error { return ShellCSV(w, sh) }); err != nil {
+		return nil, err
+	}
+	ab, err := RunAblation(AblationOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := save("ablation.csv", func(w io.Writer) error { return AblationCSV(w, ab) }); err != nil {
+		return nil, err
+	}
+	q, err := RunQuality(QualityOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := save("quality.csv", func(w io.Writer) error { return QualityCSV(w, q) }); err != nil {
+		return nil, err
+	}
+	views := Figure1Views(seed)
+	for v, ds := range views {
+		name := fmt.Sprintf("figure1_view%d.csv", v+1)
+		if err := save(name, ds.WriteCSV); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}

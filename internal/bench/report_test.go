@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// parseCSV asserts the buffer is well-formed CSV with a header and at
+// least minRows data rows, returning the records.
+func parseCSV(t *testing.T, buf *bytes.Buffer, minRows int) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid csv: %v\n%s", err, buf.String())
+	}
+	if len(recs) < minRows+1 {
+		t.Fatalf("csv has %d rows, want >= %d\n%s", len(recs)-1, minRows, buf.String())
+	}
+	return recs
+}
+
+func TestTable1CSV(t *testing.T) {
+	rows, err := RunTable1(Table1Options{
+		Seed: 1, M: 5, BruteBudget: 20 * time.Second, Profiles: smallProfiles(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Table1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf, len(rows))
+	if recs[0][0] != "dataset" {
+		t.Errorf("header = %v", recs[0])
+	}
+	// Numeric fields must parse.
+	for _, rec := range recs[1:] {
+		if _, err := strconv.ParseFloat(rec[6], 64); err != nil {
+			t.Errorf("gen_quality %q not numeric", rec[6])
+		}
+	}
+}
+
+func TestTable2AndArrhythmiaCSV(t *testing.T) {
+	rows, err := RunTable2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Table2CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	parseCSV(t, &buf, 2)
+
+	arr := &ArrhythmiaResult{Phi: 6, K: 2, Threshold: -3, Covered: 100,
+		RareCovered: 50, RareKNN: 20, RareLOF: 18, RecordingErrorSparsity: -3.3}
+	buf.Reset()
+	if err := ArrhythmiaCSV(&buf, arr); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf, 1)
+	if recs[1][3] != "100" {
+		t.Errorf("covered column = %q", recs[1][3])
+	}
+}
+
+func TestScalingAndShellCSV(t *testing.T) {
+	sc, err := RunScaling(ScalingOptions{Seed: 1, Dims: []int{6, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ScalingCSV(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	parseCSV(t, &buf, 2)
+
+	sh, err := RunShell(ShellOptions{Seed: 1, Dims: []int{2, 10}, N: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := ShellCSV(&buf, sh); err != nil {
+		t.Fatal(err)
+	}
+	parseCSV(t, &buf, 2)
+}
+
+func TestAblationCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ab, err := RunAblation(AblationOptions{Seed: 1, Profile: "Machine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := AblationCSV(&buf, ab); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf, 10)
+	sections := map[string]bool{}
+	for _, rec := range recs[1:] {
+		sections[rec[0]] = true
+	}
+	for _, want := range []string{"crossover", "selection", "grid", "popsize", "topology", "phi"} {
+		if !sections[want] {
+			t.Errorf("section %q missing", want)
+		}
+	}
+}
+
+func TestWriteAllCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	paths, err := WriteAllCSV(dir, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 9 {
+		t.Fatalf("only %d files written: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil || info.Size() == 0 {
+			t.Errorf("file %s missing or empty", p)
+		}
+		if filepath.Dir(p) != dir {
+			t.Errorf("file %s outside target dir", p)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"hido/internal/core"
+	"hido/internal/cube"
+	"hido/internal/synth"
+)
+
+// ScalingRow is one dimensionality point of the combinatorial-scaling
+// experiment behind §3's argument that brute force is untenable: the
+// search space C(d,k)·φ^k against measured brute-force and
+// evolutionary cost.
+type ScalingRow struct {
+	D, K, Phi int
+	SpaceSize uint64
+
+	BruteOK    bool
+	BruteTime  time.Duration
+	BruteEvals int
+
+	EvoTime  time.Duration
+	EvoEvals int
+}
+
+// ScalingOptions configures the sweep.
+type ScalingOptions struct {
+	Seed uint64
+	// Dims lists the dimensionalities to sweep (default 8..24 step 4,
+	// plus the paper's d=20 reference point).
+	Dims []int
+	// K and Phi fix the projection parameters (defaults 3 and 6).
+	K, Phi int
+	// N is the record count (default 500).
+	N int
+	// BruteBudget bounds each brute-force run (default 5s).
+	BruteBudget time.Duration
+}
+
+func (o ScalingOptions) withDefaults() ScalingOptions {
+	if o.Dims == nil {
+		o.Dims = []int{8, 12, 16, 20, 24}
+	}
+	if o.K == 0 {
+		o.K = 3
+	}
+	if o.Phi == 0 {
+		o.Phi = 6
+	}
+	if o.N == 0 {
+		o.N = 500
+	}
+	if o.BruteBudget == 0 {
+		o.BruteBudget = 5 * time.Second
+	}
+	return o
+}
+
+// RunScaling measures brute-force vs evolutionary cost as the data
+// dimensionality grows.
+func RunScaling(opt ScalingOptions) ([]ScalingRow, error) {
+	opt = opt.withDefaults()
+	rows := make([]ScalingRow, 0, len(opt.Dims))
+	for _, d := range opt.Dims {
+		ds, err := synth.Generate(synth.Config{
+			Name: fmt.Sprintf("scale-d%d", d), N: opt.N, D: d,
+			Groups:   []synth.Group{{Dims: []int{0, 1, 2}}},
+			Outliers: 3,
+		}, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		det := core.NewDetector(ds, opt.Phi)
+		row := ScalingRow{D: d, K: opt.K, Phi: opt.Phi,
+			SpaceSize: cube.SpaceSize(d, opt.K, opt.Phi)}
+
+		res, err := det.BruteForce(core.BruteForceOptions{
+			K: opt.K, M: 10, MaxDuration: opt.BruteBudget,
+		})
+		switch {
+		case errors.Is(err, core.ErrBudgetExceeded):
+			row.BruteOK = false
+			row.BruteEvals = res.Evaluations
+		case err != nil:
+			return nil, err
+		default:
+			row.BruteOK = true
+			row.BruteTime = res.Elapsed
+			row.BruteEvals = res.Evaluations
+		}
+
+		evo, err := det.Evolutionary(core.EvoOptions{K: opt.K, M: 10, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row.EvoTime = evo.Elapsed
+		row.EvoEvals = evo.Evaluations
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PaperCombinatoricsClaim returns the paper's example: at d=20, k=4,
+// φ=10 the space holds C(20,4)·10⁴ ≈ 4.8·10⁷ candidates ("7·10⁷" in
+// the paper's rounding).
+func PaperCombinatoricsClaim() uint64 {
+	return cube.SpaceSize(20, 4, 10)
+}
+
+// FormatScaling renders the sweep.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %12s %12s %12s %12s %12s\n",
+		"d", "space", "brute(ms)", "bruteEvals", "evo(ms)", "evoEvals")
+	for _, r := range rows {
+		brute := "-"
+		if r.BruteOK {
+			brute = fmt.Sprintf("%.0f", float64(r.BruteTime.Microseconds())/1000)
+		}
+		fmt.Fprintf(&b, "%6d %12d %12s %12d %12.0f %12d\n",
+			r.D, r.SpaceSize, brute, r.BruteEvals,
+			float64(r.EvoTime.Microseconds())/1000, r.EvoEvals)
+	}
+	fmt.Fprintf(&b, "paper's reference point: C(20,4)*10^4 = %d\n", PaperCombinatoricsClaim())
+	return b.String()
+}

@@ -1,0 +1,170 @@
+// Package bench drives the reproduction of every table and figure in
+// the paper's evaluation (§3): Table 1 (brute force vs the two
+// evolutionary variants on five data sets), Table 2 and the arrhythmia
+// rare-class study, the Figure 1 subspace-visibility demonstration,
+// the Boston-housing interpretability case study, the combinatorial
+// scaling argument, and this reproduction's own ablations.
+//
+// Every experiment is deterministic per seed and returns a structured
+// result plus a text rendering, so the same drivers back the
+// hidobench CLI, the root-level testing.B benchmarks, and the
+// EXPERIMENTS.md record.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"hido/internal/core"
+	"hido/internal/synth"
+)
+
+// Table1Options configures the Table 1 reproduction.
+type Table1Options struct {
+	// Seed drives data generation and the evolutionary searches.
+	Seed uint64
+	// M is the number of best projections tracked (the paper uses 20).
+	M int
+	// BruteBudget bounds each brute-force run; runs that exceed it are
+	// reported as the paper reports musk: no time, no quality ("-").
+	BruteBudget time.Duration
+	// Profiles defaults to the paper's five data sets.
+	Profiles []synth.Profile
+	// SkipBruteAboveD skips brute force entirely for data sets with
+	// more dimensions (0 = never skip; the budget still applies).
+	SkipBruteAboveD int
+}
+
+func (o Table1Options) withDefaults() Table1Options {
+	if o.M == 0 {
+		o.M = 20
+	}
+	if o.BruteBudget == 0 {
+		o.BruteBudget = 30 * time.Second
+	}
+	if o.Profiles == nil {
+		o.Profiles = synth.Table1Profiles()
+	}
+	return o
+}
+
+// Table1Row is one data-set row of Table 1: wall time and mean
+// sparsity quality of the best M non-empty projections for the brute
+// force, the two-point GA ("Gen"), and the optimized-crossover GA
+// ("Gen°").
+type Table1Row struct {
+	Profile synth.Profile
+
+	BruteOK      bool // false → "-" (budget exceeded, as for musk)
+	BruteTime    time.Duration
+	BruteQuality float64
+	BruteEvals   int
+
+	GenTime    time.Duration
+	GenQuality float64
+	GenEvals   int
+
+	GenOptTime    time.Duration
+	GenOptQuality float64
+	GenOptEvals   int
+
+	// QualityMatch marks rows where the optimized GA attains the
+	// brute-force optimum (the paper's "*" annotation).
+	QualityMatch bool
+}
+
+// RunTable1 regenerates Table 1.
+func RunTable1(opt Table1Options) ([]Table1Row, error) {
+	opt = opt.withDefaults()
+	rows := make([]Table1Row, 0, len(opt.Profiles))
+	for _, p := range opt.Profiles {
+		row, err := runTable1Row(p, opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: profile %s: %w", p.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runTable1Row(p synth.Profile, opt Table1Options) (Table1Row, error) {
+	row := Table1Row{Profile: p}
+	ds, err := p.Generate(opt.Seed)
+	if err != nil {
+		return row, err
+	}
+	det := core.NewDetector(ds, p.Phi)
+
+	if opt.SkipBruteAboveD == 0 || p.D <= opt.SkipBruteAboveD {
+		res, err := det.BruteForce(core.BruteForceOptions{
+			K: p.K, M: opt.M, MaxDuration: opt.BruteBudget,
+		})
+		switch {
+		case errors.Is(err, core.ErrBudgetExceeded):
+			row.BruteOK = false
+			row.BruteEvals = res.Evaluations
+		case err != nil:
+			return row, err
+		default:
+			row.BruteOK = true
+			row.BruteTime = res.Elapsed
+			row.BruteQuality = res.Quality()
+			row.BruteEvals = res.Evaluations
+		}
+	}
+
+	gen, err := det.Evolutionary(core.EvoOptions{
+		K: p.K, M: opt.M, Seed: opt.Seed, Crossover: core.TwoPointCrossover,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.GenTime = gen.Elapsed
+	row.GenQuality = gen.Quality()
+	row.GenEvals = gen.Evaluations
+
+	genOpt, err := det.Evolutionary(core.EvoOptions{
+		K: p.K, M: opt.M, Seed: opt.Seed, Crossover: core.OptimizedCrossover,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.GenOptTime = genOpt.Elapsed
+	row.GenOptQuality = genOpt.Quality()
+	row.GenOptEvals = genOpt.Evaluations
+
+	if row.BruteOK && !math.IsNaN(row.GenOptQuality) &&
+		math.Abs(row.GenOptQuality-row.BruteQuality) < 5e-3 {
+		row.QualityMatch = true
+	}
+	return row, nil
+}
+
+// FormatTable1 renders the rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %12s %12s %12s\n",
+		"Data Set", "Brute(ms)", "Gen(ms)", "Gen°(ms)",
+		"Brute(qual)", "Gen(qual)", "Gen°(qual)")
+	for _, r := range rows {
+		bruteT, bruteQ := "-", "-"
+		if r.BruteOK {
+			bruteT = fmt.Sprintf("%.0f", float64(r.BruteTime.Microseconds())/1000)
+			bruteQ = fmt.Sprintf("%.2f", r.BruteQuality)
+		}
+		mark := ""
+		if r.QualityMatch {
+			mark = " (*)"
+		}
+		fmt.Fprintf(&b, "%-22s %10s %10.0f %10.0f %12s %12.2f %9.2f%s\n",
+			fmt.Sprintf("%s (%d)", r.Profile.Name, r.Profile.D),
+			bruteT,
+			float64(r.GenTime.Microseconds())/1000,
+			float64(r.GenOptTime.Microseconds())/1000,
+			bruteQ, r.GenQuality, r.GenOptQuality, mark)
+	}
+	return b.String()
+}

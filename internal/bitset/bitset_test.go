@@ -1,0 +1,398 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		s := New(n)
+		if s.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, s.Len())
+		}
+		if s.Count() != 0 {
+			t.Errorf("New(%d).Count() = %d, want 0", n, s.Count())
+		}
+		if s.Any() {
+			t.Errorf("New(%d).Any() = true", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		s.Clear(i)
+		if s.Test(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, fn := range map[string]func(){
+		"Set(10)":   func() { s.Set(10) },
+		"Set(-1)":   func() { s.Set(-1) },
+		"Test(10)":  func() { s.Test(10) },
+		"Clear(10)": func() { s.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := New(200)
+	want := 0
+	for i := 0; i < 200; i += 3 {
+		s.Set(i)
+		want++
+	}
+	if got := s.Count(); got != want {
+		t.Errorf("Count() = %d, want %d", got, want)
+	}
+}
+
+func TestFillRespectsCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if got := s.Count(); got != n {
+			t.Errorf("Fill on capacity %d: Count() = %d", n, got)
+		}
+	}
+}
+
+func TestResetClearsAll(t *testing.T) {
+	s := New(100)
+	s.Fill()
+	s.Reset()
+	if s.Any() {
+		t.Error("Any() = true after Reset")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := FromIndices(100, []int{1, 5, 99})
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Set(50)
+	if s.Test(50) {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	s := FromIndices(70, []int{3, 69})
+	d := New(70)
+	d.CopyFrom(s)
+	if !d.Equal(s) {
+		t.Error("CopyFrom did not copy contents")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	a, b := New(64), New(65)
+	for name, fn := range map[string]func(){
+		"And":            func() { a.And(b) },
+		"Or":             func() { a.Or(b) },
+		"Xor":            func() { a.Xor(b) },
+		"AndNot":         func() { a.AndNot(b) },
+		"IntersectCount": func() { a.IntersectCount(b) },
+		"CopyFrom":       func() { a.CopyFrom(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched capacity did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromIndices(100, []int{1, 2, 3, 50, 99})
+	b := FromIndices(100, []int{2, 3, 4, 99})
+
+	and := a.Clone()
+	and.And(b)
+	if got, want := and.Indices(), []int{2, 3, 99}; !equalInts(got, want) {
+		t.Errorf("And = %v, want %v", got, want)
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if got, want := or.Indices(), []int{1, 2, 3, 4, 50, 99}; !equalInts(got, want) {
+		t.Errorf("Or = %v, want %v", got, want)
+	}
+
+	andnot := a.Clone()
+	andnot.AndNot(b)
+	if got, want := andnot.Indices(), []int{1, 50}; !equalInts(got, want) {
+		t.Errorf("AndNot = %v, want %v", got, want)
+	}
+
+	xor := a.Clone()
+	xor.Xor(b)
+	if got, want := xor.Indices(), []int{1, 4, 50}; !equalInts(got, want) {
+		t.Errorf("Xor = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectCountMatchesAnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		want := a.Clone()
+		want.And(b)
+		if got := a.IntersectCount(b); got != want.Count() {
+			t.Fatalf("n=%d: IntersectCount = %d, want %d", n, got, want.Count())
+		}
+	}
+}
+
+func TestIndicesRoundTrip(t *testing.T) {
+	idx := []int{0, 7, 63, 64, 128, 199}
+	s := FromIndices(200, idx)
+	if got := s.Indices(); !equalInts(got, idx) {
+		t.Errorf("Indices() = %v, want %v", got, idx)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(100, []int{10, 20, 30})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if !equalInts(seen, []int{10, 20}) {
+		t.Errorf("ForEach early stop saw %v", seen)
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := FromIndices(200, []int{5, 64, 190})
+	cases := []struct{ from, want int }{
+		{-3, 5}, {0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 190},
+		{190, 190}, {191, -1}, {200, -1}, {500, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestIntersectCountMany(t *testing.T) {
+	a := FromIndices(128, []int{1, 2, 3, 4, 100})
+	b := FromIndices(128, []int{2, 3, 4, 100, 101})
+	c := FromIndices(128, []int{3, 4, 100, 127})
+	if got := IntersectCountMany(nil); got != 0 {
+		t.Errorf("IntersectCountMany(nil) = %d", got)
+	}
+	if got := IntersectCountMany([]*Set{a}); got != 5 {
+		t.Errorf("one set: %d, want 5", got)
+	}
+	if got := IntersectCountMany([]*Set{a, b}); got != 4 {
+		t.Errorf("two sets: %d, want 4", got)
+	}
+	if got := IntersectCountMany([]*Set{a, b, c}); got != 3 {
+		t.Errorf("three sets: %d, want 3", got)
+	}
+}
+
+func TestIntersectInto(t *testing.T) {
+	a := FromIndices(64, []int{1, 2, 3})
+	b := FromIndices(64, []int{2, 3, 4})
+	dst := New(64)
+	if got := IntersectInto(dst, []*Set{a, b}); got != 2 {
+		t.Errorf("IntersectInto count = %d, want 2", got)
+	}
+	if got := dst.Indices(); !equalInts(got, []int{2, 3}) {
+		t.Errorf("dst = %v, want [2 3]", got)
+	}
+	if got := IntersectInto(dst, nil); got != 0 || dst.Any() {
+		t.Errorf("IntersectInto(nil) left dst=%v count=%d", dst.Indices(), got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromIndices(10, []int{1, 3})
+	if got := s.String(); got != "{1 3}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := New(5).String(); got != "{}" {
+		t.Errorf("empty String() = %q", got)
+	}
+}
+
+// Property: for random index sets, the set behaves like a map[int]bool.
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 1 << 16
+		s := New(n)
+		ref := map[int]bool{}
+		for _, r := range raw {
+			i := int(r)
+			if ref[i] {
+				s.Clear(i)
+				delete(ref, i)
+			} else {
+				s.Set(i)
+				ref[i] = true
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if !s.Test(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan over AND/OR via XOR identity a^b = (a|b) &^ (a&b).
+func TestQuickXorIdentity(t *testing.T) {
+	f := func(ai, bi []uint8) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, i := range ai {
+			a.Set(int(i))
+		}
+		for _, i := range bi {
+			b.Set(int(i))
+		}
+		left := a.Clone()
+		left.Xor(b)
+		union := a.Clone()
+		union.Or(b)
+		inter := a.Clone()
+		inter.And(b)
+		union.AndNot(inter)
+		return left.Equal(union)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection count is commutative and bounded.
+func TestQuickIntersectBounds(t *testing.T) {
+	f := func(ai, bi []uint8) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, i := range ai {
+			a.Set(int(i))
+		}
+		for _, i := range bi {
+			b.Set(int(i))
+		}
+		ab, ba := a.IntersectCount(b), b.IntersectCount(a)
+		if ab != ba {
+			return false
+		}
+		min := a.Count()
+		if bc := b.Count(); bc < min {
+			min = bc
+		}
+		return ab <= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkIntersectCount(b *testing.B) {
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	x, y := New(n), New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(10) == 0 {
+			x.Set(i)
+		}
+		if rng.Intn(10) == 0 {
+			y.Set(i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.IntersectCount(y)
+	}
+}
+
+func BenchmarkIntersectCountMany4(b *testing.B) {
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	sets := make([]*Set, 4)
+	for j := range sets {
+		sets[j] = New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(10) == 0 {
+				sets[j].Set(i)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = IntersectCountMany(sets)
+	}
+}

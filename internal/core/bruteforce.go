@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"hido/internal/bitset"
+	"hido/internal/cube"
+	"hido/internal/evo"
+)
+
+// ErrBudgetExceeded reports that brute force hit its candidate or time
+// budget before finishing the enumeration; the returned Result holds
+// the best projections found so far. The paper's Table 1 reports "-"
+// for the musk data set for exactly this reason: at d=160 the space
+// C(d,k)·φ^k is astronomically large.
+var ErrBudgetExceeded = errors.New("core: brute-force budget exceeded")
+
+// BruteForceOptions configures Figure 2's exhaustive search.
+type BruteForceOptions struct {
+	// K is the projection dimensionality; M the number of projections
+	// to retain.
+	K, M int
+	// MinCoverage excludes cubes covering fewer records from the result
+	// set. Zero selects the default of 1 — the paper reports the best
+	// "non-empty" projections; a negative value admits empty cubes.
+	MinCoverage int
+	// MaxCandidates aborts after evaluating this many k-dimensional
+	// cubes (0 = unlimited).
+	MaxCandidates uint64
+	// MaxDuration aborts after this much wall-clock time (0 = unlimited).
+	MaxDuration time.Duration
+}
+
+// BruteForce enumerates every k-dimensional cube — the candidate sets
+// R_i of Figure 2, built as R_{i−1} ⊕ Q_1 with dimensions taken in
+// increasing order so each cube is generated exactly once — and
+// retains the M with the most negative sparsity coefficients.
+//
+// The enumeration is depth-first with an incrementally maintained
+// record bitmap per level, so a leaf costs one bitmap intersection
+// count. If a budget is exceeded, the partial result is returned along
+// with ErrBudgetExceeded.
+func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
+	if err := d.validateKM(opt.K, opt.M); err != nil {
+		return nil, err
+	}
+	if opt.MinCoverage == 0 {
+		opt.MinCoverage = 1
+	} else if opt.MinCoverage < 0 {
+		opt.MinCoverage = 0
+	}
+	start := time.Now()
+	var deadline time.Time
+	if opt.MaxDuration > 0 {
+		deadline = start.Add(opt.MaxDuration)
+	}
+
+	bs := evo.NewBestSet(opt.M)
+	res := &Result{}
+	k := opt.K
+
+	// partial[i] holds the record set of the first i constraints.
+	partials := make([]*bitset.Set, k)
+	for i := range partials {
+		partials[i] = bitset.New(d.N())
+	}
+	c := cube.New(d.D())
+	evaluated := uint64(0)
+	budgetHit := false
+
+	// checkBudget is sampled every budgetStride leaves to keep the
+	// time.Now() overhead out of the inner loop.
+	const budgetStride = 4096
+	sinceCheck := 0
+
+	var rec func(depth, startDim int, parent *bitset.Set) bool
+	rec = func(depth, startDim int, parent *bitset.Set) bool {
+		lastLevel := depth == k-1
+		for j := startDim; j <= d.D()-(k-depth); j++ {
+			for r := 1; r <= d.Phi(); r++ {
+				if lastLevel {
+					var n int
+					if parent == nil {
+						// k == 1: the range bitmap itself is the cube.
+						n = d.Index.RangeSet(j, uint16(r)).Count()
+					} else {
+						n = d.Index.ExtendCount(parent, j, uint16(r))
+					}
+					evaluated++
+					if n >= opt.MinCoverage {
+						c[j] = uint16(r)
+						s := d.Index.SparsityOf(n, k)
+						if s < bs.Worst() {
+							bs.Offer(evo.Genome(c), s)
+						}
+						c[j] = cube.DontCare
+					}
+					if opt.MaxCandidates > 0 && evaluated >= opt.MaxCandidates {
+						budgetHit = true
+						return false
+					}
+					sinceCheck++
+					if sinceCheck >= budgetStride {
+						sinceCheck = 0
+						if !deadline.IsZero() && time.Now().After(deadline) {
+							budgetHit = true
+							return false
+						}
+					}
+					continue
+				}
+				// Interior level: materialize the partial record set.
+				next := partials[depth]
+				if parent == nil {
+					next.CopyFrom(d.Index.RangeSet(j, uint16(r)))
+				} else {
+					next.CopyFrom(parent)
+					next.And(d.Index.RangeSet(j, uint16(r)))
+				}
+				c[j] = uint16(r)
+				ok := rec(depth+1, j+1, next)
+				c[j] = cube.DontCare
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(0, 0, nil)
+
+	res.Evaluations = int(evaluated)
+	d.finalize(bs, res)
+	res.Elapsed = time.Since(start)
+	if budgetHit {
+		return res, ErrBudgetExceeded
+	}
+	return res, nil
+}

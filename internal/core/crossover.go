@@ -1,0 +1,261 @@
+package core
+
+import (
+	"hido/internal/bitset"
+	"hido/internal/cube"
+	"hido/internal/evo"
+)
+
+// crossoverAll matches the population pairwise and replaces each pair
+// with its two children (Figure 5's outer loop).
+func (s *search) crossoverAll(pop *evo.Population) {
+	for _, pair := range pop.Pairs(s.rng) {
+		a, b := pop.Members[pair[0]], pop.Members[pair[1]]
+		var ca, cb evo.Genome
+		switch s.opt.Crossover {
+		case OptimizedCrossover:
+			ca, cb = s.recombine(a, b)
+		case TwoPointCrossover:
+			ca, cb = s.twoPoint(a, b)
+		default:
+			panic("core: unknown crossover kind")
+		}
+		pop.Members[pair[0]], pop.Members[pair[1]] = ca, cb
+		// Fitness is stale until re-evaluated by the caller.
+	}
+}
+
+// twoPoint is the unbiased baseline: exchange the segments to the
+// right of a uniformly random cut point. Following the paper's
+// example (3*2*1 × 1*33* → 3*23* and 1*3*1), the cut falls strictly
+// inside the string. Children of the wrong dimensionality survive
+// into the population and are penalized by evaluate.
+func (s *search) twoPoint(a, b evo.Genome) (evo.Genome, evo.Genome) {
+	d := len(a)
+	ca, cb := a.Clone(), b.Clone()
+	if d < 2 {
+		return ca, cb
+	}
+	cut := s.rng.IntRange(1, d-1)
+	for j := cut; j < d; j++ {
+		ca[j], cb[j] = cb[j], ca[j]
+	}
+	return ca, cb
+}
+
+// recombine implements the optimized crossover of Figure 5 on two
+// feasible parents. Positions are classified per §2.2:
+//
+//	Type I   — both parents '*': the children inherit '*'.
+//	Type II  — neither parent '*' (k' positions): the 2^k'' value
+//	           combinations over the k'' positions where the parents
+//	           disagree are searched exhaustively for the lowest count
+//	           (equivalently, at fixed dimensionality, the most
+//	           negative sparsity coefficient).
+//	Type III — exactly one parent '*' (2·(k−k') positions, disjoint
+//	           between the parents): the first child is extended
+//	           greedily, always adding the position whose range yields
+//	           the most negative sparsity coefficient, until it has k
+//	           positions.
+//
+// The second child is complementary: at every position it derives from
+// the opposite parent than the first child did, which makes it, too, a
+// k-dimensional projection.
+//
+// If either parent is infeasible (dimensionality ≠ k — possible only
+// when resuming from a two-point population), the operator degrades to
+// the two-point baseline, which is defined for any pair.
+func (s *search) recombine(a, b evo.Genome) (evo.Genome, evo.Genome) {
+	k := s.opt.K
+	ca, cb := cube.Cube(a), cube.Cube(b)
+	if ca.K() != k || cb.K() != k {
+		return s.twoPoint(a, b)
+	}
+
+	var typeIIEqual, typeIIDiff []int // both non-*, equal / differing values
+	var typeIII []int                 // exactly one non-*
+	for j := range a {
+		av, bv := a[j], b[j]
+		switch {
+		case av != cube.DontCare && bv != cube.DontCare:
+			if av == bv {
+				typeIIEqual = append(typeIIEqual, j)
+			} else {
+				typeIIDiff = append(typeIIDiff, j)
+			}
+		case av != cube.DontCare || bv != cube.DontCare:
+			typeIII = append(typeIII, j)
+		}
+	}
+
+	child := make(evo.Genome, len(a))
+	// fromA[j] records which parent child position j derives from, so
+	// the complementary child can invert the derivation.
+	fromA := make([]bool, len(a))
+
+	// Type II, equal values: either parent works; attribute to A.
+	for _, j := range typeIIEqual {
+		child[j] = a[j]
+		fromA[j] = true
+	}
+
+	// Type II, differing values: exhaustive search for the combination
+	// with the lowest record count. The partial record set is threaded
+	// through a DFS so shared prefixes cost one intersection each.
+	partial := bitset.New(s.d.N())
+	s.bestTypeII(child, fromA, typeIIEqual, typeIIDiff, a, b, partial)
+
+	// partial now holds the record set of the chosen Type II prefix;
+	// extend greedily over the Type III candidates.
+	s.greedyTypeIII(child, fromA, typeIII, a, b, partial, k)
+
+	// Complementary child: derive every position from the other parent.
+	comp := make(evo.Genome, len(a))
+	for j := range comp {
+		if fromA[j] {
+			comp[j] = b[j]
+		} else {
+			comp[j] = a[j]
+		}
+	}
+	return child, comp
+}
+
+// bestTypeII fills child's Type II positions. Equal-valued positions
+// are fixed already; differing ones are searched exhaustively (up to
+// the configured limit, greedily beyond it). On return, partial holds
+// the record set of all Type II constraints.
+func (s *search) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int, a, b evo.Genome, partial *bitset.Set) {
+	// Seed the partial set with the equal-valued constraints.
+	partial.Fill()
+	for _, j := range equal {
+		partial.And(s.d.Index.RangeSet(j, child[j]))
+	}
+	if len(diff) == 0 {
+		return
+	}
+
+	if len(diff) > s.opt.TypeIIExhaustiveLimit {
+		// Fallback: resolve each differing position independently by
+		// marginal count. Keeps the operator polynomial for adversarial
+		// k'; the paper's observation is that k' is typically small, so
+		// this path is rare.
+		for _, j := range diff {
+			s.evals++
+			na := s.d.Index.ExtendCount(partial, j, a[j])
+			s.evals++
+			nb := s.d.Index.ExtendCount(partial, j, b[j])
+			if na <= nb {
+				child[j] = a[j]
+				fromA[j] = true
+			} else {
+				child[j] = b[j]
+			}
+			partial.And(s.d.Index.RangeSet(j, child[j]))
+		}
+		return
+	}
+
+	// Exhaustive DFS over the 2^k'' assignments, sharing prefix
+	// intersections. Scratch bitmaps per depth avoid allocation churn.
+	scratch := make([]*bitset.Set, len(diff))
+	for i := range scratch {
+		scratch[i] = bitset.New(s.d.N())
+	}
+	bestCount := -1
+	bestMask := 0
+	var dfs func(depth, mask int, cur *bitset.Set)
+	dfs = func(depth, mask int, cur *bitset.Set) {
+		if depth == len(diff) {
+			n := cur.Count()
+			s.evals++
+			if bestCount < 0 || n < bestCount {
+				bestCount = n
+				bestMask = mask
+			}
+			return
+		}
+		j := diff[depth]
+		next := scratch[depth]
+		// take parent A's value
+		next.CopyFrom(cur)
+		next.And(s.d.Index.RangeSet(j, a[j]))
+		dfs(depth+1, mask|1<<depth, next)
+		// take parent B's value
+		next.CopyFrom(cur)
+		next.And(s.d.Index.RangeSet(j, b[j]))
+		dfs(depth+1, mask, next)
+	}
+	dfs(0, 0, partial)
+
+	for i, j := range diff {
+		if bestMask&(1<<i) != 0 {
+			child[j] = a[j]
+			fromA[j] = true
+		} else {
+			child[j] = b[j]
+		}
+		partial.And(s.d.Index.RangeSet(j, child[j]))
+	}
+}
+
+// greedyTypeIII extends child from the Type III candidate positions —
+// at each position exactly one parent carries a range — always picking
+// the candidate whose added constraint leaves the fewest records
+// (most negative sparsity at the resulting dimensionality), until the
+// child has k constrained positions. Ties break uniformly at random so
+// repeated crossovers explore distinct optima.
+func (s *search) greedyTypeIII(child evo.Genome, fromA []bool, typeIII []int, a, b evo.Genome, partial *bitset.Set, k int) {
+	type cand struct {
+		pos   int
+		rng   uint16
+		fromA bool
+	}
+	cands := make([]cand, 0, len(typeIII))
+	for _, j := range typeIII {
+		if a[j] != cube.DontCare {
+			cands = append(cands, cand{j, a[j], true})
+		} else {
+			cands = append(cands, cand{j, b[j], false})
+		}
+	}
+	need := k - cube.Cube(child).K()
+	for t := 0; t < need; t++ {
+		bestIdx := -1
+		bestCount := -1
+		nbest := 0
+		for ci, c := range cands {
+			if c.pos < 0 {
+				continue // consumed
+			}
+			s.evals++
+			n := s.d.Index.ExtendCount(partial, c.pos, c.rng)
+			switch {
+			case bestIdx < 0 || n < bestCount:
+				bestIdx, bestCount, nbest = ci, n, 1
+			case n == bestCount:
+				// Reservoir-style uniform tie-break.
+				nbest++
+				if s.rng.Intn(nbest) == 0 {
+					bestIdx = ci
+				}
+			}
+		}
+		if bestIdx < 0 {
+			break // fewer candidates than needed: parents were infeasible
+		}
+		c := cands[bestIdx]
+		child[c.pos] = c.rng
+		fromA[c.pos] = c.fromA
+		partial.And(s.d.Index.RangeSet(c.pos, c.rng))
+		cands[bestIdx].pos = -1
+	}
+	// Positions not chosen keep DontCare in child; their derivation
+	// flag must point at the parent whose entry is '*' there, so the
+	// complementary child picks up the other parent's range.
+	for _, c := range cands {
+		if c.pos >= 0 {
+			fromA[c.pos] = !c.fromA
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hido/internal/cube"
+	"hido/internal/evo"
+	"hido/internal/xrand"
+)
+
+// CrossoverKind selects the recombination operator (§2.2).
+type CrossoverKind int
+
+const (
+	// OptimizedCrossover is the paper's problem-specific operator
+	// (Figure 5): exhaustive search over the Type II positions, greedy
+	// extension over the Type III positions, complementary second
+	// child. Children are always feasible k-dimensional projections.
+	OptimizedCrossover CrossoverKind = iota
+	// TwoPointCrossover is the unbiased baseline: swap the segments to
+	// the right of a random cut point. Children may be infeasible
+	// (wrong dimensionality) and then receive the worst fitness.
+	TwoPointCrossover
+)
+
+func (c CrossoverKind) String() string {
+	switch c {
+	case OptimizedCrossover:
+		return "optimized"
+	case TwoPointCrossover:
+		return "two-point"
+	default:
+		return fmt.Sprintf("CrossoverKind(%d)", int(c))
+	}
+}
+
+// EvoOptions configures Figure 3's evolutionary search. Zero values
+// select the documented defaults.
+type EvoOptions struct {
+	// K is the projection dimensionality; M the number of projections
+	// to retain. Required.
+	K, M int
+	// PopSize is the population size p (default 100).
+	PopSize int
+	// Crossover selects the recombination operator (default optimized).
+	Crossover CrossoverKind
+	// Selection selects the parent-sampling strategy (default the
+	// paper's rank roulette).
+	Selection evo.Selection
+	// MutateP1 and MutateP2 are the per-string probabilities of the
+	// Type I (dimension swap) and Type II (range change) mutations of
+	// Figure 6. The paper sets p1 = p2; zero selects the default of
+	// 0.3 each, a negative value disables that mutation type.
+	MutateP1, MutateP2 float64
+	// MaxGenerations caps the search (default 300).
+	MaxGenerations int
+	// Patience stops the search after this many generations without a
+	// best-set improvement (default 40; 0 keeps the default, negative
+	// disables).
+	Patience int
+	// MinCoverage excludes cubes covering fewer records from the result
+	// set (zero selects the default of 1 — the paper's non-empty
+	// projections; negative admits empty cubes). Population dynamics
+	// are unaffected; sparser-than-covered cubes still steer the search.
+	MinCoverage int
+	// TypeIIExhaustiveLimit caps the exhaustive 2^k'' search over
+	// differing Type II positions; beyond it each position is resolved
+	// greedily. The paper notes k' is typically small. Default 16.
+	TypeIIExhaustiveLimit int
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed uint64
+	// OnGeneration, when set, observes per-generation statistics.
+	OnGeneration func(evo.Stats)
+}
+
+func (o EvoOptions) withDefaults() EvoOptions {
+	if o.PopSize == 0 {
+		o.PopSize = 100
+	}
+	switch {
+	case o.MutateP1 == 0:
+		o.MutateP1 = 0.3
+	case o.MutateP1 < 0:
+		o.MutateP1 = 0
+	}
+	switch {
+	case o.MutateP2 == 0:
+		o.MutateP2 = 0.3
+	case o.MutateP2 < 0:
+		o.MutateP2 = 0
+	}
+	if o.MaxGenerations == 0 {
+		o.MaxGenerations = 300
+	}
+	if o.Patience == 0 {
+		o.Patience = 40
+	}
+	switch {
+	case o.MinCoverage == 0:
+		o.MinCoverage = 1
+	case o.MinCoverage < 0:
+		o.MinCoverage = 0
+	}
+	if o.TypeIIExhaustiveLimit == 0 {
+		o.TypeIIExhaustiveLimit = 16
+	}
+	return o
+}
+
+// search carries the mutable state of one evolutionary run.
+type search struct {
+	d     *Detector
+	opt   EvoOptions
+	rng   *xrand.RNG
+	bs    *evo.BestSet
+	cache map[string]fitEntry
+	evals int
+}
+
+type fitEntry struct {
+	sparsity float64
+	count    int
+}
+
+// Evolutionary runs the genetic search of Figure 3 and returns the M
+// best projections with their covered points.
+func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
+	if err := d.validateKM(opt.K, opt.M); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	if opt.PopSize < 2 {
+		return nil, fmt.Errorf("core: population size %d too small", opt.PopSize)
+	}
+	if opt.MutateP1 < 0 || opt.MutateP1 > 1 || opt.MutateP2 < 0 || opt.MutateP2 > 1 {
+		return nil, fmt.Errorf("core: mutation probabilities (%v, %v) outside [0,1]",
+			opt.MutateP1, opt.MutateP2)
+	}
+	start := time.Now()
+
+	s := &search{
+		d:     d,
+		opt:   opt,
+		rng:   xrand.New(opt.Seed),
+		bs:    evo.NewBestSet(opt.M),
+		cache: make(map[string]fitEntry),
+	}
+
+	pop := evo.NewPopulation(opt.PopSize, d.D())
+	for i := range pop.Members {
+		s.randomGenome(pop.Members[i])
+		pop.Fitness[i] = s.evaluate(pop.Members[i])
+	}
+
+	res := &Result{}
+	stall := 0
+	gen := 0
+	for ; gen < opt.MaxGenerations; gen++ {
+		pop.Select(opt.Selection, s.rng)
+		s.crossoverAll(pop)
+		s.mutateAll(pop)
+		improved := false
+		for i := range pop.Members {
+			pop.Fitness[i] = s.evaluate(pop.Members[i])
+			if s.offer(pop.Members[i], pop.Fitness[i]) {
+				improved = true
+			}
+		}
+		if opt.OnGeneration != nil {
+			st := pop.Snapshot(gen)
+			st.Evaluated = s.evals
+			st.BestSoFar = s.bs.MeanFitness()
+			if e := s.bs.Entries(); len(e) > 0 {
+				st.BestString = cube.Cube(e[0].Genome).String()
+			}
+			opt.OnGeneration(st)
+		}
+		if improved {
+			stall = 0
+		} else {
+			stall++
+		}
+		if pop.Converged() {
+			res.ConvergedDeJong = true
+			gen++
+			break
+		}
+		if opt.Patience > 0 && stall >= opt.Patience {
+			gen++
+			break
+		}
+	}
+
+	res.Generations = gen
+	res.Evaluations = s.evals
+	d.finalize(s.bs, res)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// randomGenome fills g with a uniform random k-dimensional projection.
+func (s *search) randomGenome(g evo.Genome) {
+	for i := range g {
+		g[i] = cube.DontCare
+	}
+	for _, j := range s.rng.Sample(s.d.D(), s.opt.K) {
+		g[j] = uint16(s.rng.IntRange(1, s.d.Phi()))
+	}
+}
+
+// evaluate returns the fitness (sparsity coefficient) of a genome,
+// caching by key. Infeasible genomes — wrong dimensionality, possible
+// only under two-point crossover — receive +Inf, the worst value for
+// the minimizing search ("assigned very low fitness values", §2.2).
+func (s *search) evaluate(g evo.Genome) float64 {
+	key := g.Key()
+	if e, ok := s.cache[key]; ok {
+		return e.sparsity
+	}
+	c := cube.Cube(g)
+	var e fitEntry
+	if c.K() != s.opt.K {
+		e = fitEntry{sparsity: math.Inf(1), count: -1}
+	} else {
+		s.evals++
+		e.count = s.d.Index.Count(c)
+		e.sparsity = s.d.Index.SparsityOf(e.count, s.opt.K)
+	}
+	s.cache[key] = e
+	return e.sparsity
+}
+
+// offer submits a genome to the best set, respecting feasibility and
+// the MinCoverage filter. It reports whether the set improved.
+func (s *search) offer(g evo.Genome, fitness float64) bool {
+	if math.IsInf(fitness, 1) {
+		return false
+	}
+	if fitness >= s.bs.Worst() {
+		return false
+	}
+	e := s.cache[g.Key()]
+	if e.count < s.opt.MinCoverage {
+		return false
+	}
+	return s.bs.Offer(g, fitness)
+}
+
+// mutateAll applies Figure 6 to every string in the population.
+func (s *search) mutateAll(pop *evo.Population) {
+	for i := range pop.Members {
+		s.mutate(pop.Members[i])
+	}
+}
+
+// mutate applies the two mutation types to one string in place.
+//
+// Type I (probability p1): exchange a dimension — a random '*'
+// position receives a random range and a random non-'*' position
+// becomes '*', preserving the projection dimensionality.
+//
+// Type II (probability p2): a random non-'*' position changes to a
+// different random range.
+func (s *search) mutate(g evo.Genome) {
+	if s.rng.Bernoulli(s.opt.MutateP1) {
+		var stars, filled []int
+		for j, v := range g {
+			if v == cube.DontCare {
+				stars = append(stars, j)
+			} else {
+				filled = append(filled, j)
+			}
+		}
+		if len(stars) > 0 && len(filled) > 0 {
+			in := stars[s.rng.Intn(len(stars))]
+			out := filled[s.rng.Intn(len(filled))]
+			g[in] = uint16(s.rng.IntRange(1, s.d.Phi()))
+			g[out] = cube.DontCare
+		}
+	}
+	if s.rng.Bernoulli(s.opt.MutateP2) {
+		var filled []int
+		for j, v := range g {
+			if v != cube.DontCare {
+				filled = append(filled, j)
+			}
+		}
+		if len(filled) > 0 {
+			j := filled[s.rng.Intn(len(filled))]
+			if s.d.Phi() > 1 {
+				old := g[j]
+				for {
+					g[j] = uint16(s.rng.IntRange(1, s.d.Phi()))
+					if g[j] != old {
+						break
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hido/internal/evo"
+	"hido/internal/xrand"
+)
+
+// IslandOptions extends the evolutionary search with an island model:
+// several populations evolve independently and periodically exchange
+// their best members around a ring. Isolation preserves diversity —
+// each island converges on a different region of the projection space
+// — while migration still spreads strong building blocks. This is the
+// library's structured alternative to unioning independent restarts
+// (EvolutionaryRestarts): one run, wider coverage of the qualifying
+// sparse projections.
+type IslandOptions struct {
+	// Evo carries the per-island parameters; Evo.PopSize is the size
+	// of EACH island. Evo.OnGeneration observes island 0.
+	Evo EvoOptions
+	// Islands is the number of populations (default 4).
+	Islands int
+	// MigrateEvery is the generation interval between migrations
+	// (default 10).
+	MigrateEvery int
+	// Migrants is how many members each island sends to its ring
+	// neighbor per migration, replacing the neighbor's worst members
+	// (default 2).
+	Migrants int
+}
+
+func (o IslandOptions) withDefaults() IslandOptions {
+	if o.Islands == 0 {
+		o.Islands = 4
+	}
+	if o.MigrateEvery == 0 {
+		o.MigrateEvery = 10
+	}
+	if o.Migrants == 0 {
+		o.Migrants = 2
+	}
+	return o
+}
+
+// EvolutionaryIslands runs the island-model genetic search. The
+// result's projections come from a best-set shared by all islands.
+func (d *Detector) EvolutionaryIslands(opt IslandOptions) (*Result, error) {
+	opt = opt.withDefaults()
+	if opt.Islands < 1 || opt.MigrateEvery < 1 || opt.Migrants < 0 {
+		return nil, fmt.Errorf("core: invalid island parameters %+v", opt)
+	}
+	eo := opt.Evo
+	if err := d.validateKM(eo.K, eo.M); err != nil {
+		return nil, err
+	}
+	eo = eo.withDefaults()
+	if eo.PopSize < 2 {
+		return nil, fmt.Errorf("core: population size %d too small", eo.PopSize)
+	}
+	if opt.Migrants >= eo.PopSize {
+		return nil, fmt.Errorf("core: %d migrants with island size %d", opt.Migrants, eo.PopSize)
+	}
+	start := time.Now()
+
+	// One search context shared across islands: common fitness cache,
+	// best set, and RNG (the loop is sequential, so this stays
+	// deterministic per seed).
+	s := &search{
+		d:     d,
+		opt:   eo,
+		rng:   xrand.New(eo.Seed),
+		bs:    evo.NewBestSet(eo.M),
+		cache: make(map[string]fitEntry),
+	}
+
+	islands := make([]*evo.Population, opt.Islands)
+	for i := range islands {
+		pop := evo.NewPopulation(eo.PopSize, d.D())
+		for m := range pop.Members {
+			s.randomGenome(pop.Members[m])
+			pop.Fitness[m] = s.evaluate(pop.Members[m])
+			s.offer(pop.Members[m], pop.Fitness[m])
+		}
+		islands[i] = pop
+	}
+
+	res := &Result{}
+	stall := 0
+	gen := 0
+	for ; gen < eo.MaxGenerations; gen++ {
+		improved := false
+		for _, pop := range islands {
+			pop.Select(eo.Selection, s.rng)
+			s.crossoverAll(pop)
+			s.mutateAll(pop)
+			for m := range pop.Members {
+				pop.Fitness[m] = s.evaluate(pop.Members[m])
+				if s.offer(pop.Members[m], pop.Fitness[m]) {
+					improved = true
+				}
+			}
+		}
+		if eo.OnGeneration != nil {
+			st := islands[0].Snapshot(gen)
+			st.Evaluated = s.evals
+			st.BestSoFar = s.bs.MeanFitness()
+			eo.OnGeneration(st)
+		}
+		if (gen+1)%opt.MigrateEvery == 0 && opt.Islands > 1 && opt.Migrants > 0 {
+			migrate(islands, opt.Migrants)
+		}
+		if improved {
+			stall = 0
+		} else {
+			stall++
+		}
+		allConverged := true
+		for _, pop := range islands {
+			if !pop.Converged() {
+				allConverged = false
+				break
+			}
+		}
+		if allConverged {
+			res.ConvergedDeJong = true
+			gen++
+			break
+		}
+		if eo.Patience > 0 && stall >= eo.Patience {
+			gen++
+			break
+		}
+	}
+
+	res.Generations = gen
+	res.Evaluations = s.evals
+	d.finalize(s.bs, res)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// migrate copies each island's best `migrants` members over the next
+// island's worst members (ring topology).
+func migrate(islands []*evo.Population, migrants int) {
+	type ranked struct {
+		idx []int
+	}
+	order := make([]ranked, len(islands))
+	for i, pop := range islands {
+		idx := make([]int, pop.Len())
+		for m := range idx {
+			idx[m] = m
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return pop.Fitness[idx[a]] < pop.Fitness[idx[b]]
+		})
+		order[i] = ranked{idx: idx}
+	}
+	// Collect emigrants first so a member is never overwritten before
+	// being copied out.
+	type emigrant struct {
+		genome  evo.Genome
+		fitness float64
+	}
+	out := make([][]emigrant, len(islands))
+	for i, pop := range islands {
+		for m := 0; m < migrants && m < pop.Len(); m++ {
+			src := order[i].idx[m]
+			out[i] = append(out[i], emigrant{pop.Members[src].Clone(), pop.Fitness[src]})
+		}
+	}
+	for i := range islands {
+		dst := islands[(i+1)%len(islands)]
+		dstOrder := order[(i+1)%len(islands)].idx
+		for m, em := range out[i] {
+			// replace the destination's worst members
+			slot := dstOrder[len(dstOrder)-1-m]
+			dst.Members[slot] = em.genome
+			dst.Fitness[slot] = em.fitness
+		}
+	}
+}

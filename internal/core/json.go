@@ -1,0 +1,64 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// resultJSON is the machine-readable rendering of a Result, written
+// by WriteJSON for CLI pipelines (`hido -json`). Sparsities are
+// finite by construction; scores of uncovered records are omitted.
+type resultJSON struct {
+	Projections []projectionJSON `json:"projections"`
+	Outliers    []outlierJSON    `json:"outliers"`
+	Evaluations int              `json:"evaluations"`
+	Generations int              `json:"generations,omitempty"`
+	ElapsedMS   float64          `json:"elapsed_ms"`
+	Quality     *float64         `json:"quality,omitempty"`
+}
+
+type projectionJSON struct {
+	Cube        string  `json:"cube"`
+	Description string  `json:"description"`
+	Sparsity    float64 `json:"sparsity"`
+	Count       int     `json:"count"`
+}
+
+type outlierJSON struct {
+	Record int     `json:"record"`
+	Score  float64 `json:"score"`
+	Label  string  `json:"label,omitempty"`
+}
+
+// WriteJSON emits the result as a JSON document with projections
+// (including human-readable descriptions), ranked outliers with their
+// scores and labels, and search telemetry.
+func (r *Result) WriteJSON(w io.Writer, d *Detector) error {
+	out := resultJSON{
+		Evaluations: r.Evaluations,
+		Generations: r.Generations,
+		ElapsedMS:   float64(r.Elapsed.Microseconds()) / 1000,
+	}
+	if q := r.Quality(); !math.IsNaN(q) {
+		out.Quality = &q
+	}
+	for _, p := range r.Projections {
+		out.Projections = append(out.Projections, projectionJSON{
+			Cube:        p.Cube.String(),
+			Description: p.Describe(d),
+			Sparsity:    p.Sparsity,
+			Count:       p.Count,
+		})
+	}
+	for _, rec := range r.RankedOutliers(d) {
+		out.Outliers = append(out.Outliers, outlierJSON{
+			Record: rec,
+			Score:  r.Score(d, rec),
+			Label:  d.Data.Label(rec),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

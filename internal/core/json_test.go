@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	ds := plantedDataset(200, 4, 63)
+	det := NewDetector(ds, 4)
+	res, err := det.BruteForce(BruteForceOptions{K: 2, M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Projections []struct {
+			Cube        string  `json:"cube"`
+			Description string  `json:"description"`
+			Sparsity    float64 `json:"sparsity"`
+		} `json:"projections"`
+		Outliers []struct {
+			Record int     `json:"record"`
+			Score  float64 `json:"score"`
+			Label  string  `json:"label"`
+		} `json:"outliers"`
+		Quality *float64 `json:"quality"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded.Projections) != len(res.Projections) {
+		t.Errorf("projections %d, want %d", len(decoded.Projections), len(res.Projections))
+	}
+	if decoded.Quality == nil {
+		t.Error("quality missing")
+	}
+	if len(decoded.Outliers) != len(res.Outliers) {
+		t.Errorf("outliers %d, want %d", len(decoded.Outliers), len(res.Outliers))
+	}
+	foundPlanted := false
+	for _, o := range decoded.Outliers {
+		if o.Record == 200 && o.Label == "planted" {
+			foundPlanted = true
+		}
+	}
+	if !foundPlanted {
+		t.Error("planted record missing from JSON outliers")
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hido/internal/bitset"
+	"hido/internal/cube"
+)
+
+// EvolutionaryRestarts runs the genetic search `restarts` times with
+// derived seeds and merges the outcomes. Each converged population
+// finds a subset of the sparse projections (the search is stochastic
+// and the best-set holds only M cubes), so studies that need *all*
+// qualifying projections — the paper's arrhythmia study collects every
+// projection with S ≤ −3 — union several runs.
+//
+// The merged result holds every distinct projection found (up to
+// restarts·M), sorted by ascending sparsity; Outliers is the union of
+// covered records; Evaluations and Generations are summed, and
+// ConvergedDeJong reports whether every run met the De Jong criterion.
+func (d *Detector) EvolutionaryRestarts(opt EvoOptions, restarts int) (*Result, error) {
+	if restarts < 1 {
+		return nil, fmt.Errorf("core: restarts=%d must be positive", restarts)
+	}
+	merged := &Result{
+		OutlierSet:      bitset.New(d.N()),
+		ConvergedDeJong: true,
+	}
+	seen := map[string]bool{}
+	for r := 0; r < restarts; r++ {
+		o := opt
+		// Derive well-separated seeds; 0x9e3779b97f4a7c15 is the 64-bit
+		// golden-ratio increment, so successive restarts never collide.
+		o.Seed = opt.Seed + uint64(r)*0x9e3779b97f4a7c15
+		res, err := d.Evolutionary(o)
+		if err != nil {
+			return nil, err
+		}
+		merged.Evaluations += res.Evaluations
+		merged.Generations += res.Generations
+		merged.Elapsed += res.Elapsed
+		merged.ConvergedDeJong = merged.ConvergedDeJong && res.ConvergedDeJong
+		for _, p := range res.Projections {
+			key := p.Cube.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			merged.Projections = append(merged.Projections, p)
+		}
+		merged.OutlierSet.Or(res.OutlierSet)
+	}
+	sort.SliceStable(merged.Projections, func(a, b int) bool {
+		return merged.Projections[a].Sparsity < merged.Projections[b].Sparsity
+	})
+	merged.Outliers = merged.OutlierSet.Indices()
+	return merged, nil
+}
+
+// EvolutionarySweepK runs the evolutionary search at every projection
+// dimensionality in [kmin, kmax] and returns the per-k results keyed
+// by k. The paper's desiderata note that thresholds at different k
+// are not directly comparable (§1.1); the sparsity coefficient is the
+// normalizer, so callers typically merge the per-k projections after
+// filtering each at the same target coefficient.
+func (d *Detector) EvolutionarySweepK(opt EvoOptions, kmin, kmax int) (map[int]*Result, error) {
+	if kmin < 1 || kmax < kmin || kmax > d.D() {
+		return nil, fmt.Errorf("core: k sweep [%d,%d] outside [1,%d]", kmin, kmax, d.D())
+	}
+	out := make(map[int]*Result, kmax-kmin+1)
+	for k := kmin; k <= kmax; k++ {
+		o := opt
+		o.K = k
+		res, err := d.Evolutionary(o)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = res
+	}
+	return out, nil
+}
+
+// FilterProjections returns a copy of the result keeping only
+// projections with sparsity at or below the threshold, with outliers
+// recomputed over the surviving projections (the §3.1 procedure:
+// "all the sparse projections ... with a sparsity coefficient of -3
+// or less").
+func (r *Result) FilterProjections(d *Detector, threshold float64) *Result {
+	out := &Result{
+		Evaluations:     r.Evaluations,
+		Generations:     r.Generations,
+		ConvergedDeJong: r.ConvergedDeJong,
+		Elapsed:         r.Elapsed,
+		OutlierSet:      bitset.New(d.N()),
+	}
+	scratch := bitset.New(d.N())
+	for _, p := range r.Projections {
+		if p.Sparsity > threshold {
+			continue
+		}
+		out.Projections = append(out.Projections, p)
+		d.Index.CoverInto(scratch, p.Cube)
+		out.OutlierSet.Or(scratch)
+	}
+	out.Outliers = out.OutlierSet.Indices()
+	return out
+}
+
+// Explanation is a minimal sparse sub-cube explaining one record: no
+// constraint can be dropped without the sparsity coefficient rising
+// above the threshold. It is the library's rendering of the
+// "intensional knowledge" of [23] that §1 of the paper discusses —
+// the smallest attribute combination that makes the record abnormal.
+type Explanation struct {
+	Cube     cube.Cube
+	Sparsity float64
+	Count    int
+}
+
+// Describe renders the explanation with attribute names.
+func (e Explanation) Describe(d *Detector) string {
+	return Projection{Cube: e.Cube, Sparsity: e.Sparsity, Count: e.Count}.Describe(d)
+}
+
+// MinimalExplanations reduces each projection covering record i to a
+// minimal sub-cube still at or below the threshold, deduplicating the
+// results. Constraints are dropped greedily, always removing the one
+// whose removal keeps the sparsity lowest, so each explanation is
+// locally minimal (dropping any remaining constraint would exceed the
+// threshold). Projections above the threshold are skipped.
+func (r *Result) MinimalExplanations(d *Detector, i int, threshold float64) []Explanation {
+	cells := d.Grid.CellsRow(i)
+	seen := map[string]bool{}
+	var out []Explanation
+	for _, p := range r.Projections {
+		if p.Sparsity > threshold || !p.Cube.Covers(cells) {
+			continue
+		}
+		c := p.Cube.Clone()
+		s := p.Sparsity
+		for c.K() > 1 {
+			bestDim := -1
+			bestS := 0.0
+			for _, dim := range c.Dims() {
+				reduced := c.With(dim, cube.DontCare)
+				rs := d.Index.Sparsity(reduced)
+				if rs <= threshold && (bestDim < 0 || rs < bestS) {
+					bestDim, bestS = dim, rs
+				}
+			}
+			if bestDim < 0 {
+				break // dropping anything would exceed the threshold
+			}
+			c = c.With(bestDim, cube.DontCare)
+			s = bestS
+		}
+		key := c.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Explanation{Cube: c, Sparsity: s, Count: d.Index.Count(c)})
+	}
+	// Drop dominated explanations: if one explanation's constraints are
+	// a subset of another's, the broader statement subsumes the
+	// narrower one.
+	kept := out[:0]
+	for i, e := range out {
+		dominated := false
+		for j, other := range out {
+			if i == j {
+				continue
+			}
+			if e.Cube.Contains(other.Cube) && !other.Cube.Contains(e.Cube) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, e)
+		}
+	}
+	out = kept
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Cube.K() != out[b].Cube.K() {
+			return out[a].Cube.K() < out[b].Cube.K()
+		}
+		return out[a].Sparsity < out[b].Sparsity
+	})
+	return out
+}

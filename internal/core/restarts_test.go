@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hido/internal/cube"
+)
+
+func TestEvolutionaryRestartsMergesDistinct(t *testing.T) {
+	ds := plantedDataset(300, 8, 30)
+	det := NewDetector(ds, 4)
+	single, err := det.Evolutionary(EvoOptions{K: 2, M: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := det.EvolutionaryRestarts(EvoOptions{K: 2, M: 10, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Projections) < len(single.Projections) {
+		t.Errorf("merged %d projections < single run's %d",
+			len(merged.Projections), len(single.Projections))
+	}
+	if len(merged.Projections) > 40 {
+		t.Errorf("merged %d projections > restarts*M", len(merged.Projections))
+	}
+	// No duplicates, sorted ascending by sparsity.
+	seen := map[string]bool{}
+	for i, p := range merged.Projections {
+		if seen[p.Cube.Key()] {
+			t.Fatalf("duplicate projection %v", p.Cube)
+		}
+		seen[p.Cube.Key()] = true
+		if i > 0 && p.Sparsity < merged.Projections[i-1].Sparsity {
+			t.Fatal("merged projections not sorted")
+		}
+	}
+	// Union semantics for outliers and summed telemetry.
+	if merged.Evaluations <= single.Evaluations {
+		t.Error("merged evaluations not accumulated")
+	}
+	for _, i := range single.Outliers {
+		if !merged.OutlierSet.Test(i) {
+			t.Errorf("record %d lost in the union", i)
+		}
+	}
+}
+
+func TestEvolutionaryRestartsValidation(t *testing.T) {
+	det := NewDetector(plantedDataset(50, 3, 31), 3)
+	if _, err := det.EvolutionaryRestarts(EvoOptions{K: 2, M: 5}, 0); err == nil {
+		t.Error("restarts=0 accepted")
+	}
+	if _, err := det.EvolutionaryRestarts(EvoOptions{K: 9, M: 5}, 2); err == nil {
+		t.Error("bad K accepted")
+	}
+}
+
+func TestFilterProjections(t *testing.T) {
+	ds := plantedDataset(400, 5, 32)
+	det := NewDetector(ds, 5)
+	res, err := det.BruteForce(BruteForceOptions{K: 2, M: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := res.Projections[0].Sparsity + 1e-9 // keep only the best tier
+	filtered := res.FilterProjections(det, threshold)
+	if len(filtered.Projections) == 0 {
+		t.Fatal("filter removed everything")
+	}
+	for _, p := range filtered.Projections {
+		if p.Sparsity > threshold {
+			t.Errorf("projection %v above threshold survived", p.Cube)
+		}
+	}
+	if len(filtered.Projections) >= len(res.Projections) {
+		t.Skip("all projections tied at the optimum; nothing filtered")
+	}
+	// Outliers recomputed: every remaining outlier covered by a
+	// surviving projection.
+	for _, i := range filtered.Outliers {
+		if len(filtered.CoveringProjections(det, i)) == 0 {
+			t.Errorf("outlier %d not covered after filtering", i)
+		}
+	}
+}
+
+func TestMinimalExplanations(t *testing.T) {
+	// Dims 0,1 are tightly correlated; dim 2+ noise. A planted record in
+	// the off-diagonal (0,1) cell is explained minimally by those two
+	// dims even when the covering projection carries k=3 constraints.
+	ds := plantedDataset(500, 6, 33)
+	det := NewDetector(ds, 4)
+	res, err := det.BruteForce(BruteForceOptions{K: 3, M: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutlierSet.Test(500) {
+		t.Skip("planted record not covered at k=3 with m=30")
+	}
+	threshold := -2.0
+	exps := res.MinimalExplanations(det, 500, threshold)
+	if len(exps) == 0 {
+		t.Fatal("no explanations")
+	}
+	for _, e := range exps {
+		if e.Sparsity > threshold {
+			t.Errorf("explanation %v above threshold (S=%v)", e.Cube, e.Sparsity)
+		}
+		if !e.Cube.Covers(det.Grid.CellsRow(500)) {
+			t.Errorf("explanation %v does not cover the record", e.Cube)
+		}
+		// Local minimality: dropping any constraint exceeds the threshold.
+		if e.Cube.K() > 1 {
+			for _, dim := range e.Cube.Dims() {
+				if s := det.Index.Sparsity(e.Cube.With(dim, cube.DontCare)); s <= threshold {
+					t.Errorf("explanation %v not minimal: dropping dim %d keeps S=%v", e.Cube, dim, s)
+				}
+			}
+		}
+		if e.Describe(det) == "" {
+			t.Error("empty description")
+		}
+	}
+	// Explanations are sorted by dimensionality then sparsity.
+	for i := 1; i < len(exps); i++ {
+		if exps[i].Cube.K() < exps[i-1].Cube.K() {
+			t.Error("explanations not sorted by dimensionality")
+		}
+	}
+}
+
+func TestBruteForceParallelMatchesSequential(t *testing.T) {
+	ds := plantedDataset(400, 8, 34)
+	det := NewDetector(ds, 4)
+	seq, err := det.BruteForce(BruteForceOptions{K: 3, M: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		par, err := det.BruteForceParallel(BruteForceOptions{K: 3, M: 15}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Evaluations != seq.Evaluations {
+			t.Errorf("workers=%d: evaluations %d vs sequential %d",
+				workers, par.Evaluations, seq.Evaluations)
+		}
+		if len(par.Projections) != len(seq.Projections) {
+			t.Fatalf("workers=%d: %d projections vs %d", workers,
+				len(par.Projections), len(seq.Projections))
+		}
+		// Quality identical position by position (cube identity may
+		// differ on exact ties).
+		for i := range par.Projections {
+			if math.Abs(par.Projections[i].Sparsity-seq.Projections[i].Sparsity) > 1e-9 {
+				t.Errorf("workers=%d pos %d: sparsity %v vs %v", workers, i,
+					par.Projections[i].Sparsity, seq.Projections[i].Sparsity)
+			}
+		}
+	}
+}
+
+func TestBruteForceParallelK1FallsBack(t *testing.T) {
+	det := NewDetector(plantedDataset(100, 4, 35), 4)
+	res, err := det.BruteForceParallel(BruteForceOptions{K: 1, M: 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 4*4 {
+		t.Errorf("k=1 evaluations = %d, want 16", res.Evaluations)
+	}
+}
+
+func TestBruteForceParallelBudget(t *testing.T) {
+	det := NewDetector(plantedDataset(200, 10, 36), 5)
+	res, err := det.BruteForceParallel(BruteForceOptions{K: 3, M: 5, MaxCandidates: 500}, 4)
+	if err == nil {
+		t.Fatal("budget not reported")
+	}
+	if res == nil || res.Evaluations < 500 {
+		t.Errorf("partial result evaluations = %v", res)
+	}
+}
+
+func TestBruteForceParallelValidation(t *testing.T) {
+	det := NewDetector(plantedDataset(50, 3, 37), 3)
+	if _, err := det.BruteForceParallel(BruteForceOptions{K: 0, M: 5}, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestMinimalExplanationsDropDominated(t *testing.T) {
+	ds := plantedDataset(500, 6, 61)
+	det := NewDetector(ds, 4)
+	res, err := det.BruteForce(BruteForceOptions{K: 3, M: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutlierSet.Test(500) {
+		t.Skip("planted record not covered")
+	}
+	exps := res.MinimalExplanations(det, 500, -2.0)
+	for i, a := range exps {
+		for j, b := range exps {
+			if i != j && a.Cube.Contains(b.Cube) && !b.Cube.Contains(a.Cube) {
+				t.Errorf("explanation %v dominated by %v but kept", a.Cube, b.Cube)
+			}
+		}
+	}
+}
+
+func TestEvolutionarySweepK(t *testing.T) {
+	det := NewDetector(plantedDataset(300, 6, 62), 4)
+	results, err := det.EvolutionarySweepK(EvoOptions{M: 10, Seed: 1}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for k, res := range results {
+		for _, p := range res.Projections {
+			if p.Cube.K() != k {
+				t.Errorf("k=%d result holds a %d-dim projection", k, p.Cube.K())
+			}
+		}
+	}
+	if _, err := det.EvolutionarySweepK(EvoOptions{M: 10}, 2, 1); err == nil {
+		t.Error("inverted sweep accepted")
+	}
+	if _, err := det.EvolutionarySweepK(EvoOptions{M: 10}, 0, 2); err == nil {
+		t.Error("kmin=0 accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package cube_test
+
+import (
+	"fmt"
+
+	"hido/internal/cube"
+)
+
+// The paper's string notation: "*3*9" constrains the second and
+// fourth attributes of a 4-dimensional data set.
+func ExampleParse() {
+	c, err := cube.Parse("*3*9")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dimensionality k =", c.K())
+	fmt.Println("constrained dims =", c.Dims())
+	fmt.Println("covers cells [7 3 1 9]:", c.Covers([]uint16{7, 3, 1, 9}))
+	fmt.Println("covers cells [7 3 1 8]:", c.Covers([]uint16{7, 3, 1, 8}))
+	// Output:
+	// dimensionality k = 2
+	// constrained dims = [1 3]
+	// covers cells [7 3 1 9]: true
+	// covers cells [7 3 1 8]: false
+}
+
+// SpaceSize is the brute-force candidate count C(d,k)·φ^k — the §3
+// reference point the paper rounds to 7·10⁷.
+func ExampleSpaceSize() {
+	fmt.Println(cube.SpaceSize(20, 4, 10))
+	// Output:
+	// 48450000
+}

@@ -1,0 +1,32 @@
+package cube
+
+import "testing"
+
+// FuzzParse drives Parse with arbitrary strings; it must never panic,
+// and anything it accepts must round-trip through String → Parse.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"*3*9", "111", "*", "12.*.1", "", "0", "a", "1.2.3", "999", "*.*"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if len(c) == 0 {
+			t.Fatalf("Parse(%q) returned empty cube without error", s)
+		}
+		// Accepted cubes re-render and re-parse stably (except the
+		// documented lone-wide-position ambiguity).
+		if len(c) == 1 && c[0] > 9 {
+			return
+		}
+		again, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("Parse(%q).String()=%q does not re-parse: %v", s, c.String(), err)
+		}
+		if !again.Equal(c) {
+			t.Fatalf("round trip changed %q: %v vs %v", s, c, again)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"math"
+
+	"hido/internal/stats"
+)
+
+// ImputeStrategy selects how ImputeMissing fills NaN entries. The
+// projection method itself never needs imputation (§1.2 of the paper:
+// sparse projections are minable with missing attributes); imputation
+// exists for the full-dimensional distance baselines, which require
+// complete vectors.
+type ImputeStrategy int
+
+const (
+	// ImputeMean replaces missing entries with the column mean.
+	ImputeMean ImputeStrategy = iota
+	// ImputeMedian replaces missing entries with the column median.
+	ImputeMedian
+	// ImputeZero replaces missing entries with zero.
+	ImputeZero
+)
+
+// ImputeMissing returns a copy with every NaN replaced according to
+// the strategy. A column that is entirely missing is filled with zero.
+func (ds *Dataset) ImputeMissing(strategy ImputeStrategy) *Dataset {
+	out := ds.Clone()
+	for j := 0; j < ds.d; j++ {
+		col := ds.Column(j)
+		var fill float64
+		switch strategy {
+		case ImputeMean:
+			fill = stats.Mean(col)
+		case ImputeMedian:
+			fill = stats.Quantile(col, 0.5)
+		case ImputeZero:
+			fill = 0
+		default:
+			panic("dataset: unknown impute strategy")
+		}
+		if math.IsNaN(fill) {
+			fill = 0
+		}
+		for i := 0; i < ds.n; i++ {
+			if math.IsNaN(out.At(i, j)) {
+				out.SetAt(i, j, fill)
+			}
+		}
+	}
+	return out
+}
+
+// DropConstantColumns returns a copy without columns whose non-missing
+// values are all identical (or entirely missing). Constant columns
+// carry no density information and break equi-depth discretization.
+// It also returns the retained column indices.
+func (ds *Dataset) DropConstantColumns() (*Dataset, []int) {
+	keep := make([]int, 0, ds.d)
+	for j := 0; j < ds.d; j++ {
+		col := ds.Column(j)
+		min, max, ok := stats.MinMax(col)
+		if ok && min != max {
+			keep = append(keep, j)
+		}
+	}
+	return ds.SelectColumns(keep), keep
+}
+
+// Standardize returns a z-scored copy (per column mean 0, sd 1),
+// leaving NaNs in place. Columns with zero variance become all-zero.
+// Full-dimensional distance baselines need this so no single attribute
+// dominates the L2 norm; the grid method is scale-invariant by
+// construction (equi-depth ranges) and does not.
+func (ds *Dataset) Standardize() *Dataset {
+	out := ds.Clone()
+	for j := 0; j < ds.d; j++ {
+		col := ds.Column(j)
+		mean := stats.Mean(col)
+		sd := stats.StdDev(col)
+		for i := 0; i < ds.n; i++ {
+			v := out.At(i, j)
+			if math.IsNaN(v) {
+				continue
+			}
+			if math.IsNaN(sd) || sd == 0 {
+				out.SetAt(i, j, 0)
+			} else {
+				out.SetAt(i, j, (v-mean)/sd)
+			}
+		}
+	}
+	return out
+}
+
+// SummarizeColumns returns per-column descriptive statistics.
+func (ds *Dataset) SummarizeColumns() []stats.Summary {
+	out := make([]stats.Summary, ds.d)
+	for j := 0; j < ds.d; j++ {
+		out[j] = stats.Summarize(ds.Column(j))
+	}
+	return out
+}

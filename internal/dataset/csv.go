@@ -1,0 +1,218 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadCSVOptions configures CSV ingestion.
+type ReadCSVOptions struct {
+	// Header indicates the first row carries column names. Without a
+	// header, columns are named c0, c1, ...
+	Header bool
+	// LabelColumn, if non-negative, designates a column holding class
+	// labels rather than a feature.
+	LabelColumn int
+	// Missing lists the tokens (besides the empty string) interpreted
+	// as a missing value. Defaults to "?" and "NA" if nil.
+	Missing []string
+	// Comma is the field delimiter; ',' if zero.
+	Comma rune
+}
+
+// ReadCSV parses a CSV stream into a Dataset. Non-numeric feature
+// columns are integer-encoded per distinct string value, reproducing
+// the paper's cleaning of categorical attributes; missing tokens
+// become NaN.
+func ReadCSV(r io.Reader, opts ReadCSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: empty csv input")
+	}
+
+	missing := map[string]bool{"": true}
+	tokens := opts.Missing
+	if tokens == nil {
+		tokens = []string{"?", "NA"}
+	}
+	for _, tok := range tokens {
+		missing[tok] = true
+	}
+
+	var header []string
+	body := records
+	if opts.Header {
+		header = records[0]
+		body = records[1:]
+		if len(body) == 0 {
+			return nil, fmt.Errorf("dataset: csv has header but no data rows")
+		}
+	}
+	width := len(body[0])
+	for i, rec := range body {
+		if len(rec) != width {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", i+1, len(rec), width)
+		}
+	}
+	if header != nil && len(header) != width {
+		return nil, fmt.Errorf("dataset: header has %d fields, data rows have %d", len(header), width)
+	}
+	if opts.LabelColumn >= width {
+		return nil, fmt.Errorf("dataset: label column %d out of range (width %d)", opts.LabelColumn, width)
+	}
+
+	featCols := make([]int, 0, width)
+	for j := 0; j < width; j++ {
+		if j != opts.LabelColumn || opts.LabelColumn < 0 {
+			featCols = append(featCols, j)
+		}
+	}
+	names := make([]string, len(featCols))
+	for i, j := range featCols {
+		if header != nil {
+			names[i] = strings.TrimSpace(header[j])
+		}
+		if names[i] == "" {
+			// Unnamed (or headerless) columns get positional names so
+			// the header always survives a write/read round trip.
+			names[i] = fmt.Sprintf("c%d", j)
+		}
+	}
+
+	// First pass: decide per feature column whether it is numeric.
+	numeric := make([]bool, len(featCols))
+	for i, j := range featCols {
+		numeric[i] = true
+		for _, rec := range body {
+			f := strings.TrimSpace(rec[j])
+			if missing[f] {
+				continue
+			}
+			if _, err := strconv.ParseFloat(f, 64); err != nil {
+				numeric[i] = false
+				break
+			}
+		}
+	}
+
+	// Categorical encoding tables, per column.
+	codes := make([]map[string]float64, len(featCols))
+	for i := range codes {
+		codes[i] = map[string]float64{}
+	}
+
+	ds := New(names, len(body))
+	row := make([]float64, len(featCols))
+	for _, rec := range body {
+		for i, j := range featCols {
+			f := strings.TrimSpace(rec[j])
+			switch {
+			case missing[f]:
+				row[i] = math.NaN()
+			case numeric[i]:
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: parsing %q in column %s: %w", f, names[i], err)
+				}
+				row[i] = v
+			default:
+				code, ok := codes[i][f]
+				if !ok {
+					code = float64(len(codes[i]))
+					codes[i][f] = code
+				}
+				row[i] = code
+			}
+		}
+		label := ""
+		if opts.LabelColumn >= 0 {
+			label = strings.TrimSpace(rec[opts.LabelColumn])
+		}
+		ds.AppendRow(row, label)
+	}
+	// Record the reverse code→string mappings so explanations can name
+	// categories instead of showing integer codes.
+	for i := range featCols {
+		if numeric[i] || len(codes[i]) == 0 {
+			continue
+		}
+		rev := make(map[float64]string, len(codes[i]))
+		for s, code := range codes[i] {
+			rev[code] = s
+		}
+		ds.SetCategories(i, rev)
+	}
+	return ds, nil
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path string, opts ReadCSVOptions) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f, opts)
+}
+
+// WriteCSV emits the dataset with a header row; missing values are
+// written as "?" (one of ReadCSV's default missing tokens — an empty
+// field would make a single-column missing row an all-empty record,
+// which encoding/csv emits as a blank line and readers then skip).
+// A final "label" column is appended when the dataset is labeled.
+func (ds *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string(nil), ds.Names...)
+	if ds.Labels != nil {
+		header = append(header, "label")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing csv header: %w", err)
+	}
+	rec := make([]string, 0, len(header))
+	for i := 0; i < ds.n; i++ {
+		rec = rec[:0]
+		for j := 0; j < ds.d; j++ {
+			v := ds.At(i, j)
+			if math.IsNaN(v) {
+				rec = append(rec, "?")
+			} else {
+				rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		if ds.Labels != nil {
+			rec = append(rec, ds.Labels[i])
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV to a file path.
+func (ds *Dataset) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV drives the CSV reader with arbitrary input; it must
+// never panic, and any dataset it accepts must round-trip through
+// WriteCSV → ReadCSV with the same shape.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		"a,b\n1,2\n",
+		"a,b\n1,?\n,2\n",
+		"h\nx\ny\nx\n",
+		"1,2\n3,4\n",
+		"a,b,label\n1,2,pos\n3,4,neg\n",
+		"\"q,uoted\",2\n1,2\n",
+		"",
+		"a\n",
+	}
+	for _, s := range seeds {
+		f.Add(s, true, -1)
+	}
+	f.Fuzz(func(t *testing.T, input string, header bool, labelCol int) {
+		if labelCol > 10 {
+			labelCol = 10
+		}
+		ds, err := ReadCSV(strings.NewReader(input), ReadCSVOptions{
+			Header: header, LabelColumn: labelCol,
+		})
+		if err != nil {
+			return
+		}
+		if ds.N() == 0 || ds.D() < 0 {
+			t.Fatalf("accepted dataset with shape %dx%d", ds.N(), ds.D())
+		}
+		if ds.D() == 0 {
+			return // label-only input; nothing to round-trip
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV failed on accepted dataset: %v", err)
+		}
+		lc := -1
+		if ds.Labels != nil {
+			lc = ds.D()
+		}
+		back, err := ReadCSV(bytes.NewReader(buf.Bytes()), ReadCSVOptions{
+			Header: true, LabelColumn: lc,
+		})
+		if err != nil {
+			t.Fatalf("round trip failed: %v\ncsv:\n%s", err, buf.String())
+		}
+		if back.N() != ds.N() || back.D() != ds.D() {
+			t.Fatalf("round trip shape %dx%d, want %dx%d", back.N(), back.D(), ds.N(), ds.D())
+		}
+	})
+}

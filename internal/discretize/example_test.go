@@ -1,0 +1,29 @@
+package discretize_test
+
+import (
+	"fmt"
+	"math"
+
+	"hido/internal/dataset"
+	"hido/internal/discretize"
+)
+
+// Equi-depth ranges hold equal record counts regardless of the value
+// distribution — the paper's locality-adaptive grid (§1.3). Missing
+// values take cell 0 and match no constrained cube position.
+func ExampleFit() {
+	ds := dataset.New([]string{"x"}, 0)
+	for _, v := range []float64{1, 2, 3, 4, 100, 200, 300, 400, math.NaN()} {
+		ds.AppendRow([]float64{v}, "")
+	}
+	g := discretize.Fit(ds, 4, discretize.EquiDepth)
+	counts, missing := g.RangeCounts(0)
+	fmt.Println("per-range counts:", counts, "missing:", missing)
+	fmt.Println("value 250 lands in range", g.AssignValue(0, 250))
+	lo, hi := g.RangeBounds(0, 1)
+	fmt.Printf("range 1 covers (%.0f,%.0f]\n", lo, hi)
+	// Output:
+	// per-range counts: [2 2 2 2] missing: 1
+	// value 250 lands in range 4
+	// range 1 covers (-Inf,2]
+}

@@ -1,0 +1,195 @@
+// Package eval provides the detection-quality metrics the experiment
+// harness and examples report: precision/recall at a budget, ROC AUC
+// and average precision over continuous scores, and rare-class lift.
+// All metrics take ground truth as a set of positive indices, matching
+// the planted-outlier labels of the synth package.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion summarizes a fixed-budget detection outcome.
+type Confusion struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	// Positives is the ground-truth positive count; Flagged the number
+	// of records the detector reported.
+	Positives, Flagged int
+}
+
+// Precision returns TP / flagged (0 when nothing was flagged).
+func (c Confusion) Precision() float64 {
+	if c.Flagged == 0 {
+		return 0
+	}
+	return float64(c.TruePositives) / float64(c.Flagged)
+}
+
+// Recall returns TP / positives (0 when there are no positives).
+func (c Confusion) Recall() float64 {
+	if c.Positives == 0 {
+		return 0
+	}
+	return float64(c.TruePositives) / float64(c.Positives)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("tp=%d fp=%d fn=%d precision=%.3f recall=%.3f f1=%.3f",
+		c.TruePositives, c.FalsePositives, c.FalseNegatives,
+		c.Precision(), c.Recall(), c.F1())
+}
+
+// AtBudget scores a flagged set against ground-truth positives.
+func AtBudget(flagged, positives []int) Confusion {
+	pos := make(map[int]bool, len(positives))
+	for _, i := range positives {
+		pos[i] = true
+	}
+	c := Confusion{Positives: len(pos), Flagged: len(flagged)}
+	seen := make(map[int]bool, len(flagged))
+	for _, i := range flagged {
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		if pos[i] {
+			c.TruePositives++
+		} else {
+			c.FalsePositives++
+		}
+	}
+	c.FalseNegatives = c.Positives - c.TruePositives
+	return c
+}
+
+// Lift returns precision divided by the base rate of positives among
+// total records — how many times better than random flagging the
+// detector is. The arrhythmia study's headline (rare classes at 3.5×
+// their 14.6% base rate) is a lift.
+func Lift(flagged, positives []int, total int) float64 {
+	if total == 0 || len(positives) == 0 {
+		return 0
+	}
+	base := float64(len(positives)) / float64(total)
+	return AtBudget(flagged, positives).Precision() / base
+}
+
+// RocAUC returns the area under the ROC curve for continuous scores
+// where HIGHER scores mean more positive (more outlying). Ties are
+// handled by the rank-sum (Mann-Whitney) formulation. It returns NaN
+// when either class is empty.
+func RocAUC(scores []float64, positive []bool) float64 {
+	if len(scores) != len(positive) {
+		panic("eval: RocAUC length mismatch")
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Average ranks over ties.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1 // 1-based average rank
+		for t := i; t < j; t++ {
+			ranks[idx[t]] = avg
+		}
+		i = j
+	}
+	nPos, nNeg := 0, 0
+	rankSum := 0.0
+	for i, p := range positive {
+		if p {
+			nPos++
+			rankSum += ranks[i]
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	u := rankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// AveragePrecision returns the area under the precision-recall curve
+// (higher scores = more positive), computed as the mean of precision
+// at each positive hit when records are visited best-score-first.
+// Ties are broken by index for determinism. NaN when no positives.
+func AveragePrecision(scores []float64, positive []bool) float64 {
+	if len(scores) != len(positive) {
+		panic("eval: AveragePrecision length mismatch")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	hits, sum := 0, 0.0
+	for rank, i := range idx {
+		if positive[i] {
+			hits++
+			sum += float64(hits) / float64(rank+1)
+		}
+	}
+	if hits == 0 {
+		return math.NaN()
+	}
+	return sum / float64(hits)
+}
+
+// PrecisionAtK returns precision of the top-k records by score
+// (higher = more positive), ties broken by index.
+func PrecisionAtK(scores []float64, positive []bool, k int) float64 {
+	if len(scores) != len(positive) {
+		panic("eval: PrecisionAtK length mismatch")
+	}
+	if k <= 0 {
+		return 0
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	hits := 0
+	for _, i := range idx[:k] {
+		if positive[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}

@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hido/internal/xrand"
+)
+
+func TestAtBudget(t *testing.T) {
+	c := AtBudget([]int{1, 2, 3, 4}, []int{3, 4, 5})
+	if c.TruePositives != 2 || c.FalsePositives != 2 || c.FalseNegatives != 1 {
+		t.Fatalf("%+v", c)
+	}
+	if c.Precision() != 0.5 {
+		t.Errorf("precision = %v", c.Precision())
+	}
+	if math.Abs(c.Recall()-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", c.Recall())
+	}
+	wantF1 := 2 * 0.5 * (2.0 / 3) / (0.5 + 2.0/3)
+	if math.Abs(c.F1()-wantF1) > 1e-12 {
+		t.Errorf("f1 = %v, want %v", c.F1(), wantF1)
+	}
+	if c.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestAtBudgetDeduplicates(t *testing.T) {
+	c := AtBudget([]int{1, 1, 1, 2}, []int{1})
+	if c.TruePositives != 1 || c.FalsePositives != 1 {
+		t.Errorf("duplicates not collapsed: %+v", c)
+	}
+}
+
+func TestAtBudgetEmpty(t *testing.T) {
+	c := AtBudget(nil, nil)
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Errorf("empty case: %+v", c)
+	}
+}
+
+func TestLift(t *testing.T) {
+	// 10 positives of 100 records (base rate 0.1); flag 10 with 5 hits
+	// → precision 0.5 → lift 5.
+	positives := make([]int, 10)
+	for i := range positives {
+		positives[i] = i
+	}
+	flagged := []int{0, 1, 2, 3, 4, 50, 51, 52, 53, 54}
+	if got := Lift(flagged, positives, 100); math.Abs(got-5) > 1e-12 {
+		t.Errorf("lift = %v, want 5", got)
+	}
+	if Lift(nil, nil, 100) != 0 {
+		t.Error("empty lift not 0")
+	}
+}
+
+func TestRocAUCPerfectAndInverse(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	pos := []bool{true, true, false, false}
+	if got := RocAUC(scores, pos); got != 1 {
+		t.Errorf("perfect AUC = %v", got)
+	}
+	inv := []bool{false, false, true, true}
+	if got := RocAUC(scores, inv); got != 0 {
+		t.Errorf("inverse AUC = %v", got)
+	}
+}
+
+func TestRocAUCRandomIsHalf(t *testing.T) {
+	r := xrand.New(1)
+	n := 4000
+	scores := make([]float64, n)
+	pos := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		pos[i] = r.Bool()
+	}
+	if got := RocAUC(scores, pos); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("random AUC = %v, want ≈0.5", got)
+	}
+}
+
+func TestRocAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 via average ranks.
+	scores := []float64{1, 1, 1, 1}
+	pos := []bool{true, false, true, false}
+	if got := RocAUC(scores, pos); got != 0.5 {
+		t.Errorf("all-ties AUC = %v, want 0.5", got)
+	}
+}
+
+func TestRocAUCDegenerate(t *testing.T) {
+	if !math.IsNaN(RocAUC([]float64{1, 2}, []bool{true, true})) {
+		t.Error("single-class AUC not NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	RocAUC([]float64{1}, []bool{true, false})
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// ranking: pos, neg, pos → AP = (1/1 + 2/3)/2
+	scores := []float64{0.9, 0.8, 0.7}
+	pos := []bool{true, false, true}
+	want := (1.0 + 2.0/3) / 2
+	if got := AveragePrecision(scores, pos); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP = %v, want %v", got, want)
+	}
+	if !math.IsNaN(AveragePrecision(scores, []bool{false, false, false})) {
+		t.Error("no-positive AP not NaN")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	pos := []bool{true, false, true, false}
+	if got := PrecisionAtK(scores, pos, 1); got != 1 {
+		t.Errorf("P@1 = %v", got)
+	}
+	if got := PrecisionAtK(scores, pos, 2); got != 0.5 {
+		t.Errorf("P@2 = %v", got)
+	}
+	if got := PrecisionAtK(scores, pos, 100); got != 0.5 {
+		t.Errorf("P@100 (clamped) = %v", got)
+	}
+	if got := PrecisionAtK(scores, pos, 0); got != 0 {
+		t.Errorf("P@0 = %v", got)
+	}
+}
+
+// Property: AUC is invariant under monotone score transforms.
+func TestQuickAUCMonotoneInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 30
+		scores := make([]float64, n)
+		trans := make([]float64, n)
+		pos := make([]bool, n)
+		anyPos, anyNeg := false, false
+		for i := range scores {
+			scores[i] = r.Float64()
+			trans[i] = math.Exp(3*scores[i]) + 7 // strictly monotone
+			pos[i] = r.Bool()
+			anyPos = anyPos || pos[i]
+			anyNeg = anyNeg || !pos[i]
+		}
+		if !anyPos || !anyNeg {
+			return true
+		}
+		return math.Abs(RocAUC(scores, pos)-RocAUC(trans, pos)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: precision and recall lie in [0,1] and recall(all flagged)=1.
+func TestQuickConfusionBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		total := 40
+		var positives, flagged []int
+		for i := 0; i < total; i++ {
+			if r.Bool() {
+				positives = append(positives, i)
+			}
+			if r.Bool() {
+				flagged = append(flagged, i)
+			}
+		}
+		c := AtBudget(flagged, positives)
+		if c.Precision() < 0 || c.Precision() > 1 || c.Recall() < 0 || c.Recall() > 1 {
+			return false
+		}
+		all := make([]int, total)
+		for i := range all {
+			all[i] = i
+		}
+		cAll := AtBudget(all, positives)
+		return len(positives) == 0 || cAll.Recall() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package evo supplies the population machinery of the paper's
+// evolutionary search (§2.1–2.2): rank-based roulette selection with
+// weights p − r(i) (Figure 4), pairing for crossover, the De Jong 95%
+// gene-convergence termination criterion, best-set tracking, and
+// per-generation statistics.
+//
+// The genome is a plain []uint16 — the paper's string encoding, where
+// 0 is the don't-care '*' and 1..φ identify grid ranges. The
+// problem-specific operators (optimized crossover, the two mutation
+// types) live in the core package because they need grid counts; this
+// package owns everything that is generic evolutionary bookkeeping.
+package evo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hido/internal/xrand"
+)
+
+// Genome is the string representation of a solution (Figure 3's
+// population elements).
+type Genome []uint16
+
+// Clone returns a copy of the genome.
+func (g Genome) Clone() Genome {
+	out := make(Genome, len(g))
+	copy(out, g)
+	return out
+}
+
+// Key returns a compact map key unique to the genome's contents.
+func (g Genome) Key() string {
+	b := make([]byte, 0, len(g)*3)
+	for i, v := range g {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendUint(b, v)
+	}
+	return string(b)
+}
+
+func appendUint(b []byte, v uint16) []byte {
+	if v >= 10 {
+		b = appendUint(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// Population is a set of genomes with cached fitness values. Lower
+// fitness is better throughout (the paper minimizes the sparsity
+// coefficient).
+type Population struct {
+	Members []Genome
+	Fitness []float64
+}
+
+// NewPopulation allocates a population of size p with genomes of the
+// given length, all zero. Callers fill the members before use.
+func NewPopulation(p, genomeLen int) *Population {
+	pop := &Population{
+		Members: make([]Genome, p),
+		Fitness: make([]float64, p),
+	}
+	for i := range pop.Members {
+		pop.Members[i] = make(Genome, genomeLen)
+	}
+	return pop
+}
+
+// Len returns the population size.
+func (pop *Population) Len() int { return len(pop.Members) }
+
+// Best returns the index of the member with the lowest fitness.
+func (pop *Population) Best() int {
+	best := 0
+	for i, f := range pop.Fitness {
+		if f < pop.Fitness[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Stats summarizes one generation.
+type Stats struct {
+	Gen        int
+	BestFit    float64 // lowest fitness in the population
+	MeanFit    float64
+	WorstFit   float64
+	Converged  float64 // fraction of genes meeting the De Jong criterion
+	Evaluated  int     // cumulative fitness evaluations
+	BestSoFar  float64 // best fitness ever seen (from the BestSet)
+	BestString string
+}
+
+// Snapshot computes the population statistics for generation gen.
+func (pop *Population) Snapshot(gen int) Stats {
+	s := Stats{Gen: gen, BestFit: math.Inf(1), WorstFit: math.Inf(-1)}
+	sum := 0.0
+	for _, f := range pop.Fitness {
+		if f < s.BestFit {
+			s.BestFit = f
+		}
+		if f > s.WorstFit {
+			s.WorstFit = f
+		}
+		sum += f
+	}
+	if pop.Len() > 0 {
+		s.MeanFit = sum / float64(pop.Len())
+	}
+	s.Converged = pop.ConvergedFraction(0.95)
+	return s
+}
+
+// Selection chooses the next generation's parents.
+type Selection int
+
+const (
+	// RankRoulette is the paper's mechanism (Figure 4): sampling
+	// probability proportional to p − r(i) with r(i) the 1-based rank in
+	// ascending fitness order (most negative sparsity first).
+	RankRoulette Selection = iota
+	// Tournament picks the better of two uniformly drawn members.
+	// Included for the selection-pressure ablation.
+	Tournament
+	// Uniform ignores fitness entirely; the no-pressure control.
+	Uniform
+)
+
+func (s Selection) String() string {
+	switch s {
+	case RankRoulette:
+		return "rank-roulette"
+	case Tournament:
+		return "tournament"
+	case Uniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Selection(%d)", int(s))
+	}
+}
+
+// Select replaces the population with p members drawn according to the
+// strategy. Fitness values travel with their genomes, so no
+// re-evaluation is needed. Genomes are copied, never aliased, because
+// crossover and mutation edit them in place.
+func (pop *Population) Select(strategy Selection, rng *xrand.RNG) {
+	p := pop.Len()
+	if p == 0 {
+		return
+	}
+	newMembers := make([]Genome, p)
+	newFitness := make([]float64, p)
+	switch strategy {
+	case RankRoulette:
+		// r(i): 1-based rank, most negative fitness ranked first.
+		order := make([]int, p)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return pop.Fitness[order[a]] < pop.Fitness[order[b]]
+		})
+		// weight of the member with rank r is p - r; the best member
+		// (r=1) gets weight p-1, the worst gets 0 and is never selected
+		// (except when p == 1).
+		weights := make([]float64, p)
+		for rank, idx := range order {
+			weights[idx] = float64(p - (rank + 1))
+		}
+		if p == 1 {
+			weights[0] = 1
+		}
+		for i := 0; i < p; i++ {
+			j := rng.WeightedChoice(weights)
+			newMembers[i] = pop.Members[j].Clone()
+			newFitness[i] = pop.Fitness[j]
+		}
+	case Tournament:
+		for i := 0; i < p; i++ {
+			a, b := rng.Intn(p), rng.Intn(p)
+			if pop.Fitness[b] < pop.Fitness[a] {
+				a = b
+			}
+			newMembers[i] = pop.Members[a].Clone()
+			newFitness[i] = pop.Fitness[a]
+		}
+	case Uniform:
+		for i := 0; i < p; i++ {
+			j := rng.Intn(p)
+			newMembers[i] = pop.Members[j].Clone()
+			newFitness[i] = pop.Fitness[j]
+		}
+	default:
+		panic("evo: unknown selection strategy")
+	}
+	pop.Members = newMembers
+	pop.Fitness = newFitness
+}
+
+// Pairs returns a random pairing of the population for crossover
+// (Figure 5 matches solutions pairwise). With odd p, the last member
+// sits the round out.
+func (pop *Population) Pairs(rng *xrand.RNG) [][2]int {
+	perm := rng.Perm(pop.Len())
+	out := make([][2]int, 0, pop.Len()/2)
+	for i := 0; i+1 < len(perm); i += 2 {
+		out = append(out, [2]int{perm[i], perm[i+1]})
+	}
+	return out
+}
+
+// ConvergedFraction returns the fraction of gene positions at which at
+// least threshold of the population share one value.
+func (pop *Population) ConvergedFraction(threshold float64) float64 {
+	if pop.Len() == 0 || len(pop.Members[0]) == 0 {
+		return 0
+	}
+	genomeLen := len(pop.Members[0])
+	converged := 0
+	counts := map[uint16]int{}
+	for pos := 0; pos < genomeLen; pos++ {
+		clear(counts)
+		max := 0
+		for _, g := range pop.Members {
+			counts[g[pos]]++
+			if counts[g[pos]] > max {
+				max = counts[g[pos]]
+			}
+		}
+		if float64(max) >= threshold*float64(pop.Len()) {
+			converged++
+		}
+	}
+	return float64(converged) / float64(genomeLen)
+}
+
+// Converged implements De Jong's criterion: the population has
+// converged when every gene position has 95% of the population
+// agreeing on its value.
+func (pop *Population) Converged() bool {
+	return pop.ConvergedFraction(0.95) >= 1
+}
+
+// BestSet tracks the m best solutions seen so far (Figure 3's
+// BestSet), deduplicated by genome key. Lower fitness is better.
+type BestSet struct {
+	m       int
+	entries []BestEntry
+	seen    map[string]int // key → index in entries
+}
+
+// BestEntry is one retained solution.
+type BestEntry struct {
+	Genome  Genome
+	Fitness float64
+}
+
+// NewBestSet returns a tracker retaining the m best solutions.
+func NewBestSet(m int) *BestSet {
+	if m <= 0 {
+		panic("evo: BestSet size must be positive")
+	}
+	return &BestSet{m: m, seen: map[string]int{}}
+}
+
+// Offer submits a solution. It reports whether the set changed. The
+// genome is cloned on retention.
+func (bs *BestSet) Offer(g Genome, fitness float64) bool {
+	key := g.Key()
+	if _, dup := bs.seen[key]; dup {
+		return false
+	}
+	if len(bs.entries) < bs.m {
+		bs.seen[key] = len(bs.entries)
+		bs.entries = append(bs.entries, BestEntry{Genome: g.Clone(), Fitness: fitness})
+		bs.fixupLast()
+		return true
+	}
+	// entries is kept sorted ascending by fitness; worst is last.
+	if fitness >= bs.entries[bs.m-1].Fitness {
+		return false
+	}
+	evicted := bs.entries[bs.m-1]
+	delete(bs.seen, evicted.Genome.Key())
+	bs.entries[bs.m-1] = BestEntry{Genome: g.Clone(), Fitness: fitness}
+	bs.seen[key] = bs.m - 1
+	bs.fixupLast()
+	return true
+}
+
+// fixupLast restores sortedness after the last entry changed,
+// updating the seen map as entries shift.
+func (bs *BestSet) fixupLast() {
+	i := len(bs.entries) - 1
+	for i > 0 && bs.entries[i].Fitness < bs.entries[i-1].Fitness {
+		bs.entries[i], bs.entries[i-1] = bs.entries[i-1], bs.entries[i]
+		bs.seen[bs.entries[i].Genome.Key()] = i
+		bs.seen[bs.entries[i-1].Genome.Key()] = i - 1
+		i--
+	}
+}
+
+// Len returns the number of retained solutions.
+func (bs *BestSet) Len() int { return len(bs.entries) }
+
+// Entries returns the retained solutions, best (lowest fitness) first.
+// The slice is a copy; genomes are shared and must not be mutated.
+func (bs *BestSet) Entries() []BestEntry {
+	return append([]BestEntry(nil), bs.entries...)
+}
+
+// Worst returns the fitness of the worst retained solution, or +Inf
+// when the set is not yet full — the threshold a new solution must
+// beat.
+func (bs *BestSet) Worst() float64 {
+	if len(bs.entries) < bs.m {
+		return math.Inf(1)
+	}
+	return bs.entries[len(bs.entries)-1].Fitness
+}
+
+// MeanFitness returns the average fitness of the retained solutions —
+// the "quality" column of the paper's Table 1. It returns NaN when
+// empty.
+func (bs *BestSet) MeanFitness() float64 {
+	if len(bs.entries) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, e := range bs.entries {
+		sum += e.Fitness
+	}
+	return sum / float64(len(bs.entries))
+}

@@ -1,0 +1,158 @@
+// Package grid provides the counting engine for subspace cubes: one
+// bitmap per (dimension, range) pair, so that the number of records
+// inside a k-dimensional cube — the n(D) of Equation 1 — is the
+// cardinality of a k-way bitmap intersection, O(k·N/64) with no
+// allocation.
+//
+// The index also supports incremental extension counting (given the
+// record set of a partial cube, the count after constraining one more
+// dimension), which is the inner loop of the optimized crossover's
+// greedy phase (§2.2), and exposes the sparsity coefficient directly.
+package grid
+
+import (
+	"fmt"
+
+	"hido/internal/bitset"
+	"hido/internal/cube"
+	"hido/internal/discretize"
+	"hido/internal/stats"
+)
+
+// Index is an immutable bitmap index over a fitted grid.
+type Index struct {
+	N, D, Phi int
+	// bits[j][r-1] holds the records whose dimension-j attribute falls
+	// in range r. Records missing attribute j appear in no bitmap of
+	// dimension j.
+	bits [][]*bitset.Set
+}
+
+// Build constructs the index from a fitted discretization.
+func Build(g *discretize.Grid) *Index {
+	ix := &Index{N: g.N, D: g.D, Phi: g.Phi}
+	ix.bits = make([][]*bitset.Set, g.D)
+	for j := 0; j < g.D; j++ {
+		ix.bits[j] = make([]*bitset.Set, g.Phi)
+		for r := 0; r < g.Phi; r++ {
+			ix.bits[j][r] = bitset.New(g.N)
+		}
+	}
+	for i := 0; i < g.N; i++ {
+		row := g.CellsRow(i)
+		for j, r := range row {
+			if r != 0 {
+				ix.bits[j][r-1].Set(i)
+			}
+		}
+	}
+	return ix
+}
+
+// RangeSet returns the bitmap of records in range r (1-based) of
+// dimension j. The returned set is shared; callers must not mutate it.
+func (ix *Index) RangeSet(j int, r uint16) *bitset.Set {
+	if j < 0 || j >= ix.D {
+		panic(fmt.Sprintf("grid: dimension %d out of range [0,%d)", j, ix.D))
+	}
+	if r < 1 || int(r) > ix.Phi {
+		panic(fmt.Sprintf("grid: range %d out of [1,%d]", r, ix.Phi))
+	}
+	return ix.bits[j][r-1]
+}
+
+// gather collects the bitmaps of a cube's constraints into buf.
+func (ix *Index) gather(c cube.Cube, buf []*bitset.Set) []*bitset.Set {
+	if len(c) != ix.D {
+		panic(fmt.Sprintf("grid: cube over %d dims, index over %d", len(c), ix.D))
+	}
+	for j, r := range c {
+		if r != cube.DontCare {
+			buf = append(buf, ix.RangeSet(j, r))
+		}
+	}
+	return buf
+}
+
+// Count returns the number of records inside the cube. An
+// all-DontCare cube counts every record.
+func (ix *Index) Count(c cube.Cube) int {
+	var buf [8]*bitset.Set
+	sets := ix.gather(c, buf[:0])
+	if len(sets) == 0 {
+		return ix.N
+	}
+	return bitset.IntersectCountMany(sets)
+}
+
+// Cover returns the records inside the cube as a fresh bitmap.
+func (ix *Index) Cover(c cube.Cube) *bitset.Set {
+	var buf [8]*bitset.Set
+	sets := ix.gather(c, buf[:0])
+	out := bitset.New(ix.N)
+	if len(sets) == 0 {
+		out.Fill()
+		return out
+	}
+	bitset.IntersectInto(out, sets)
+	return out
+}
+
+// CoverInto stores the cube's record set into dst (capacity N) and
+// returns its cardinality.
+func (ix *Index) CoverInto(dst *bitset.Set, c cube.Cube) int {
+	var buf [8]*bitset.Set
+	sets := ix.gather(c, buf[:0])
+	if len(sets) == 0 {
+		dst.Fill()
+		return ix.N
+	}
+	return bitset.IntersectInto(dst, sets)
+}
+
+// ExtendCount returns |partial ∩ range(j, r)|: the cube count after
+// adding one more constraint to a partial cube whose record set is
+// already known. This is the greedy-crossover inner loop.
+func (ix *Index) ExtendCount(partial *bitset.Set, j int, r uint16) int {
+	return partial.IntersectCount(ix.RangeSet(j, r))
+}
+
+// Sparsity returns the sparsity coefficient (Equation 1) of the cube,
+// treating the cube's own K as the projection dimensionality. An
+// all-DontCare cube has no dimensionality; it returns 0.
+func (ix *Index) Sparsity(c cube.Cube) float64 {
+	k := c.K()
+	if k == 0 {
+		return 0
+	}
+	return stats.Sparsity(ix.Count(c), ix.N, k, ix.Phi)
+}
+
+// SparsityOf converts a raw count into the sparsity coefficient at
+// projection dimensionality k under this index's N and Phi.
+func (ix *Index) SparsityOf(n, k int) float64 {
+	return stats.Sparsity(n, ix.N, k, ix.Phi)
+}
+
+// NaiveCount scans the discretization directly, without bitmaps. It is
+// the correctness oracle for Count in tests and the baseline in the
+// counting-backend ablation.
+func NaiveCount(g *discretize.Grid, c cube.Cube) int {
+	if len(c) != g.D {
+		panic(fmt.Sprintf("grid: cube over %d dims, grid over %d", len(c), g.D))
+	}
+	n := 0
+	for i := 0; i < g.N; i++ {
+		if c.Covers(g.CellsRow(i)) {
+			n++
+		}
+	}
+	return n
+}
+
+// MemoryBytes reports the approximate bitmap storage, for capacity
+// planning: D·Phi bitmaps of N bits.
+func (ix *Index) MemoryBytes() int {
+	words := (ix.N + 63) / 64
+	return ix.D * ix.Phi * words * 8
+}

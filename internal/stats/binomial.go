@@ -1,0 +1,78 @@
+package stats
+
+import "math"
+
+// BinomialTail returns P(X <= n) for X ~ Binomial(N, p), computed in
+// log space by direct summation. The sparsity coefficient's normal
+// approximation (Equation 1) is crude exactly where it matters — cube
+// counts near zero with small expected values — so the library also
+// offers this exact tail: the probability that a cube would contain
+// as few or fewer points than observed if the attributes were
+// independent.
+//
+// n is clamped to [0, N]. The summation runs over n+1 terms; sparse
+// cubes have tiny n, so this is effectively constant time.
+func BinomialTail(n, N int, p float64) float64 {
+	if N <= 0 {
+		panic("stats: BinomialTail with N <= 0")
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		panic("stats: BinomialTail with p outside [0,1]")
+	}
+	if n < 0 {
+		return 0
+	}
+	if n >= N {
+		return 1
+	}
+	if p == 0 {
+		return 1
+	}
+	if p == 1 {
+		return 0 // n < N but all mass at N
+	}
+	logP, logQ := math.Log(p), math.Log1p(-p)
+	// log C(N,0) = 0; accumulate the ratio C(N,i)/C(N,i-1) = (N-i+1)/i.
+	logC := 0.0
+	// Sum in log space with the running max trick.
+	maxLog := math.Inf(-1)
+	logs := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		if i > 0 {
+			logC += math.Log(float64(N-i+1)) - math.Log(float64(i))
+		}
+		l := logC + float64(i)*logP + float64(N-i)*logQ
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	out := math.Exp(maxLog) * sum
+	if out > 1 {
+		out = 1
+	}
+	return out
+}
+
+// ExactSignificance returns the exact one-sided significance of a
+// k-dimensional cube holding n of N points under a grid with phi
+// equi-depth ranges and the independence assumption: the binomial
+// probability of a count this low or lower. Compare Significance,
+// which applies the paper's normal approximation to the same event.
+func ExactSignificance(n, N, k, phi int) float64 {
+	if N <= 0 {
+		panic("stats: ExactSignificance with N <= 0")
+	}
+	if phi < 2 {
+		panic("stats: ExactSignificance with phi < 2")
+	}
+	if k <= 0 {
+		panic("stats: ExactSignificance with k <= 0")
+	}
+	p := math.Pow(1/float64(phi), float64(k))
+	return BinomialTail(n, N, p)
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialTailKnownValues(t *testing.T) {
+	cases := []struct {
+		n, N int
+		p    float64
+		want float64
+	}{
+		// P(X <= 0) = (1-p)^N
+		{0, 10, 0.5, math.Pow(0.5, 10)},
+		{0, 4, 0.25, math.Pow(0.75, 4)},
+		// P(X <= 1) for N=4, p=0.5: (1 + 4)/16
+		{1, 4, 0.5, 5.0 / 16},
+		// P(X <= 2) for N=4, p=0.5: (1+4+6)/16
+		{2, 4, 0.5, 11.0 / 16},
+		// full tail
+		{4, 4, 0.5, 1},
+	}
+	for _, c := range cases {
+		if got := BinomialTail(c.n, c.N, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("BinomialTail(%d,%d,%v) = %v, want %v", c.n, c.N, c.p, got, c.want)
+		}
+	}
+}
+
+func TestBinomialTailEdges(t *testing.T) {
+	if got := BinomialTail(-1, 10, 0.3); got != 0 {
+		t.Errorf("n<0: %v", got)
+	}
+	if got := BinomialTail(10, 10, 0.3); got != 1 {
+		t.Errorf("n=N: %v", got)
+	}
+	if got := BinomialTail(5, 10, 0); got != 1 {
+		t.Errorf("p=0: %v", got)
+	}
+	if got := BinomialTail(5, 10, 1); got != 0 {
+		t.Errorf("p=1, n<N: %v", got)
+	}
+}
+
+func TestBinomialTailPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"N=0":   func() { BinomialTail(0, 0, 0.5) },
+		"p<0":   func() { BinomialTail(0, 5, -0.1) },
+		"p>1":   func() { BinomialTail(0, 5, 1.1) },
+		"p=NaN": func() { BinomialTail(0, 5, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBinomialTailLargeNNoOverflow(t *testing.T) {
+	// N = 10^6, p = 10^-3, n = 900: far below the mean of 1000; the
+	// log-space sum must return a finite probability in (0, 1).
+	got := BinomialTail(900, 1_000_000, 1e-3)
+	if math.IsNaN(got) || math.IsInf(got, 0) || got <= 0 || got >= 1 {
+		t.Errorf("large-N tail = %v", got)
+	}
+}
+
+func TestExactSignificanceMatchesNormalAsymptotically(t *testing.T) {
+	// With a large expected count the normal approximation converges to
+	// the exact binomial tail (continuity correction ignored, so allow
+	// a percent of slack near the mean).
+	N, k, phi := 100000, 1, 2 // p=0.5, mean 50000, sd ~158
+	n := 49842                // one sd below the mean
+	exact := ExactSignificance(n, N, k, phi)
+	s := Sparsity(n, N, k, phi)
+	approx := Significance(s)
+	if math.Abs(exact-approx) > 0.01 {
+		t.Errorf("exact %v vs normal approx %v at 1 sd", exact, approx)
+	}
+}
+
+func TestExactSignificanceSmallCountDivergesFromNormal(t *testing.T) {
+	// Where the paper's approximation is crude — near-empty cubes with
+	// small expectations — the exact value is the honest one; both must
+	// still call the cube abnormally unlikely.
+	N, k, phi := 452, 2, 6 // E = 12.6
+	exact := ExactSignificance(1, N, k, phi)
+	approx := Significance(Sparsity(1, N, k, phi))
+	if exact >= 0.01 {
+		t.Errorf("exact significance of singleton cube = %v, want << 1", exact)
+	}
+	if approx >= 0.01 {
+		t.Errorf("approx significance of singleton cube = %v, want << 1", approx)
+	}
+}
+
+// Property: the tail is monotone non-decreasing in n and lies in [0,1].
+func TestQuickBinomialTailMonotone(t *testing.T) {
+	f := func(NRaw uint8, pRaw uint8) bool {
+		N := int(NRaw)%60 + 1
+		p := float64(pRaw%100) / 100
+		prev := -1.0
+		for n := 0; n <= N; n++ {
+			v := BinomialTail(n, N, p)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return almost(prev, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BinomialTail agrees with direct float summation for small N.
+func TestQuickBinomialTailOracle(t *testing.T) {
+	binom := func(N, i int) float64 {
+		out := 1.0
+		for j := 0; j < i; j++ {
+			out = out * float64(N-j) / float64(j+1)
+		}
+		return out
+	}
+	f := func(nRaw, NRaw uint8, pRaw uint8) bool {
+		N := int(NRaw)%25 + 1
+		n := int(nRaw) % (N + 1)
+		p := float64(pRaw%101) / 100
+		want := 0.0
+		for i := 0; i <= n; i++ {
+			want += binom(N, i) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(N-i))
+		}
+		if want > 1 {
+			want = 1
+		}
+		got := BinomialTail(n, N, p)
+		return almost(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBinomialTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = BinomialTail(i%20, 10000, 0.001)
+	}
+}

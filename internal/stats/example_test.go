@@ -1,0 +1,37 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"hido/internal/stats"
+)
+
+// The sparsity coefficient of Equation 1: a cube holding 2 of 10,000
+// points where independence predicts 100 sits almost 10 standard
+// deviations below expectation.
+func ExampleSparsity() {
+	fmt.Printf("%.2f\n", stats.Sparsity(2, 10000, 2, 10))
+	// Output:
+	// -9.85
+}
+
+// Equation 2's advisor: the largest projection dimensionality at which
+// an empty cube still clears the target significance.
+func ExampleKStar() {
+	fmt.Println(stats.KStar(10000, 10, -3))
+	fmt.Println(stats.KStar(452, 6, -3))
+	// Output:
+	// 3
+	// 2
+}
+
+// Exact versus approximate significance of a singleton cube: the
+// normal approximation of Equation 1 understates how unlikely a
+// near-empty cube is when the expected count is small.
+func ExampleExactSignificance() {
+	exact := stats.ExactSignificance(1, 452, 2, 6)
+	approx := stats.Significance(stats.Sparsity(1, 452, 2, 6))
+	fmt.Printf("exact %.2g, normal approximation %.2g\n", exact, approx)
+	// Output:
+	// exact 4.1e-05, normal approximation 0.00047
+}

@@ -1,0 +1,324 @@
+// Package stats implements the statistical machinery of the paper:
+// the sparsity coefficient of a grid cube (Equation 1), the normal
+// distribution used to interpret it as a level of significance, and
+// the projection-dimensionality advisor (Equation 2, §2.4).
+//
+// It also provides the descriptive statistics (means, variances,
+// quantiles) used by the dataset layer and the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparsity returns the sparsity coefficient S(D) of a k-dimensional
+// cube containing n of N points under a grid with phi equi-depth
+// ranges per dimension (Equation 1 of the paper):
+//
+//	S(D) = (n − N·f^k) / sqrt(N·f^k·(1 − f^k)),   f = 1/phi
+//
+// Negative values indicate cubes sparser than the independence
+// baseline; under a uniform-data assumption S(D) is the number of
+// standard deviations below the expected count.
+func Sparsity(n, N, k, phi int) float64 {
+	if N <= 0 {
+		panic("stats: Sparsity with N <= 0")
+	}
+	if phi < 2 {
+		panic("stats: Sparsity with phi < 2")
+	}
+	if k <= 0 {
+		panic("stats: Sparsity with k <= 0")
+	}
+	fk := math.Pow(1/float64(phi), float64(k))
+	denom := math.Sqrt(float64(N) * fk * (1 - fk))
+	if denom == 0 {
+		// fk rounded to 0 or 1: the cube is degenerate; report 0 so such
+		// cubes never look abnormally sparse.
+		return 0
+	}
+	return (float64(n) - float64(N)*fk) / denom
+}
+
+// EmptySparsity returns the sparsity coefficient of an empty
+// k-dimensional cube, −sqrt(N/(phi^k − 1)) (§2.4). This is the most
+// negative value any cube can attain at the given parameters.
+func EmptySparsity(N, k, phi int) float64 {
+	return Sparsity(0, N, k, phi)
+}
+
+// KStar returns the projection dimensionality advised by §2.4 of the
+// paper for a data set of N points, grid resolution phi, and target
+// sparsity coefficient s (a negative number such as −3):
+//
+//	k* = floor(log_phi(N/s² + 1))
+//
+// k* is the largest dimensionality at which an empty cube is still at
+// least |s| standard deviations below expectation, i.e. the highest
+// dimensional embedded space in which useful outliers may be found.
+// The result is clamped to at least 1.
+func KStar(N, phi int, s float64) int {
+	if N <= 0 || phi < 2 {
+		panic("stats: KStar with invalid N or phi")
+	}
+	if s >= 0 {
+		panic("stats: KStar requires negative target sparsity s")
+	}
+	k := int(math.Floor(math.Log(float64(N)/(s*s)+1) / math.Log(float64(phi))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// NormalPDF returns the standard normal density at x.
+func NormalPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// NormalCDF returns P(Z <= x) for a standard normal Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns the x with NormalCDF(x) = p, for p in (0,1).
+// It uses the Acklam rational approximation refined by one Halley
+// step, giving full double accuracy over the open unit interval.
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: NormalQuantile(%v) outside (0,1)", p))
+	}
+	// Coefficients of the Acklam approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const plow, phigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// Significance returns the one-sided probability, under the paper's
+// uniform-data normal approximation, that a cube would contain as few
+// or fewer points than observed — i.e. NormalCDF(s) for a sparsity
+// coefficient s. Small values mark abnormally sparse cubes; s = −3
+// corresponds to ≈0.13%, the paper's "99.9% level of significance".
+func Significance(s float64) float64 {
+	return NormalCDF(s)
+}
+
+// Mean returns the arithmetic mean, skipping NaN entries. It returns
+// NaN if there are no valid entries.
+func Mean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Variance returns the unbiased sample variance, skipping NaN entries.
+// It returns NaN with fewer than two valid entries.
+func Variance(xs []float64) float64 {
+	mean := Mean(xs)
+	if math.IsNaN(mean) {
+		return math.NaN()
+	}
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			d := x - mean
+			sum += d * d
+			n++
+		}
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	return sum / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the smallest and largest non-NaN values. ok is false
+// if every entry is NaN or the slice is empty.
+func MinMax(xs []float64) (min, max float64, ok bool) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		ok = true
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, ok
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the non-NaN values
+// using linear interpolation between order statistics (type 7, the R
+// and NumPy default). It returns NaN for an empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile(%v) outside [0,1]", q))
+	}
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	return quantileSorted(clean, q)
+}
+
+// QuantileSorted is Quantile for data already sorted ascending and
+// free of NaNs.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: QuantileSorted(%v) outside [0,1]", q))
+	}
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Pearson returns the Pearson correlation of two equal-length series,
+// skipping pairs where either value is NaN. It returns NaN with fewer
+// than two valid pairs or zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	var sx, sy, sxx, syy, sxy float64
+	n := 0
+	for i := range xs {
+		x, y := xs[i], ys[i]
+		if math.IsNaN(x) || math.IsNaN(y) {
+			continue
+		}
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	fn := float64(n)
+	cov := sxy - sx*sy/fn
+	vx := sxx - sx*sx/fn
+	vy := syy - sy*sy/fn
+	if vx <= 0 || vy <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Summary bundles the descriptive statistics of one attribute.
+type Summary struct {
+	N       int // valid (non-NaN) entries
+	Missing int // NaN entries
+	Mean    float64
+	StdDev  float64
+	Min     float64
+	Q25     float64
+	Median  float64
+	Q75     float64
+	Max     float64
+}
+
+// Summarize computes a Summary over one attribute's values.
+func Summarize(xs []float64) Summary {
+	clean := make([]float64, 0, len(xs))
+	missing := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			missing++
+		} else {
+			clean = append(clean, x)
+		}
+	}
+	s := Summary{N: len(clean), Missing: missing}
+	if len(clean) == 0 {
+		s.Mean, s.StdDev = math.NaN(), math.NaN()
+		s.Min, s.Q25, s.Median, s.Q75, s.Max =
+			math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		return s
+	}
+	sort.Float64s(clean)
+	s.Mean = Mean(clean)
+	s.StdDev = StdDev(clean)
+	s.Min = clean[0]
+	s.Max = clean[len(clean)-1]
+	s.Q25 = quantileSorted(clean, 0.25)
+	s.Median = quantileSorted(clean, 0.5)
+	s.Q75 = quantileSorted(clean, 0.75)
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d missing=%d mean=%.4g sd=%.4g min=%.4g q25=%.4g med=%.4g q75=%.4g max=%.4g",
+		s.N, s.Missing, s.Mean, s.StdDev, s.Min, s.Q25, s.Median, s.Q75, s.Max)
+}

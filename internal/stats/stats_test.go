@@ -1,0 +1,350 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSparsityExpectedCountIsZero(t *testing.T) {
+	// A cube holding exactly the expected N·f^k points has S = 0.
+	// N=10000, phi=10, k=2 → expected 100 points.
+	if got := Sparsity(100, 10000, 2, 10); !almost(got, 0, 1e-12) {
+		t.Errorf("Sparsity(expected) = %v, want 0", got)
+	}
+}
+
+func TestSparsitySign(t *testing.T) {
+	if s := Sparsity(10, 10000, 2, 10); s >= 0 {
+		t.Errorf("under-populated cube has S = %v, want negative", s)
+	}
+	if s := Sparsity(500, 10000, 2, 10); s <= 0 {
+		t.Errorf("over-populated cube has S = %v, want positive", s)
+	}
+}
+
+func TestSparsityKnownValue(t *testing.T) {
+	// N=10000, phi=10, k=2, n=0: f^k = 0.01, expected = 100,
+	// sd = sqrt(10000*0.01*0.99) = sqrt(99), S = -100/sqrt(99).
+	want := -100 / math.Sqrt(99)
+	if got := Sparsity(0, 10000, 2, 10); !almost(got, want, 1e-12) {
+		t.Errorf("Sparsity(0,10000,2,10) = %v, want %v", got, want)
+	}
+}
+
+func TestEmptySparsityMatchesPaperFormula(t *testing.T) {
+	// §2.4: S(empty) = −sqrt(N/(phi^k − 1)).
+	for _, c := range []struct{ N, k, phi int }{
+		{1000, 2, 10}, {452, 3, 5}, {10000, 4, 10}, {699, 3, 6},
+	} {
+		want := -math.Sqrt(float64(c.N) / (math.Pow(float64(c.phi), float64(c.k)) - 1))
+		got := EmptySparsity(c.N, c.k, c.phi)
+		if !almost(got, want, 1e-9) {
+			t.Errorf("EmptySparsity(%d,%d,%d) = %v, want %v", c.N, c.k, c.phi, got, want)
+		}
+	}
+}
+
+func TestSparsityMonotoneInN(t *testing.T) {
+	prev := math.Inf(-1)
+	for n := 0; n <= 200; n += 10 {
+		s := Sparsity(n, 10000, 2, 10)
+		if s <= prev {
+			t.Fatalf("Sparsity not strictly increasing in n at n=%d", n)
+		}
+		prev = s
+	}
+}
+
+func TestSparsityPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"N=0":   func() { Sparsity(0, 0, 2, 10) },
+		"phi=1": func() { Sparsity(0, 100, 2, 1) },
+		"k=0":   func() { Sparsity(0, 100, 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sparsity %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKStar(t *testing.T) {
+	// Verify against the closed form k* = floor(log_phi(N/s²+1)).
+	cases := []struct {
+		N, phi int
+		s      float64
+		want   int
+	}{
+		// N=10000, s=-3, phi=10: log10(10000/9+1) = log10(1112.1) ≈ 3.046 → 3
+		{10000, 10, -3, 3},
+		// N=452, s=-3, phi=5: log5(452/9+1) = ln(51.2)/ln(5) ≈ 2.446 → 2
+		{452, 5, -3, 2},
+		// tiny N clamps to 1
+		{10, 10, -3, 1},
+	}
+	for _, c := range cases {
+		if got := KStar(c.N, c.phi, c.s); got != c.want {
+			t.Errorf("KStar(%d,%d,%v) = %d, want %d", c.N, c.phi, c.s, got, c.want)
+		}
+	}
+}
+
+func TestKStarEmptyCubeIsAtLeastS(t *testing.T) {
+	// By construction, the empty-cube sparsity at k* must be at least as
+	// negative as s (the paper notes rounding makes it slightly more so),
+	// while at k*+1 it is less negative than s.
+	for _, c := range []struct {
+		N, phi int
+		s      float64
+	}{{10000, 10, -3}, {2310, 8, -3}, {6598, 10, -2.5}} {
+		k := KStar(c.N, c.phi, c.s)
+		if e := EmptySparsity(c.N, k, c.phi); e > c.s {
+			t.Errorf("N=%d phi=%d: EmptySparsity at k*=%d is %v, want <= %v", c.N, c.phi, k, e, c.s)
+		}
+		if e := EmptySparsity(c.N, k+1, c.phi); e <= c.s {
+			t.Errorf("N=%d phi=%d: EmptySparsity at k*+1=%d is %v, want > %v", c.N, c.phi, k+1, e, c.s)
+		}
+	}
+}
+
+func TestKStarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KStar with s>=0 did not panic")
+		}
+	}()
+	KStar(100, 10, 0)
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almost(got, c.want, 1e-12) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	if got := NormalPDF(0); !almost(got, 0.3989422804014327, 1e-15) {
+		t.Errorf("NormalPDF(0) = %v", got)
+	}
+	if got := NormalPDF(2); !almost(got, NormalPDF(-2), 1e-15) {
+		t.Error("PDF not symmetric")
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-6, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1 - 1e-6} {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); !almost(got, p, 1e-12*math.Max(1, 1/p)) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if got := NormalQuantile(0.975); !almost(got, 1.959963984540054, 1e-9) {
+		t.Errorf("Quantile(0.975) = %v", got)
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestSignificanceAtMinusThree(t *testing.T) {
+	// The paper: s = −3 gives a 99.9% level of significance.
+	sig := Significance(-3)
+	if sig > 0.00135 || sig < 0.00134 {
+		t.Errorf("Significance(-3) = %v, want ≈0.00135", sig)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almost(got, 5, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); !almost(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestMeanSkipsNaN(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3}
+	if got := Mean(xs); !almost(got, 2, 1e-12) {
+		t.Errorf("Mean with NaN = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) not NaN")
+	}
+	if !math.IsNaN(Mean([]float64{math.NaN()})) {
+		t.Error("Mean(all NaN) not NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single value not NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, ok := MinMax([]float64{3, math.NaN(), -1, 7})
+	if !ok || min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v,%v", min, max, ok)
+	}
+	if _, _, ok := MinMax(nil); ok {
+		t.Error("MinMax(nil) ok = true")
+	}
+	if _, _, ok := MinMax([]float64{math.NaN()}); ok {
+		t.Error("MinMax(all NaN) ok = true")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.0 / 3, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{5}, 0.7); got != 5 {
+		t.Errorf("Quantile single = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) not NaN")
+	}
+}
+
+func TestQuantileSortedAgrees(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 10}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if a, b := Quantile(xs, q), QuantileSorted(xs, q); !almost(a, b, 1e-12) {
+			t.Errorf("q=%v: Quantile=%v QuantileSorted=%v", q, a, b)
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !almost(got, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almost(got, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if !math.IsNaN(Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Error("zero-variance Pearson not NaN")
+	}
+}
+
+func TestPearsonSkipsNaNPairs(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3, 4}
+	ys := []float64{2, 100, 6, 8}
+	if got := Pearson(xs, ys); !almost(got, 1, 1e-12) {
+		t.Errorf("Pearson skipping NaN = %v, want 1", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, math.NaN(), 3, 4})
+	if s.N != 4 || s.Missing != 1 {
+		t.Errorf("N=%d Missing=%d", s.N, s.Missing)
+	}
+	if !almost(s.Mean, 2.5, 1e-12) || !almost(s.Median, 2.5, 1e-12) {
+		t.Errorf("Mean=%v Median=%v", s.Mean, s.Median)
+	}
+	if s.Min != 1 || s.Max != 4 {
+		t.Errorf("Min=%v Max=%v", s.Min, s.Max)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty Summarize = %+v", empty)
+	}
+}
+
+// Property: sparsity of an empty cube is always <= sparsity of any
+// occupied cube at the same parameters, and always negative.
+func TestQuickEmptyCubeIsSparsest(t *testing.T) {
+	f := func(nRaw, NRaw uint16, kRaw, phiRaw uint8) bool {
+		N := int(NRaw)%5000 + 10
+		phi := int(phiRaw)%15 + 2
+		k := int(kRaw)%5 + 1
+		n := int(nRaw) % (N + 1)
+		e := Sparsity(0, N, k, phi)
+		s := Sparsity(n, N, k, phi)
+		return e <= s && e < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		min, max, _ := MinMax(xs)
+		return Quantile(xs, 0) == min && Quantile(xs, 1) == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSparsity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Sparsity(i%100, 10000, 3, 10)
+	}
+}
+
+func BenchmarkNormalQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NormalQuantile(0.001 + float64(i%997)/1000)
+	}
+}

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hido/internal/core"
+	"hido/internal/cube"
+	"hido/internal/discretize"
+)
+
+// Model is the JSON-serializable form of a fitted Monitor: the grid's
+// cut points, the retained projections, and the fitting options. A
+// model mined once can be shipped to scoring processes that never see
+// the reference data.
+type Model struct {
+	Version     int               `json:"version"`
+	Phi         int               `json:"phi"`
+	K           int               `json:"k"`
+	Options     Options           `json:"options"`
+	Names       []string          `json:"names"`
+	Cuts        [][]float64       `json:"cuts"`
+	Projections []ModelProjection `json:"projections"`
+}
+
+// ModelProjection is one persisted projection.
+type ModelProjection struct {
+	Cube     []uint16 `json:"cube"`
+	Sparsity float64  `json:"sparsity"`
+	Count    int      `json:"count"`
+}
+
+// modelVersion guards the wire format.
+const modelVersion = 1
+
+// Save writes the current model as JSON.
+func (m *Monitor) Save(w io.Writer) error {
+	m.mu.RLock()
+	model := Model{
+		Version: modelVersion,
+		Phi:     m.opt.Phi,
+		K:       m.k,
+		Options: m.opt,
+		Names:   append([]string(nil), m.names...),
+		Cuts:    m.grid.AllCuts(),
+	}
+	for _, p := range m.projections {
+		model.Projections = append(model.Projections, ModelProjection{
+			Cube: append([]uint16(nil), p.Cube...), Sparsity: p.Sparsity, Count: p.Count,
+		})
+	}
+	m.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(model); err != nil {
+		return fmt.Errorf("stream: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a Monitor from a persisted model. The loaded
+// monitor scores and explains exactly as the original; Refit works as
+// long as the new window matches the model's dimensionality.
+func Load(r io.Reader) (*Monitor, error) {
+	var model Model
+	if err := json.NewDecoder(r).Decode(&model); err != nil {
+		return nil, fmt.Errorf("stream: decoding model: %w", err)
+	}
+	if model.Version != modelVersion {
+		return nil, fmt.Errorf("stream: model version %d, want %d", model.Version, modelVersion)
+	}
+	if model.Phi < 2 {
+		return nil, fmt.Errorf("stream: model phi=%d invalid", model.Phi)
+	}
+	if len(model.Cuts) == 0 || len(model.Names) != len(model.Cuts) {
+		return nil, fmt.Errorf("stream: model has %d name(s) for %d dimension(s)",
+			len(model.Names), len(model.Cuts))
+	}
+	for j, c := range model.Cuts {
+		if len(c) != model.Phi-1 {
+			return nil, fmt.Errorf("stream: dimension %d has %d cuts, want %d",
+				j, len(c), model.Phi-1)
+		}
+	}
+	d := len(model.Cuts)
+	m := &Monitor{
+		opt:   model.Options.withDefaults(),
+		grid:  discretize.FromCuts(model.Phi, model.Cuts),
+		names: model.Names,
+		k:     model.K,
+	}
+	m.opt.Phi = model.Phi
+	for pi, p := range model.Projections {
+		if len(p.Cube) != d {
+			return nil, fmt.Errorf("stream: projection %d spans %d dims, model has %d",
+				pi, len(p.Cube), d)
+		}
+		c := cube.Cube(p.Cube)
+		if !c.Valid(model.Phi) {
+			return nil, fmt.Errorf("stream: projection %d has out-of-range cells", pi)
+		}
+		m.projections = append(m.projections, core.Projection{
+			Cube: c, Sparsity: p.Sparsity, Count: p.Count,
+		})
+	}
+	return m, nil
+}

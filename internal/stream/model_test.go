@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hido/internal/xrand"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, err := NewMonitor(reference(700, 20), Options{Phi: 5, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.K() != orig.K() {
+		t.Errorf("K: %d vs %d", loaded.K(), orig.K())
+	}
+	if len(loaded.Projections()) != len(orig.Projections()) {
+		t.Fatalf("projection counts differ: %d vs %d",
+			len(loaded.Projections()), len(orig.Projections()))
+	}
+
+	// Identical scoring on a mixed stream.
+	r := xrand.New(22)
+	for i := 0; i < 100; i++ {
+		var rec []float64
+		if i%10 == 0 {
+			rec = contrarian(r)
+		} else {
+			rec = typical(r)
+		}
+		a1, a2 := orig.Score(rec), loaded.Score(rec)
+		if a1.Score != a2.Score || len(a1.Matches) != len(a2.Matches) {
+			t.Fatalf("record %d scored differently: %+v vs %+v", i, a1, a2)
+		}
+	}
+
+	// Explanations carry names and bounds after loading.
+	a := loaded.Score(contrarian(r))
+	if !a.Flagged() {
+		t.Fatal("loaded model did not flag the contrarian")
+	}
+	if exp := loaded.Explain(a); len(exp) == 0 || !strings.Contains(exp[0], "∈") {
+		t.Errorf("loaded explanations broken: %v", exp)
+	}
+}
+
+func TestLoadedMonitorRefits(t *testing.T) {
+	orig, err := NewMonitor(reference(400, 23), Options{Phi: 5, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Refit(reference(400, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Projections()) == 0 {
+		t.Error("refit after load produced no projections")
+	}
+}
+
+func TestLoadRejectsCorruptModels(t *testing.T) {
+	orig, err := NewMonitor(reference(300, 26), Options{Phi: 4, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"garbage":        "{not json",
+		"wrong version":  strings.Replace(good, `"version":1`, `"version":99`, 1),
+		"bad phi":        strings.Replace(good, `"phi":4`, `"phi":1`, 1),
+		"names mismatch": strings.Replace(good, `"names":["a00"`, `"names":[`, 1),
+	}
+	for name, payload := range cases {
+		if _, err := Load(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsBadProjections(t *testing.T) {
+	// Hand-build a minimal model with an out-of-range cell.
+	payload := `{"version":1,"phi":3,"k":1,"options":{"Phi":3,"TargetS":-3,"M":10,"Restarts":1,"Seed":0},
+		"names":["a","b"],"cuts":[[0.3,0.6],[0.3,0.6]],
+		"projections":[{"cube":[9,0],"sparsity":-3,"count":0}]}`
+	if _, err := Load(strings.NewReader(payload)); err == nil {
+		t.Error("out-of-range projection cell accepted")
+	}
+	payload2 := strings.Replace(payload, `"cube":[9,0]`, `"cube":[1]`, 1)
+	if _, err := Load(strings.NewReader(payload2)); err == nil {
+		t.Error("wrong-width projection accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package stream applies a fitted projection-outlier model to records
+// that arrive after fitting — the deployment mode of the paper's
+// motivating applications (credit-card fraud, network intrusion),
+// where the abnormality patterns are mined offline on a reference
+// window and incoming events are scored against them online.
+//
+// A Monitor holds the reference detector plus its mined sparse
+// projections. Scoring one record is O(m·k): assign the record's grid
+// cells (the reference grid's equi-depth cuts are reused verbatim)
+// and test it against each retained projection. Missing attributes
+// follow the offline semantics: a record lacking an attribute never
+// matches a cube constraining it.
+//
+// Refit rebuilds the model on a new reference window, giving a simple
+// sliding-window deployment; the paper's algorithmics are unchanged —
+// this package only packages them behind an online interface.
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"hido/internal/core"
+	"hido/internal/dataset"
+	"hido/internal/discretize"
+)
+
+// Alert describes why a scored record was flagged.
+type Alert struct {
+	// Score is the most negative sparsity coefficient among matching
+	// projections (0 when none matched).
+	Score float64
+	// Matches indexes the monitor's Projections that cover the record.
+	Matches []int
+}
+
+// Flagged reports whether any projection matched.
+func (a Alert) Flagged() bool { return len(a.Matches) > 0 }
+
+// Options configures model fitting.
+type Options struct {
+	// Phi is the grid resolution (required, >= 2).
+	Phi int
+	// TargetS is the §2.4 advisor target (default −3); it picks the
+	// projection dimensionality k and serves as the projection
+	// retention threshold.
+	TargetS float64
+	// M is how many best projections each search run tracks
+	// (default 100).
+	M int
+	// Restarts unions this many evolutionary runs (default 3).
+	Restarts int
+	// Seed drives the searches.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TargetS == 0 {
+		o.TargetS = -3
+	}
+	if o.M == 0 {
+		o.M = 100
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	return o
+}
+
+// Monitor scores records against a model mined from a reference
+// window. Score is safe for concurrent use; Refit takes an exclusive
+// lock.
+type Monitor struct {
+	opt Options
+
+	mu          sync.RWMutex
+	grid        *discretize.Grid
+	names       []string
+	projections []core.Projection
+	k           int
+}
+
+// NewMonitor fits the initial model on the reference window.
+func NewMonitor(reference *dataset.Dataset, opt Options) (*Monitor, error) {
+	opt = opt.withDefaults()
+	if opt.Phi < 2 {
+		return nil, fmt.Errorf("stream: phi=%d must be at least 2", opt.Phi)
+	}
+	if opt.TargetS >= 0 {
+		return nil, fmt.Errorf("stream: target sparsity %v must be negative", opt.TargetS)
+	}
+	m := &Monitor{opt: opt}
+	if err := m.Refit(reference); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Refit replaces the model with one mined from a new reference window
+// (same dimensionality).
+func (m *Monitor) Refit(reference *dataset.Dataset) error {
+	det := core.NewDetector(reference, m.opt.Phi)
+	advice := det.Advise(m.opt.TargetS)
+	// MinCoverage -1 admits cubes that are EMPTY in the reference
+	// window — offline mining discards them (they cover no record),
+	// but online they are the strongest alarms: a new record landing
+	// in a region the reference never occupied.
+	res, err := det.EvolutionaryRestarts(core.EvoOptions{
+		K: advice.K, M: m.opt.M, Seed: m.opt.Seed, MinCoverage: -1,
+	}, m.opt.Restarts)
+	if err != nil {
+		return err
+	}
+	res = res.FilterProjections(det, m.opt.TargetS)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.grid != nil && det.D() != m.grid.D {
+		return fmt.Errorf("stream: refit window has %d dims, model has %d", det.D(), m.grid.D)
+	}
+	m.grid = det.Grid
+	m.names = append([]string(nil), reference.Names...)
+	m.projections = res.Projections
+	m.k = advice.K
+	return nil
+}
+
+// Score evaluates one record against the current model. The record
+// must have the model's dimensionality; NaN marks missing attributes.
+func (m *Monitor) Score(record []float64) Alert {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(record) != m.grid.D {
+		panic(fmt.Sprintf("stream: record has %d values, model has %d dims", len(record), m.grid.D))
+	}
+	cells := m.grid.AssignRow(record)
+	var a Alert
+	for pi, p := range m.projections {
+		if p.Cube.Covers(cells) {
+			a.Matches = append(a.Matches, pi)
+			if p.Sparsity < a.Score {
+				a.Score = p.Sparsity
+			}
+		}
+	}
+	return a
+}
+
+// ScoreBatch scores every row of a dataset, returning one alert per
+// record.
+func (m *Monitor) ScoreBatch(ds *dataset.Dataset) []Alert {
+	out := make([]Alert, ds.N())
+	for i := range out {
+		out[i] = m.Score(ds.RowView(i))
+	}
+	return out
+}
+
+// Projections returns the current model's retained projections
+// (shared slice; do not mutate).
+func (m *Monitor) Projections() []core.Projection {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.projections
+}
+
+// Explain renders the matching projections of an alert with attribute
+// names from the current model.
+func (m *Monitor) Explain(a Alert) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(a.Matches))
+	for _, pi := range a.Matches {
+		out = append(out, m.projections[pi].DescribeRanges(m.names, m.grid))
+	}
+	return out
+}
+
+// K returns the model's projection dimensionality.
+func (m *Monitor) K() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.k
+}
+
+// D returns the model's data dimensionality (attributes per record).
+func (m *Monitor) D() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.grid.D
+}

@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"hido/internal/dataset"
+	"hido/internal/synth"
+	"hido/internal/xrand"
+)
+
+// reference builds a correlated window: dims 0-2 share a factor, the
+// rest are noise.
+func reference(n int, seed uint64) *dataset.Dataset {
+	ds, err := synth.Generate(synth.Config{
+		Name: "ref", N: n, D: 8,
+		Groups: []synth.Group{{Dims: []int{0, 1, 2}, Noise: 0.03}},
+	}, seed)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// contrarian returns a record violating the (0,1) correlation while
+// staying in-range marginally.
+func contrarian(r *xrand.RNG) []float64 {
+	row := make([]float64, 8)
+	for j := range row {
+		row[j] = r.Float64()
+	}
+	row[0], row[1], row[2] = 0.03, 0.97, 0.5
+	return row
+}
+
+// typical returns a factor-consistent record.
+func typical(r *xrand.RNG) []float64 {
+	row := make([]float64, 8)
+	f := r.Float64()
+	row[0], row[1], row[2] = f, f, f
+	for j := 3; j < 8; j++ {
+		row[j] = r.Float64()
+	}
+	return row
+}
+
+func TestMonitorFlagsContrarian(t *testing.T) {
+	m, err := NewMonitor(reference(800, 1), Options{Phi: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	a := m.Score(contrarian(r))
+	if !a.Flagged() {
+		t.Fatal("contrarian record not flagged")
+	}
+	if a.Score >= -3 {
+		t.Errorf("alert score = %v, want <= -3", a.Score)
+	}
+	if exp := m.Explain(a); len(exp) == 0 || exp[0] == "" {
+		t.Error("no explanation")
+	}
+	// Most typical records pass.
+	flagged := 0
+	for i := 0; i < 200; i++ {
+		if m.Score(typical(r)).Flagged() {
+			flagged++
+		}
+	}
+	if flagged > 20 {
+		t.Errorf("%d/200 typical records flagged", flagged)
+	}
+}
+
+func TestMonitorMissingAttributes(t *testing.T) {
+	m, err := NewMonitor(reference(600, 4), Options{Phi: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(6)
+	rec := contrarian(r)
+	rec[0] = math.NaN() // the constrained attribute is missing
+	rec[1] = math.NaN()
+	a := m.Score(rec)
+	// With both signature attributes missing, the record cannot match
+	// cubes constraining them; it may still match other projections but
+	// must not match any cube constraining dims 0 or 1.
+	for _, pi := range a.Matches {
+		for _, pr := range m.Projections()[pi].Cube.Pairs() {
+			if pr.Dim == 0 || pr.Dim == 1 {
+				t.Errorf("matched projection constraining a missing attribute")
+			}
+		}
+	}
+}
+
+func TestMonitorScoreBatch(t *testing.T) {
+	m, err := NewMonitor(reference(500, 7), Options{Phi: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(9)
+	batch := dataset.New(make([]string, 8), 10)
+	for i := 0; i < 9; i++ {
+		batch.AppendRow(typical(r), "")
+	}
+	batch.AppendRow(contrarian(r), "")
+	alerts := m.ScoreBatch(batch)
+	if len(alerts) != 10 {
+		t.Fatalf("got %d alerts", len(alerts))
+	}
+	if !alerts[9].Flagged() {
+		t.Error("batch missed the contrarian")
+	}
+}
+
+func TestMonitorRefit(t *testing.T) {
+	m, err := NewMonitor(reference(500, 10), Options{Phi: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refit(reference(500, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Projections()) == 0 {
+		t.Error("refit produced no projections")
+	}
+	// Dimensionality mismatch is rejected.
+	bad, err := synth.Generate(synth.Config{Name: "bad", N: 100, D: 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refit(bad); err == nil {
+		t.Error("refit with wrong dimensionality accepted")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(reference(100, 13), Options{Phi: 1}); err == nil {
+		t.Error("phi=1 accepted")
+	}
+	if _, err := NewMonitor(reference(100, 13), Options{Phi: 5, TargetS: 3}); err == nil {
+		t.Error("positive target accepted")
+	}
+	m, err := NewMonitor(reference(200, 14), Options{Phi: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-width record did not panic")
+		}
+	}()
+	m.Score([]float64{1, 2})
+}
+
+func TestMonitorConcurrentScore(t *testing.T) {
+	m, err := NewMonitor(reference(400, 15), Options{Phi: 5, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			for i := 0; i < 200; i++ {
+				_ = m.Score(typical(r))
+			}
+		}(uint64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = m.Refit(reference(400, 17))
+	}()
+	wg.Wait()
+	if m.K() < 1 {
+		t.Error("model lost after concurrent use")
+	}
+}

@@ -1,0 +1,75 @@
+package synth
+
+import (
+	"math"
+
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+// Adversarial generates a data set deliberately hostile to naive
+// discretization and distance code — the messy shapes §3 says the UCI
+// files were "cleaned" of, exercised on purpose:
+//
+//   - a heavily tied discrete column (Zipf-distributed small integers,
+//     so equi-depth ranges cannot be balanced);
+//   - a column that is one constant except for a handful of records;
+//   - an exponentially skewed column spanning six orders of magnitude;
+//   - a column with 30% missing values;
+//   - two correlated continuous columns carrying the planted
+//     structure, plus uniform noise columns;
+//   - duplicated records (exact copies), which break naive
+//     kNN assumptions (zero distances) and test LOF's duplicate
+//     handling.
+//
+// The planted outliers (label LabelOutlier) violate the correlated
+// pair exactly as in Generate. Downstream code must survive — and
+// still find them.
+func Adversarial(n int, seed uint64) *dataset.Dataset {
+	if n < 50 {
+		panic("synth: Adversarial needs n >= 50")
+	}
+	r := xrand.New(seed)
+	names := []string{
+		"zipf", "almost_const", "logscale", "holey",
+		"corr_a", "corr_b", "noise_1", "noise_2",
+	}
+	ds := dataset.New(names, n+n/10+3)
+
+	row := make([]float64, len(names))
+	emit := func() {
+		f := r.Float64()
+		row[0] = float64(r.Zipf(8, 1.4) + 1)
+		row[1] = 7
+		if r.Bernoulli(0.02) {
+			row[1] = float64(r.IntRange(8, 12))
+		}
+		row[2] = math.Exp(14 * r.Float64()) // 1 .. ~1.2e6
+		if r.Bernoulli(0.3) {
+			row[3] = math.NaN()
+		} else {
+			row[3] = r.Float64()
+		}
+		row[4] = f
+		row[5] = clamp01(f + 0.03*r.Norm())
+		row[6] = r.Float64()
+		row[7] = r.Float64()
+		ds.AppendRow(row, LabelNormal)
+	}
+	for i := 0; i < n; i++ {
+		emit()
+	}
+	// Exact duplicates of early records.
+	for i := 0; i < n/10; i++ {
+		ds.AppendRow(ds.RowView(i), LabelNormal)
+	}
+	// Planted outliers: anti-correlated (corr_a, corr_b) pairs.
+	for i := 0; i < 3; i++ {
+		emit()
+		last := ds.N() - 1
+		ds.SetAt(last, 4, 0.02+0.02*r.Float64())
+		ds.SetAt(last, 5, 0.98-0.02*r.Float64())
+		ds.Labels[last] = LabelOutlier
+	}
+	return ds
+}

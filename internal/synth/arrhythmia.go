@@ -1,0 +1,168 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+// ArrhythmiaClass describes one diagnostic class of the arrhythmia
+// stand-in. Counts reproduce the UCI class distribution exactly, which
+// yields the paper's Table 2: common classes (≥5%) cover 85.4% of the
+// 452 records and the eight rare classes cover 14.6%.
+type ArrhythmiaClass struct {
+	Code  string
+	Count int
+	Rare  bool
+}
+
+// ArrhythmiaClasses returns the 13 non-empty classes with the UCI
+// instance counts (452 records total).
+func ArrhythmiaClasses() []ArrhythmiaClass {
+	return []ArrhythmiaClass{
+		{"01", 245, false}, // no heart disease
+		{"02", 44, false},  // ischemic changes
+		{"03", 15, true},
+		{"04", 15, true},
+		{"05", 13, true},
+		{"06", 25, false},
+		{"07", 3, true},
+		{"08", 2, true},
+		{"09", 9, true},
+		{"10", 50, false},
+		{"14", 4, true},
+		{"15", 5, true},
+		{"16", 22, false},
+	}
+}
+
+// ArrhythmiaDims is the dimensionality of the arrhythmia stand-in,
+// matching the UCI original's 279 attributes.
+const ArrhythmiaDims = 279
+
+// Arrhythmia generates the 452×279 arrhythmia stand-in:
+//
+//   - ten latent physiological factors drive overlapping groups of
+//     attributes (ECG channels correlate strongly in the original);
+//   - records of each rare class additionally carry a class-specific
+//     signature: 2–3 attributes pushed into a jointly-rare combination
+//     of an attribute group, the low-dimensional abnormality the
+//     projection method is designed to find;
+//   - one record reproduces the paper's recording-error anecdote: a
+//     height of 780 cm with a weight of 6 kg (attributes 2 and 3 hold
+//     height and weight in the UCI layout);
+//   - common-class records carry no signature, so full-dimensional
+//     distances see rare and common records as near-equidistant once
+//     the 279 dimensions' noise accumulates.
+//
+// Labels are the class codes; RareLabel reports rare membership.
+func Arrhythmia(seed uint64) (*dataset.Dataset, error) {
+	r := xrand.New(seed)
+	classes := ArrhythmiaClasses()
+	total := 0
+	for _, c := range classes {
+		total += c.Count
+	}
+
+	const d = ArrhythmiaDims
+	names := make([]string, d)
+	for j := range names {
+		names[j] = fmt.Sprintf("att%03d", j)
+	}
+	names[0], names[1], names[2], names[3] = "age", "sex", "height", "weight"
+	ds := dataset.New(names, total)
+
+	// Attribute groups: 10 factors × ~24 attributes each; the first 4
+	// attributes (demographics) form their own weakly-correlated group.
+	const nFactors = 10
+	groupOf := make([]int, d)
+	for j := 4; j < d; j++ {
+		groupOf[j] = (j - 4) % nFactors
+	}
+
+	// Class signatures: each rare class owns a distinct trio of
+	// same-group (hence mutually correlated) attributes. Each rare
+	// record picks two of its class's three dims and takes a factor-low
+	// value in one and a factor-high value in the other — individually
+	// unremarkable, jointly in an off-diagonal grid cell that correlated
+	// common records cannot reach. The random choice of pair,
+	// orientation, and level spreads a class's members across many such
+	// cells, so each stays sparse (1–2 records).
+	type signature struct {
+		dims [3]int
+	}
+	sigs := map[string]signature{}
+	next := 4
+	for _, c := range classes {
+		if !c.Rare {
+			continue
+		}
+		// three same-group attributes: j, j+nFactors, j+2·nFactors
+		sigs[c.Code] = signature{dims: [3]int{next, next + nFactors, next + 2*nFactors}}
+		next++
+	}
+
+	row := make([]float64, d)
+	factors := make([]float64, nFactors)
+	emit := func(code string, rare bool) {
+		for fi := range factors {
+			factors[fi] = r.Float64()
+		}
+		age := 16 + 70*r.Float64()
+		row[0] = math.Floor(age)
+		row[1] = float64(r.Intn(2))
+		// Height and weight are tightly coupled (the population's usual
+		// build), so a tall-and-featherweight combination — the paper's
+		// recording error — occupies an otherwise empty grid cell.
+		row[2] = math.Floor(150 + age/3 + r.NormMS(0, 4))           // height, cm
+		row[3] = math.Floor((row[2]-150)*1.2 + 30 + r.NormMS(0, 4)) // weight, kg
+		// Rare-class records carry slightly elevated measurement noise
+		// across the board (diseased ECGs are globally noisier), which
+		// is what lets the full-dimensional kNN baseline recover *some*
+		// of them, as it does in the paper (28/85, not 12/85).
+		noise := 0.05
+		if rare {
+			noise = 0.075
+		}
+		for j := 4; j < d; j++ {
+			f := factors[groupOf[j]]
+			row[j] = f + r.NormMS(0, noise)
+		}
+		if rare {
+			s := sigs[code]
+			pair := r.Sample(3, 2)
+			lo := r.Float64() / 3   // lands in the bottom third
+			hi := 1 - r.Float64()/3 // lands in the top third
+			row[s.dims[pair[0]]] = lo
+			row[s.dims[pair[1]]] = hi
+		}
+		ds.AppendRow(row, code)
+	}
+
+	for _, c := range classes {
+		for i := 0; i < c.Count; i++ {
+			emit(c.Code, c.Rare)
+		}
+	}
+
+	// The paper's recording-error record: physically impossible height
+	// and weight. Overwrite a common-class record so it does not change
+	// the class distribution.
+	ds.SetAt(0, 2, 780)
+	ds.SetAt(0, 3, 6)
+
+	return ds, nil
+}
+
+// RareLabel reports whether an arrhythmia class code is one of the
+// paper's rare classes (< 5% of instances).
+func RareLabel(code string) bool {
+	for _, c := range ArrhythmiaClasses() {
+		if c.Code == code {
+			return c.Rare
+		}
+	}
+	return false
+}

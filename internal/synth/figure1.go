@@ -1,0 +1,87 @@
+package synth
+
+import (
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+// FigureOneViews are the four 2-dimensional views of Figure 1, as
+// (dimension, dimension) pairs into the generated data set. Views 1
+// and 4 are structured (tightly correlated) and expose the planted
+// points A and B; views 2 and 3 are diffuse noise in which A and B
+// look perfectly average.
+var FigureOneViews = [4][2]int{
+	{0, 1}, // view 1: structured, exposes A
+	{2, 3}, // view 2: noisy
+	{4, 5}, // view 3: noisy
+	{6, 7}, // view 4: structured, exposes B
+}
+
+// FigureOneN is the number of background records in the Figure 1
+// stand-in; the planted points A and B follow at indices FigureOneN
+// and FigureOneN+1.
+const FigureOneN = 500
+
+// FigureOneD is the dimensionality of the Figure 1 stand-in.
+const FigureOneD = 10
+
+// FigureOne generates the data set behind Figure 1's argument: a
+// 10-dimensional set where dims (0,1) and (6,7) carry tight linear
+// structure, dims (2,3) and (4,5) are pure noise, and dims (8,9) are
+// additional noise. Point A (index FigureOneN, label "A") violates
+// the (0,1) structure only; point B (index FigureOneN+1, label "B")
+// violates the (6,7) structure only. In every other view — and in
+// full-dimensional distance — both look average, which is the paper's
+// argument for mining projections.
+func FigureOne(seed uint64) *dataset.Dataset {
+	r := xrand.New(seed)
+	names := make([]string, FigureOneD)
+	for j := range names {
+		names[j] = []string{"v1x", "v1y", "v2x", "v2y", "v3x", "v3y", "v4x", "v4y", "n1", "n2"}[j]
+	}
+	ds := dataset.New(names, FigureOneN+2)
+
+	row := make([]float64, FigureOneD)
+	for i := 0; i < FigureOneN; i++ {
+		f1 := r.Float64()
+		row[0] = f1
+		row[1] = clamp01(f1 + r.NormMS(0, 0.02))
+		row[2], row[3] = r.Float64(), r.Float64()
+		row[4], row[5] = r.Float64(), r.Float64()
+		f4 := r.Float64()
+		row[6] = f4
+		row[7] = clamp01(1 - f4 + r.NormMS(0, 0.02)) // anti-correlated band
+		row[8], row[9] = r.Float64(), r.Float64()
+		ds.AppendRow(row, LabelNormal)
+	}
+
+	// Point A: off the view-1 diagonal, average in every other dim.
+	row[0], row[1] = 0.15, 0.9
+	row[2], row[3] = 0.5, 0.45
+	row[4], row[5] = 0.55, 0.5
+	f4 := 0.5
+	row[6], row[7] = f4, 1-f4
+	row[8], row[9] = 0.48, 0.52
+	ds.AppendRow(row, "A")
+
+	// Point B: off the view-4 anti-diagonal, average elsewhere.
+	f1 := 0.5
+	row[0], row[1] = f1, f1
+	row[2], row[3] = 0.45, 0.55
+	row[4], row[5] = 0.5, 0.48
+	row[6], row[7] = 0.12, 0.08
+	row[8], row[9] = 0.52, 0.5
+	ds.AppendRow(row, "B")
+
+	return ds
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

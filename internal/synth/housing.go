@@ -1,0 +1,100 @@
+package synth
+
+import (
+	"math"
+
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+// HousingNames are the 13 attributes of the Boston housing stand-in
+// (the paper drops the original's single binary attribute, CHAS).
+var HousingNames = []string{
+	"CRIM",    // per-capita crime rate
+	"ZN",      // residential land zoned for large lots
+	"INDUS",   // non-retail business acres per town
+	"NOX",     // nitric oxide concentration
+	"RM",      // average rooms per dwelling
+	"AGE",     // proportion of pre-1940 units
+	"DIS",     // distance to employment centers
+	"RAD",     // index of accessibility to radial highways
+	"TAX",     // property tax rate
+	"PTRATIO", // pupil-teacher ratio
+	"B",       // demographic index
+	"LSTAT",   // % lower-status population
+	"MEDV",    // median home value, $1000s
+}
+
+// HousingN matches the UCI Boston housing record count.
+const HousingN = 506
+
+// Housing generates the 506×13 Boston-housing stand-in with the
+// correlation structure the paper's case study narrates, plus three
+// planted contrarian records reproducing its examples (indices
+// returned by HousingPlanted):
+//
+//   - high crime and high pupil-teacher ratio but *low* distance to
+//     employment centers (typically such localities are far out);
+//   - low NOX despite a high proportion of pre-1940 houses and high
+//     highway accessibility (the latter two usually mean high NOX);
+//   - low crime and modest business acreage but a *low* median price
+//     (those features usually indicate high prices).
+//
+// A single latent "urbanization" factor u drives the attributes:
+// urban areas have high crime, NOX, AGE, RAD, TAX, PTRATIO, LSTAT and
+// high DIS (per the paper's narration that high-crime localities are
+// typically far from employment centers), while ZN, RM and MEDV fall
+// with u.
+func Housing(seed uint64) *dataset.Dataset {
+	r := xrand.New(seed)
+	ds := dataset.New(HousingNames, HousingN)
+
+	row := make([]float64, len(HousingNames))
+	fill := func(u float64) {
+		jitter := func(sd float64) float64 { return r.NormMS(0, sd) }
+		row[0] = math.Max(0.005, math.Exp(4.2*u-3.5)+jitter(0.05)) // CRIM: 0.03..2+
+		row[1] = math.Max(0, 90*(1-u)+jitter(8))                   // ZN
+		row[2] = 2 + 20*u + jitter(1.5)                            // INDUS
+		row[3] = 0.38 + 0.42*u + jitter(0.02)                      // NOX
+		row[4] = 7.2 - 1.8*u + jitter(0.25)                        // RM
+		row[5] = math.Min(100, math.Max(3, 25+75*u+jitter(8)))     // AGE
+		row[6] = 1.1 + 9.5*u + jitter(0.6)                         // DIS (paper's narration)
+		row[7] = math.Max(1, math.Floor(1+23*u+jitter(1.2)))       // RAD
+		row[8] = 190 + 500*u + jitter(25)                          // TAX
+		row[9] = 13 + 8.5*u + jitter(0.7)                          // PTRATIO
+		row[10] = 396 - 120*u + jitter(15)                         // B
+		row[11] = 2 + 28*u + jitter(2)                             // LSTAT
+		row[12] = math.Max(5, 46-32*u+jitter(2.5))                 // MEDV
+	}
+
+	for i := 0; i < HousingN-3; i++ {
+		fill(r.Float64())
+		ds.AppendRow(row, LabelNormal)
+	}
+
+	// Planted record 1 (paper: crime 1.628, PT ratio 21.20, DIS 1.4394):
+	// an urban-looking locality that is nevertheless close in.
+	fill(0.9)
+	row[0], row[9], row[6] = 1.628, 21.20, 1.4394
+	ds.AppendRow(row, LabelOutlier)
+
+	// Planted record 2 (paper: NOX 0.453, AGE 93.40, RAD 8): old,
+	// highway-accessible, yet clean air.
+	fill(0.75)
+	row[3], row[5], row[7] = 0.453, 93.40, 8
+	ds.AppendRow(row, LabelOutlier)
+
+	// Planted record 3 (paper: CRIM 0.04741, INDUS 11.93, MEDV 11.9):
+	// the contrarian cheap-but-safe locality.
+	fill(0.25)
+	row[0], row[2], row[12] = 0.04741, 11.93, 11.9
+	ds.AppendRow(row, LabelOutlier)
+
+	return ds
+}
+
+// HousingPlanted returns the indices of the three planted contrarian
+// records, in the order documented on Housing.
+func HousingPlanted() [3]int {
+	return [3]int{HousingN - 3, HousingN - 2, HousingN - 1}
+}

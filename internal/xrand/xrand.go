@@ -1,0 +1,252 @@
+// Package xrand provides a deterministic, splittable random number
+// generator used by every stochastic component of the library: the
+// evolutionary search, the synthetic data generators, and the
+// benchmark workloads.
+//
+// The generator is xoshiro256** seeded through splitmix64, the
+// combination recommended by its authors. Streams created by Split are
+// statistically independent for practical purposes, so each experiment
+// can derive a private stream from a single user-visible seed and
+// remain reproducible regardless of how much randomness other
+// components consume.
+package xrand
+
+import "math"
+
+// RNG is a xoshiro256** pseudo-random generator. It is not safe for
+// concurrent use; Split off a stream per goroutine instead.
+type RNG struct {
+	s [4]uint64
+	// cached second Gaussian from the polar transform
+	gauss    float64
+	hasGauss bool
+}
+
+// splitmix64 advances the seed state and returns the next value.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed. Distinct seeds
+// yield well-separated streams; the all-zero internal state is
+// unreachable by construction.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	for i := range r.s {
+		r.s[i] = splitmix64(&seed)
+	}
+	return r
+}
+
+// Split derives an independent child stream. The parent advances, so
+// successive Splits give distinct children.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative 63-bit random integer.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Rejection sampling removes modulo bias.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	un := uint64(n)
+	// Lemire-style bounded generation with rejection.
+	threshold := -un % un
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % un)
+		}
+	}
+}
+
+// IntRange returns a uniform integer in [lo, hi]. It panics if hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability 1/2.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Norm returns a standard normal variate via the Marsaglia polar
+// method, caching the paired value.
+func (r *RNG) Norm() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.hasGauss = true
+		return u * f
+	}
+}
+
+// NormMS returns a normal variate with the given mean and standard
+// deviation.
+func (r *RNG) NormMS(mean, sd float64) float64 { return mean + sd*r.Norm() }
+
+// Exp returns an exponential variate with rate 1.
+func (r *RNG) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles the slice in place (Fisher-Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the given swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct integers drawn uniformly from [0, n) in
+// random order. It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("xrand: Sample k out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	// Partial Fisher-Yates over a dense index array: O(n) memory but
+	// exact and simple; n is bounded by the data dimensionality here.
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k:k]
+}
+
+// WeightedChoice returns an index sampled in proportion to the
+// non-negative weights. It panics if the weights are empty or sum to a
+// non-positive value.
+func (r *RNG) WeightedChoice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("xrand: negative or NaN weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("xrand: WeightedChoice with no mass")
+	}
+	x := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last index with positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Zipf returns a variate in [0, n) following a Zipf distribution with
+// exponent s >= 0 (s=0 is uniform). Used by skewed synthetic workloads.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("xrand: Zipf with non-positive n")
+	}
+	if s == 0 {
+		return r.Intn(n)
+	}
+	// Inverse-CDF over the finite support. n is small (grid ranges or
+	// cluster counts), so the linear scan is fine.
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += math.Pow(float64(i), -s)
+	}
+	x := r.Float64() * total
+	acc := 0.0
+	for i := 1; i <= n; i++ {
+		acc += math.Pow(float64(i), -s)
+		if x < acc {
+			return i - 1
+		}
+	}
+	return n - 1
+}

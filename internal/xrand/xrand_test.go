@@ -1,0 +1,322 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical outputs from distinct seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("successive Split children produced identical first output")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) produced only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	exp := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-exp) > 5*math.Sqrt(exp) {
+			t.Errorf("bucket %d count %d far from expected %.0f", i, c, exp)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntRange(3,5) = %d", v)
+		}
+	}
+	if got := r.IntRange(4, 4); got != 4 {
+		t.Errorf("IntRange(4,4) = %d", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v", f)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormMS(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.NormMS(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Errorf("NormMS(10,2) mean = %v", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exp()
+		if x < 0 {
+			t.Fatalf("Exp() = %v < 0", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Errorf("Exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm(50) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(29)
+	for trial := 0; trial < 100; trial++ {
+		s := r.Sample(20, 5)
+		if len(s) != 5 {
+			t.Fatalf("Sample returned %d elements", len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("Sample(20,5) invalid: %v", s)
+			}
+			seen[v] = true
+		}
+	}
+	if got := r.Sample(5, 0); got != nil {
+		t.Errorf("Sample(n,0) = %v, want nil", got)
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3,4) did not panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestSampleCoversAll(t *testing.T) {
+	// Sampling k=n must return a permutation of all items.
+	r := New(31)
+	s := r.Sample(10, 10)
+	seen := make([]bool, 10)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("Sample(10,10) missing %d", i)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(37)
+	w := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.WeightedChoice(w)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	cases := [][]float64{nil, {}, {0, 0}, {-1, 2}}
+	for _, w := range cases {
+		func() {
+			defer func() { recover() }()
+			New(1).WeightedChoice(w)
+			if len(w) == 0 || allZeroOrNeg(w) {
+				t.Errorf("WeightedChoice(%v) did not panic", w)
+			}
+		}()
+	}
+}
+
+func allZeroOrNeg(w []float64) bool {
+	for _, x := range w {
+		if x > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(41)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[r.Zipf(5, 0)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Zipf(5,0) bucket %d = %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(43)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		counts[r.Zipf(10, 1.5)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Errorf("Zipf(10,1.5) not skewed: first=%d last=%d", counts[0], counts[9])
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(47)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+// Property: Intn(n) always lies in range for arbitrary positive n.
+func TestQuickIntnInRange(t *testing.T) {
+	r := New(53)
+	f := func(n uint16) bool {
+		m := int(n)%1000 + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: same seed and same call sequence produce identical Perm.
+func TestQuickPermDeterministic(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n)%30 + 1
+		p1 := New(seed).Perm(m)
+		p2 := New(seed).Perm(m)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Norm()
+	}
+}
