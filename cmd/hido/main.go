@@ -52,7 +52,7 @@ func main() {
 		budget    = flag.Duration("budget", time.Minute, "brute-force time budget")
 		restarts  = flag.Int("restarts", 1, "evo: independent runs to union")
 		islands   = flag.Int("islands", 0, "evo: island-model populations (0 = single population)")
-		workers   = flag.Int("workers", 1, "brute: parallel workers (0 = all CPUs)")
+		workers   = flag.Int("workers", 1, "parallel workers for brute and evo searches (0 = all CPUs)")
 		minimal   = flag.Bool("minimal", false, "reduce explanations to minimal sub-cubes")
 		filter    = flag.Float64("filter", 0, "keep only projections with sparsity <= this (0 = keep all)")
 		baseline  = flag.String("baseline", "", "also run a baseline for comparison: knn, lof or db")
@@ -157,7 +157,13 @@ func run(cfg config) error {
 			err = nil
 		}
 	case "evo":
-		opt := core.EvoOptions{K: k, M: m, Seed: seed, Crossover: kind}
+		// The CLI's 0 means "all CPUs" (matching brute); EvoOptions
+		// encodes that as a negative worker count.
+		evoWorkers := cfg.workers
+		if evoWorkers == 0 {
+			evoWorkers = -1
+		}
+		opt := core.EvoOptions{K: k, M: m, Seed: seed, Crossover: kind, Workers: evoWorkers}
 		switch {
 		case cfg.islands > 0:
 			res, err = det.EvolutionaryIslands(core.IslandOptions{Evo: opt, Islands: cfg.islands})
@@ -223,7 +229,7 @@ func run(cfg config) error {
 	}
 
 	if cfg.baseline != "" {
-		if err := runBaseline(cfg.baseline, ds, res, det, top); err != nil {
+		if err := runBaseline(cfg.baseline, ds, res, det, top, cfg.workers); err != nil {
 			return err
 		}
 	}
@@ -273,7 +279,7 @@ func runSampled(cfg config, ds *dataset.Dataset, det *core.Detector, k int) erro
 
 // runBaseline executes a full-dimensional baseline at the projection
 // method's outlier budget and reports the overlap.
-func runBaseline(name string, ds *dataset.Dataset, res *core.Result, det *core.Detector, top int) error {
+func runBaseline(name string, ds *dataset.Dataset, res *core.Result, det *core.Detector, top, workers int) error {
 	n := len(res.Outliers)
 	if n == 0 {
 		fmt.Println("\nbaseline skipped: projection method covered no records")
@@ -299,7 +305,7 @@ func runBaseline(name string, ds *dataset.Dataset, res *core.Result, det *core.D
 	case "db":
 		// λ at the median 5-NN distance makes roughly half the points
 		// borderline; report what the definition yields there.
-		scores, err := knnout.Scores(full, 5, 0)
+		scores, err := knnout.ScoresParallel(full, 5, 0, workers)
 		if err != nil {
 			return err
 		}

@@ -30,6 +30,7 @@ func main() {
 		exp         = flag.String("exp", "all", "experiment: table1|table2|arrhythmia|figure1|housing|scaling|shell|quality|convergence|ablation|all")
 		seed        = flag.Uint64("seed", 1, "random seed (all experiments are deterministic per seed)")
 		bruteBudget = flag.Duration("brute-budget", 30*time.Second, "per-dataset brute-force budget for table1")
+		workers     = flag.Int("workers", 0, "worker-sweep cap for the ablation's parallel table (0 = all CPUs)")
 		outdir      = flag.String("outdir", "", "directory for figure1 view CSVs (omit to skip)")
 		csvdir      = flag.String("csvdir", "", "run every experiment and write CSV results into this directory")
 	)
@@ -154,7 +155,7 @@ func main() {
 	})
 
 	run("ablation", func() error {
-		res, err := bench.RunAblation(bench.AblationOptions{Seed: *seed})
+		res, err := bench.RunAblation(bench.AblationOptions{Seed: *seed, Workers: *workers})
 		if err != nil {
 			return err
 		}

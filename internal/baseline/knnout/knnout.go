@@ -146,6 +146,20 @@ func Scores(ds *dataset.Dataset, k int, metric neighbors.Metric) ([]float64, err
 	return s.AllKDist(k), nil
 }
 
+// ScoresParallel is Scores computed on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). Every record's kth-NN scan is
+// independent, so the scores are identical to the serial path.
+func ScoresParallel(ds *dataset.Dataset, k int, metric neighbors.Metric, workers int) ([]float64, error) {
+	if k < 1 || k > ds.N()-1 {
+		return nil, fmt.Errorf("knnout: k=%d outside [1,%d]", k, ds.N()-1)
+	}
+	if ds.MissingCount() > 0 {
+		return nil, fmt.Errorf("knnout: dataset has %d missing values; impute first", ds.MissingCount())
+	}
+	s := neighbors.NewSearch(ds, metric)
+	return s.AllKDistParallel(k, workers), nil
+}
+
 // minHeap orders outliers by ascending score (root = weakest member).
 type minHeap []Outlier
 

@@ -292,3 +292,35 @@ func TestQuickPartitionOracle(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The parallel scoring path must be bit-identical to the serial one:
+// every record's kth-NN scan is independent and the distance sums are
+// accumulated in the same order regardless of which goroutine runs
+// them.
+func TestScoresParallelMatchesSerial(t *testing.T) {
+	ds := withOutlier(randomDS(300, 6, 9))
+	for _, metric := range []neighbors.Metric{neighbors.Euclidean, neighbors.Manhattan} {
+		want, err := Scores(ds, 4, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 8} {
+			got, err := ScoresParallel(ds, 4, metric, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("metric %v workers=%d: %d scores, want %d", metric, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("metric %v workers=%d: score[%d]=%v, serial %v",
+						metric, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if _, err := ScoresParallel(ds, 0, neighbors.Euclidean, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -14,7 +14,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"hido/internal/dataset"
 )
@@ -229,6 +232,41 @@ func (s *Search) AllKDist(k int) []float64 {
 	for i := range out {
 		out[i] = s.KDist(i, k)
 	}
+	return out
+}
+
+// AllKDistParallel is AllKDist computed on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). The searcher is read-only, so
+// records partition freely across goroutines and each output slot is
+// written exactly once; the result is identical to AllKDist.
+func (s *Search) AllKDistParallel(k, workers int) []float64 {
+	n := s.ds.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return s.AllKDist(k)
+	}
+	out := make([]float64, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for t := 0; t < workers; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = s.KDist(i, k)
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 

@@ -2,18 +2,21 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
 	"hido/internal/core"
 	"hido/internal/discretize"
 	"hido/internal/evo"
+	"hido/internal/grid"
 	"hido/internal/synth"
 )
 
 // AblationResult collects the design-choice ablations DESIGN.md calls
 // out: crossover operator, selection strategy, grid construction,
-// population size, grid resolution, and search topology.
+// population size, grid resolution, search topology, and the
+// worker-pool/count-cache machinery.
 type AblationResult struct {
 	Crossover  []CrossoverAblationRow
 	Selection  []SelectionAblationRow
@@ -21,6 +24,23 @@ type AblationResult struct {
 	PopSize    []PopAblationRow
 	PhiSweep   []PhiAblationRow
 	Topology   []TopologyAblationRow
+	Parallel   []ParallelAblationRow
+}
+
+// ParallelAblationRow measures one workers × cache cell: several
+// repeated searches with derived seeds (the repeated-search shape of
+// restarts and islands, isolated for measurement), optionally sharing
+// one projection-count cache. Identical reports whether the first
+// run's projections matched the serial reference — the determinism
+// guarantee, re-checked in situ.
+type ParallelAblationRow struct {
+	Workers      int
+	Cache        bool
+	Quality      float64 // mean over the repeated runs
+	Time         time.Duration
+	Speedup      float64 // serial cache-off wall clock / this cell's
+	Hits, Misses uint64  // shared-cache counters (zero when Cache=false)
+	Identical    bool
 }
 
 // TopologyAblationRow compares search topologies at an equal total
@@ -85,6 +105,9 @@ type AblationOptions struct {
 	Profile string
 	// M is the best-set size (default 20).
 	M int
+	// Workers caps the worker sweep of the parallel ablation
+	// (0 selects GOMAXPROCS).
+	Workers int
 }
 
 func (o AblationOptions) withDefaults() AblationOptions {
@@ -195,6 +218,71 @@ func RunAblation(opt AblationOptions) (*AblationResult, error) {
 		return nil, err
 	}
 
+	// Workers × shared count cache. Each cell repeats the search with
+	// derived seeds; with the cache enabled, later runs reuse earlier
+	// runs' cube counts exactly as restarts and islands do.
+	maxW := opt.Workers
+	if maxW <= 0 {
+		maxW = runtime.GOMAXPROCS(0)
+	}
+	sweep := []int{}
+	for _, w := range []int{1, 2, 4} {
+		if w <= maxW {
+			sweep = append(sweep, w)
+		}
+	}
+	if sweep[len(sweep)-1] != maxW {
+		sweep = append(sweep, maxW)
+	}
+	const parallelRuns = 3
+	var refProjections []core.Projection
+	var baseTime time.Duration
+	for _, w := range sweep {
+		for _, cached := range []bool{false, true} {
+			var cache *grid.Cache
+			if cached {
+				cache = grid.NewCache(det.Index)
+			}
+			start := time.Now()
+			quality := 0.0
+			identical := true
+			for r := 0; r < parallelRuns; r++ {
+				res, err := det.Evolutionary(core.EvoOptions{
+					K: p.K, M: opt.M,
+					Seed:    opt.Seed + uint64(r)*0x9e3779b97f4a7c15,
+					Workers: w, Cache: cache,
+				})
+				if err != nil {
+					return nil, err
+				}
+				quality += res.Quality()
+				if r == 0 {
+					if refProjections == nil {
+						refProjections = res.Projections
+					} else {
+						identical = sameProjections(refProjections, res.Projections)
+					}
+				}
+			}
+			elapsed := time.Since(start)
+			if baseTime == 0 {
+				baseTime = elapsed
+			}
+			row := ParallelAblationRow{
+				Workers: w, Cache: cached,
+				Quality:   quality / parallelRuns,
+				Time:      elapsed,
+				Speedup:   float64(baseTime) / float64(elapsed),
+				Identical: identical,
+			}
+			if cache != nil {
+				st := cache.Stats()
+				row.Hits, row.Misses = st.Hits, st.Misses
+			}
+			out.Parallel = append(out.Parallel, row)
+		}
+	}
+
 	// Phi sweep (rebuilds the grid each time; k follows §2.4).
 	for _, phi := range []int{3, 5, 8, 12} {
 		d := core.NewDetector(ds, phi)
@@ -211,6 +299,20 @@ func RunAblation(opt AblationOptions) (*AblationResult, error) {
 		})
 	}
 	return out, nil
+}
+
+// sameProjections reports whether two projection lists agree exactly
+// (cube, sparsity, count, order).
+func sameProjections(a, b []core.Projection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Cube.Equal(b[i].Cube) || a[i].Sparsity != b[i].Sparsity || a[i].Count != b[i].Count {
+			return false
+		}
+	}
+	return true
 }
 
 // FormatAblation renders every ablation table.
@@ -238,6 +340,16 @@ func FormatAblation(r *AblationResult) string {
 	for _, row := range r.Topology {
 		fmt.Fprintf(&b, "  %-15s quality=%.3f distinct=%d evals=%d time=%s\n",
 			row.Name, row.Quality, row.Distinct, row.Evals, row.Time.Round(time.Millisecond))
+	}
+	b.WriteString("parallel ablation (workers × shared count cache, 3 repeated runs):\n")
+	for _, row := range r.Parallel {
+		cache := "off"
+		if row.Cache {
+			cache = "on"
+		}
+		fmt.Fprintf(&b, "  w=%-2d cache=%-3s quality=%.3f time=%s speedup=%.2fx hits=%d misses=%d identical=%v\n",
+			row.Workers, cache, row.Quality, row.Time.Round(time.Millisecond),
+			row.Speedup, row.Hits, row.Misses, row.Identical)
 	}
 	b.WriteString("phi sweep (k from Eq. 2 at s=-3):\n")
 	for _, row := range r.PhiSweep {

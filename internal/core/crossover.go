@@ -1,28 +1,145 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"hido/internal/bitset"
 	"hido/internal/cube"
 	"hido/internal/evo"
+	"hido/internal/xrand"
 )
 
+// xoverCtx carries the per-worker state of the crossover operator: a
+// private RNG stream, reusable bitset scratch buffers, and an
+// evaluation counter drained by the scheduler after each pair. One
+// ctx serves one goroutine at a time, so none of it needs locking.
+type xoverCtx struct {
+	s       *search
+	rng     *xrand.RNG
+	evals   int
+	partial *bitset.Set
+	scratch []*bitset.Set
+}
+
+func newXoverCtx(s *search) *xoverCtx {
+	return &xoverCtx{s: s, partial: bitset.New(s.d.N())}
+}
+
+// takeEvals drains the context's evaluation counter.
+func (x *xoverCtx) takeEvals() int {
+	n := x.evals
+	x.evals = 0
+	return n
+}
+
+// scratchAt returns the depth-th scratch bitset, growing on demand.
+// Buffers persist across pairs, so steady state allocates nothing.
+func (x *xoverCtx) scratchAt(depth int) *bitset.Set {
+	for len(x.scratch) <= depth {
+		x.scratch = append(x.scratch, bitset.New(x.s.d.N()))
+	}
+	return x.scratch[depth]
+}
+
 // crossoverAll matches the population pairwise and replaces each pair
-// with its two children (Figure 5's outer loop).
+// with its two children (Figure 5's outer loop). Pairs are recombined
+// by the worker pool; determinism across worker counts holds because
+// one RNG seed per pair is drawn from the master stream before the
+// fan-out, so each pair's stochastic choices are independent of
+// scheduling, and pairs write disjoint population slots.
 func (s *search) crossoverAll(pop *evo.Population) {
-	for _, pair := range pop.Pairs(s.rng) {
+	pairs := pop.Pairs(s.rng)
+	seeds := make([]uint64, len(pairs))
+	for i := range seeds {
+		seeds[i] = s.rng.Uint64()
+	}
+	pairEvals := make([]int, len(pairs))
+	s.forEachPair(len(pairs), func(ctx *xoverCtx, i int) {
+		ctx.rng = xrand.New(seeds[i])
+		pair := pairs[i]
 		a, b := pop.Members[pair[0]], pop.Members[pair[1]]
 		var ca, cb evo.Genome
 		switch s.opt.Crossover {
 		case OptimizedCrossover:
-			ca, cb = s.recombine(a, b)
+			ca, cb = ctx.recombine(a, b)
 		case TwoPointCrossover:
-			ca, cb = s.twoPoint(a, b)
+			ca, cb = ctx.twoPoint(a, b)
 		default:
 			panic("core: unknown crossover kind")
 		}
 		pop.Members[pair[0]], pop.Members[pair[1]] = ca, cb
+		pairEvals[i] = ctx.takeEvals()
 		// Fitness is stale until re-evaluated by the caller.
+	})
+	for _, e := range pairEvals {
+		s.evals += e
 	}
+}
+
+// forEachPair runs fn(ctx, i) for every i in [0, n) on up to
+// s.workers goroutines, handing each goroutine its own reusable
+// xoverCtx. With one worker it runs inline.
+func (s *search) forEachPair(n int, fn func(ctx *xoverCtx, i int)) {
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		ctx := s.serialCtx()
+		for i := 0; i < n; i++ {
+			fn(ctx, i)
+		}
+		return
+	}
+	for len(s.ctxs) < workers {
+		s.ctxs = append(s.ctxs, newXoverCtx(s))
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for t := 0; t < workers; t++ {
+		go func(ctx *xoverCtx) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(ctx, i)
+			}
+		}(s.ctxs[t])
+	}
+	wg.Wait()
+}
+
+// serialCtx returns a reusable crossover context bound to the master
+// RNG, for operator-level callers outside the worker pool.
+func (s *search) serialCtx() *xoverCtx {
+	if len(s.ctxs) == 0 {
+		s.ctxs = append(s.ctxs, newXoverCtx(s))
+	}
+	ctx := s.ctxs[0]
+	ctx.rng = s.rng
+	return ctx
+}
+
+// recombine applies the optimized crossover on the master RNG stream —
+// the scalar form of crossoverAll, used by operator-level tests.
+func (s *search) recombine(a, b evo.Genome) (evo.Genome, evo.Genome) {
+	ctx := s.serialCtx()
+	ca, cb := ctx.recombine(a, b)
+	s.evals += ctx.takeEvals()
+	return ca, cb
+}
+
+// twoPoint is the scalar form of the two-point baseline on the master
+// RNG stream.
+func (s *search) twoPoint(a, b evo.Genome) (evo.Genome, evo.Genome) {
+	ctx := s.serialCtx()
+	ca, cb := ctx.twoPoint(a, b)
+	s.evals += ctx.takeEvals()
+	return ca, cb
 }
 
 // twoPoint is the unbiased baseline: exchange the segments to the
@@ -30,13 +147,13 @@ func (s *search) crossoverAll(pop *evo.Population) {
 // example (3*2*1 × 1*33* → 3*23* and 1*3*1), the cut falls strictly
 // inside the string. Children of the wrong dimensionality survive
 // into the population and are penalized by evaluate.
-func (s *search) twoPoint(a, b evo.Genome) (evo.Genome, evo.Genome) {
+func (x *xoverCtx) twoPoint(a, b evo.Genome) (evo.Genome, evo.Genome) {
 	d := len(a)
 	ca, cb := a.Clone(), b.Clone()
 	if d < 2 {
 		return ca, cb
 	}
-	cut := s.rng.IntRange(1, d-1)
+	cut := x.rng.IntRange(1, d-1)
 	for j := cut; j < d; j++ {
 		ca[j], cb[j] = cb[j], ca[j]
 	}
@@ -65,11 +182,11 @@ func (s *search) twoPoint(a, b evo.Genome) (evo.Genome, evo.Genome) {
 // If either parent is infeasible (dimensionality ≠ k — possible only
 // when resuming from a two-point population), the operator degrades to
 // the two-point baseline, which is defined for any pair.
-func (s *search) recombine(a, b evo.Genome) (evo.Genome, evo.Genome) {
-	k := s.opt.K
+func (x *xoverCtx) recombine(a, b evo.Genome) (evo.Genome, evo.Genome) {
+	k := x.s.opt.K
 	ca, cb := cube.Cube(a), cube.Cube(b)
 	if ca.K() != k || cb.K() != k {
-		return s.twoPoint(a, b)
+		return x.twoPoint(a, b)
 	}
 
 	var typeIIEqual, typeIIDiff []int // both non-*, equal / differing values
@@ -102,12 +219,12 @@ func (s *search) recombine(a, b evo.Genome) (evo.Genome, evo.Genome) {
 	// Type II, differing values: exhaustive search for the combination
 	// with the lowest record count. The partial record set is threaded
 	// through a DFS so shared prefixes cost one intersection each.
-	partial := bitset.New(s.d.N())
-	s.bestTypeII(child, fromA, typeIIEqual, typeIIDiff, a, b, partial)
+	partial := x.partial
+	x.bestTypeII(child, fromA, typeIIEqual, typeIIDiff, a, b, partial)
 
 	// partial now holds the record set of the chosen Type II prefix;
 	// extend greedily over the Type III candidates.
-	s.greedyTypeIII(child, fromA, typeIII, a, b, partial, k)
+	x.greedyTypeIII(child, fromA, typeIII, a, b, partial, k)
 
 	// Complementary child: derive every position from the other parent.
 	comp := make(evo.Genome, len(a))
@@ -125,50 +242,48 @@ func (s *search) recombine(a, b evo.Genome) (evo.Genome, evo.Genome) {
 // are fixed already; differing ones are searched exhaustively (up to
 // the configured limit, greedily beyond it). On return, partial holds
 // the record set of all Type II constraints.
-func (s *search) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int, a, b evo.Genome, partial *bitset.Set) {
+func (x *xoverCtx) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int, a, b evo.Genome, partial *bitset.Set) {
+	ix := x.s.d.Index
 	// Seed the partial set with the equal-valued constraints.
 	partial.Fill()
 	for _, j := range equal {
-		partial.And(s.d.Index.RangeSet(j, child[j]))
+		partial.And(ix.RangeSet(j, child[j]))
 	}
 	if len(diff) == 0 {
 		return
 	}
 
-	if len(diff) > s.opt.TypeIIExhaustiveLimit {
+	if len(diff) > x.s.opt.TypeIIExhaustiveLimit {
 		// Fallback: resolve each differing position independently by
 		// marginal count. Keeps the operator polynomial for adversarial
 		// k'; the paper's observation is that k' is typically small, so
 		// this path is rare.
 		for _, j := range diff {
-			s.evals++
-			na := s.d.Index.ExtendCount(partial, j, a[j])
-			s.evals++
-			nb := s.d.Index.ExtendCount(partial, j, b[j])
+			x.evals++
+			na := ix.ExtendCount(partial, j, a[j])
+			x.evals++
+			nb := ix.ExtendCount(partial, j, b[j])
 			if na <= nb {
 				child[j] = a[j]
 				fromA[j] = true
 			} else {
 				child[j] = b[j]
 			}
-			partial.And(s.d.Index.RangeSet(j, child[j]))
+			partial.And(ix.RangeSet(j, child[j]))
 		}
 		return
 	}
 
 	// Exhaustive DFS over the 2^k'' assignments, sharing prefix
-	// intersections. Scratch bitmaps per depth avoid allocation churn.
-	scratch := make([]*bitset.Set, len(diff))
-	for i := range scratch {
-		scratch[i] = bitset.New(s.d.N())
-	}
+	// intersections. Per-depth scratch bitmaps persist on the ctx, so
+	// repeated crossovers avoid allocation churn.
 	bestCount := -1
 	bestMask := 0
 	var dfs func(depth, mask int, cur *bitset.Set)
 	dfs = func(depth, mask int, cur *bitset.Set) {
 		if depth == len(diff) {
 			n := cur.Count()
-			s.evals++
+			x.evals++
 			if bestCount < 0 || n < bestCount {
 				bestCount = n
 				bestMask = mask
@@ -176,14 +291,14 @@ func (s *search) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int, a
 			return
 		}
 		j := diff[depth]
-		next := scratch[depth]
+		next := x.scratchAt(depth)
 		// take parent A's value
 		next.CopyFrom(cur)
-		next.And(s.d.Index.RangeSet(j, a[j]))
+		next.And(ix.RangeSet(j, a[j]))
 		dfs(depth+1, mask|1<<depth, next)
 		// take parent B's value
 		next.CopyFrom(cur)
-		next.And(s.d.Index.RangeSet(j, b[j]))
+		next.And(ix.RangeSet(j, b[j]))
 		dfs(depth+1, mask, next)
 	}
 	dfs(0, 0, partial)
@@ -195,7 +310,7 @@ func (s *search) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int, a
 		} else {
 			child[j] = b[j]
 		}
-		partial.And(s.d.Index.RangeSet(j, child[j]))
+		partial.And(ix.RangeSet(j, child[j]))
 	}
 }
 
@@ -205,7 +320,8 @@ func (s *search) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int, a
 // (most negative sparsity at the resulting dimensionality), until the
 // child has k constrained positions. Ties break uniformly at random so
 // repeated crossovers explore distinct optima.
-func (s *search) greedyTypeIII(child evo.Genome, fromA []bool, typeIII []int, a, b evo.Genome, partial *bitset.Set, k int) {
+func (x *xoverCtx) greedyTypeIII(child evo.Genome, fromA []bool, typeIII []int, a, b evo.Genome, partial *bitset.Set, k int) {
+	ix := x.s.d.Index
 	type cand struct {
 		pos   int
 		rng   uint16
@@ -228,15 +344,15 @@ func (s *search) greedyTypeIII(child evo.Genome, fromA []bool, typeIII []int, a,
 			if c.pos < 0 {
 				continue // consumed
 			}
-			s.evals++
-			n := s.d.Index.ExtendCount(partial, c.pos, c.rng)
+			x.evals++
+			n := ix.ExtendCount(partial, c.pos, c.rng)
 			switch {
 			case bestIdx < 0 || n < bestCount:
 				bestIdx, bestCount, nbest = ci, n, 1
 			case n == bestCount:
 				// Reservoir-style uniform tie-break.
 				nbest++
-				if s.rng.Intn(nbest) == 0 {
+				if x.rng.Intn(nbest) == 0 {
 					bestIdx = ci
 				}
 			}
@@ -247,7 +363,7 @@ func (s *search) greedyTypeIII(child evo.Genome, fromA []bool, typeIII []int, a,
 		c := cands[bestIdx]
 		child[c.pos] = c.rng
 		fromA[c.pos] = c.fromA
-		partial.And(s.d.Index.RangeSet(c.pos, c.rng))
+		partial.And(ix.RangeSet(c.pos, c.rng))
 		cands[bestIdx].pos = -1
 	}
 	// Positions not chosen keep DontCare in child; their derivation

@@ -7,6 +7,7 @@ import (
 
 	"hido/internal/cube"
 	"hido/internal/evo"
+	"hido/internal/grid"
 	"hido/internal/xrand"
 )
 
@@ -69,6 +70,21 @@ type EvoOptions struct {
 	// differing Type II positions; beyond it each position is resolved
 	// greedily. The paper notes k' is typically small. Default 16.
 	TypeIIExhaustiveLimit int
+	// Workers is the size of the worker pool scoring each generation's
+	// population and recombining its pairs. Zero runs serially;
+	// negative selects GOMAXPROCS. Results are bit-for-bit identical
+	// at every worker count: each crossover pair gets a private RNG
+	// stream drawn serially from the master stream, fitness evaluation
+	// is batched and deduplicated before it fans out, and best-set
+	// offers happen in population order after the barrier.
+	Workers int
+	// Cache optionally shares a memoized projection-count cache across
+	// searches (restarts, islands, repeated runs over one detector).
+	// It must have been built over this detector's Index (see
+	// grid.NewCache); nil keeps counting uncached. The cache changes
+	// only speed, never results: Evaluations still counts this run's
+	// distinct fitness lookups.
+	Cache *grid.Cache
 	// Seed drives all randomness; runs are reproducible per seed.
 	Seed uint64
 	// OnGeneration, when set, observes per-generation statistics.
@@ -111,12 +127,15 @@ func (o EvoOptions) withDefaults() EvoOptions {
 
 // search carries the mutable state of one evolutionary run.
 type search struct {
-	d     *Detector
-	opt   EvoOptions
-	rng   *xrand.RNG
-	bs    *evo.BestSet
-	cache map[string]fitEntry
-	evals int
+	d       *Detector
+	opt     EvoOptions
+	rng     *xrand.RNG // master stream: selection, pairing, mutation, per-pair seeds
+	bs      *evo.BestSet
+	cache   map[string]fitEntry // run-local fitness memo; also defines Evaluations
+	shared  *grid.Cache         // optional cross-run count cache
+	workers int
+	evals   int
+	ctxs    []*xoverCtx // lazily built per-worker scratch contexts
 }
 
 type fitEntry struct {
@@ -124,35 +143,58 @@ type fitEntry struct {
 	count    int
 }
 
-// Evolutionary runs the genetic search of Figure 3 and returns the M
-// best projections with their covered points.
-func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
+// newSearch validates the cache binding and assembles a run context.
+// opt must already carry its defaults.
+func newSearch(d *Detector, opt EvoOptions) (*search, error) {
+	if opt.Cache != nil && opt.Cache.Index() != d.Index {
+		return nil, fmt.Errorf("core: count cache was built over a different index")
+	}
+	return &search{
+		d:       d,
+		opt:     opt,
+		rng:     xrand.New(opt.Seed),
+		bs:      evo.NewBestSet(opt.M),
+		cache:   make(map[string]fitEntry),
+		shared:  opt.Cache,
+		workers: resolveWorkers(opt.Workers),
+	}, nil
+}
+
+func validateEvoOptions(d *Detector, opt EvoOptions) error {
 	if err := d.validateKM(opt.K, opt.M); err != nil {
+		return err
+	}
+	if opt.PopSize != 0 && opt.PopSize < 2 {
+		return fmt.Errorf("core: population size %d too small", opt.PopSize)
+	}
+	if opt.MutateP1 > 1 || opt.MutateP2 > 1 {
+		return fmt.Errorf("core: mutation probabilities (%v, %v) outside [0,1]",
+			opt.MutateP1, opt.MutateP2)
+	}
+	return nil
+}
+
+// Evolutionary runs the genetic search of Figure 3 and returns the M
+// best projections with their covered points. With opt.Workers > 1
+// the population is scored and recombined by a worker pool; results
+// are identical to the serial run.
+func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
+	if err := validateEvoOptions(d, opt); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults()
-	if opt.PopSize < 2 {
-		return nil, fmt.Errorf("core: population size %d too small", opt.PopSize)
-	}
-	if opt.MutateP1 < 0 || opt.MutateP1 > 1 || opt.MutateP2 < 0 || opt.MutateP2 > 1 {
-		return nil, fmt.Errorf("core: mutation probabilities (%v, %v) outside [0,1]",
-			opt.MutateP1, opt.MutateP2)
-	}
 	start := time.Now()
 
-	s := &search{
-		d:     d,
-		opt:   opt,
-		rng:   xrand.New(opt.Seed),
-		bs:    evo.NewBestSet(opt.M),
-		cache: make(map[string]fitEntry),
+	s, err := newSearch(d, opt)
+	if err != nil {
+		return nil, err
 	}
 
 	pop := evo.NewPopulation(opt.PopSize, d.D())
 	for i := range pop.Members {
 		s.randomGenome(pop.Members[i])
-		pop.Fitness[i] = s.evaluate(pop.Members[i])
 	}
+	s.evaluateAll(pop)
 
 	res := &Result{}
 	stall := 0
@@ -161,13 +203,8 @@ func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
 		pop.Select(opt.Selection, s.rng)
 		s.crossoverAll(pop)
 		s.mutateAll(pop)
-		improved := false
-		for i := range pop.Members {
-			pop.Fitness[i] = s.evaluate(pop.Members[i])
-			if s.offer(pop.Members[i], pop.Fitness[i]) {
-				improved = true
-			}
-		}
+		s.evaluateAll(pop)
+		improved := s.offerAll(pop)
 		if opt.OnGeneration != nil {
 			st := pop.Snapshot(gen)
 			st.Evaluated = s.evals
@@ -210,10 +247,64 @@ func (s *search) randomGenome(g evo.Genome) {
 	}
 }
 
-// evaluate returns the fitness (sparsity coefficient) of a genome,
-// caching by key. Infeasible genomes — wrong dimensionality, possible
-// only under two-point crossover — receive +Inf, the worst value for
+// countCube resolves one cube count, through the shared cache when
+// one is attached.
+func (s *search) countCube(c cube.Cube, key string) int {
+	if s.shared != nil {
+		return s.shared.CountKey(c, key)
+	}
+	return s.d.Index.Count(c)
+}
+
+// evaluateAll scores every member of the population, filling
+// pop.Fitness. The batch is deduplicated serially against the
+// run-local memo — which also fixes Evaluations independent of the
+// worker count — and the surviving distinct cubes are counted by the
+// worker pool. Infeasible genomes (wrong dimensionality, possible
+// only under two-point crossover) receive +Inf, the worst value for
 // the minimizing search ("assigned very low fitness values", §2.2).
+func (s *search) evaluateAll(pop *evo.Population) {
+	n := pop.Len()
+	keys := make([]string, n)
+	parallelFor(n, s.workers, func(i int) {
+		keys[i] = pop.Members[i].Key()
+	})
+
+	var jobs []int // representative member index per distinct uncached key
+	queued := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		key := keys[i]
+		if _, ok := s.cache[key]; ok || queued[key] {
+			continue
+		}
+		if cube.Cube(pop.Members[i]).K() != s.opt.K {
+			s.cache[key] = fitEntry{sparsity: math.Inf(1), count: -1}
+			continue
+		}
+		queued[key] = true
+		jobs = append(jobs, i)
+		s.evals++
+	}
+
+	counts := make([]int, len(jobs))
+	parallelFor(len(jobs), s.workers, func(j int) {
+		i := jobs[j]
+		counts[j] = s.countCube(cube.Cube(pop.Members[i]), keys[i])
+	})
+	for j, i := range jobs {
+		s.cache[keys[i]] = fitEntry{
+			sparsity: s.d.Index.SparsityOf(counts[j], s.opt.K),
+			count:    counts[j],
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		pop.Fitness[i] = s.cache[keys[i]].sparsity
+	}
+}
+
+// evaluate scores one genome through the run-local memo — the scalar
+// form of evaluateAll, used by operator-level tests.
 func (s *search) evaluate(g evo.Genome) float64 {
 	key := g.Key()
 	if e, ok := s.cache[key]; ok {
@@ -225,11 +316,23 @@ func (s *search) evaluate(g evo.Genome) float64 {
 		e = fitEntry{sparsity: math.Inf(1), count: -1}
 	} else {
 		s.evals++
-		e.count = s.d.Index.Count(c)
+		e.count = s.countCube(c, key)
 		e.sparsity = s.d.Index.SparsityOf(e.count, s.opt.K)
 	}
 	s.cache[key] = e
 	return e.sparsity
+}
+
+// offerAll submits the whole population to the best set in member
+// order and reports whether the set improved.
+func (s *search) offerAll(pop *evo.Population) bool {
+	improved := false
+	for i := range pop.Members {
+		if s.offer(pop.Members[i], pop.Fitness[i]) {
+			improved = true
+		}
+	}
+	return improved
 }
 
 // offer submits a genome to the best set, respecting feasibility and

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hido/internal/evo"
+	"hido/internal/grid"
 	"hido/internal/xrand"
 )
 
@@ -19,7 +20,13 @@ import (
 // sparse projections.
 type IslandOptions struct {
 	// Evo carries the per-island parameters; Evo.PopSize is the size
-	// of EACH island. Evo.OnGeneration observes island 0.
+	// of EACH island. Evo.OnGeneration observes island 0. Evo.Workers
+	// is the TOTAL worker budget: islands evolve concurrently, and
+	// leftover workers fan out inside each island's evaluator. Results
+	// are identical at every worker count — each island owns an
+	// independent RNG stream seeded from the master seed, islands
+	// synchronize at a generation barrier, and migration plus best-set
+	// merging happen in island order.
 	Evo EvoOptions
 	// Islands is the number of populations (default 4).
 	Islands int
@@ -46,71 +53,94 @@ func (o IslandOptions) withDefaults() IslandOptions {
 }
 
 // EvolutionaryIslands runs the island-model genetic search. The
-// result's projections come from a best-set shared by all islands.
+// result's projections are the best M across all islands. Islands
+// share one projection-count cache (Evo.Cache, auto-created when more
+// than one island runs), so a cube counted by any island is free for
+// the rest.
 func (d *Detector) EvolutionaryIslands(opt IslandOptions) (*Result, error) {
 	opt = opt.withDefaults()
 	if opt.Islands < 1 || opt.MigrateEvery < 1 || opt.Migrants < 0 {
 		return nil, fmt.Errorf("core: invalid island parameters %+v", opt)
 	}
 	eo := opt.Evo
-	if err := d.validateKM(eo.K, eo.M); err != nil {
+	if err := validateEvoOptions(d, eo); err != nil {
 		return nil, err
 	}
 	eo = eo.withDefaults()
-	if eo.PopSize < 2 {
-		return nil, fmt.Errorf("core: population size %d too small", eo.PopSize)
-	}
 	if opt.Migrants >= eo.PopSize {
 		return nil, fmt.Errorf("core: %d migrants with island size %d", opt.Migrants, eo.PopSize)
 	}
 	start := time.Now()
 
-	// One search context shared across islands: common fitness cache,
-	// best set, and RNG (the loop is sequential, so this stays
-	// deterministic per seed).
-	s := &search{
-		d:     d,
-		opt:   eo,
-		rng:   xrand.New(eo.Seed),
-		bs:    evo.NewBestSet(eo.M),
-		cache: make(map[string]fitEntry),
+	if eo.Cache == nil && opt.Islands > 1 {
+		eo.Cache = grid.NewCache(d.Index)
 	}
 
+	// Worker budget: islands evolve concurrently; leftover workers fan
+	// out inside each island's evaluator.
+	w := resolveWorkers(eo.Workers)
+	outer := w
+	if outer > opt.Islands {
+		outer = opt.Islands
+	}
+	inner := w / outer
+	if inner < 1 {
+		inner = 1
+	}
+
+	// Each island owns an independent search state — RNG stream, best
+	// set, run-local fitness memo — seeded serially from the master
+	// stream, so the per-island trajectories are fixed by eo.Seed alone.
+	master := xrand.New(eo.Seed)
+	searches := make([]*search, opt.Islands)
 	islands := make([]*evo.Population, opt.Islands)
-	for i := range islands {
-		pop := evo.NewPopulation(eo.PopSize, d.D())
+	for i := range searches {
+		io := eo
+		io.Seed = master.Uint64()
+		io.Workers = inner
+		s, err := newSearch(d, io)
+		if err != nil {
+			return nil, err
+		}
+		searches[i] = s
+		islands[i] = evo.NewPopulation(eo.PopSize, d.D())
+	}
+	parallelFor(opt.Islands, outer, func(i int) {
+		s, pop := searches[i], islands[i]
 		for m := range pop.Members {
 			s.randomGenome(pop.Members[m])
-			pop.Fitness[m] = s.evaluate(pop.Members[m])
-			s.offer(pop.Members[m], pop.Fitness[m])
 		}
-		islands[i] = pop
-	}
+		s.evaluateAll(pop)
+		s.offerAll(pop)
+	})
 
 	res := &Result{}
+	improvedBy := make([]bool, opt.Islands)
 	stall := 0
 	gen := 0
 	for ; gen < eo.MaxGenerations; gen++ {
-		improved := false
-		for _, pop := range islands {
+		// One generation per island, concurrently; the barrier below
+		// keeps migration and observation deterministic.
+		parallelFor(opt.Islands, outer, func(i int) {
+			s, pop := searches[i], islands[i]
 			pop.Select(eo.Selection, s.rng)
 			s.crossoverAll(pop)
 			s.mutateAll(pop)
-			for m := range pop.Members {
-				pop.Fitness[m] = s.evaluate(pop.Members[m])
-				if s.offer(pop.Members[m], pop.Fitness[m]) {
-					improved = true
-				}
-			}
-		}
+			s.evaluateAll(pop)
+			improvedBy[i] = s.offerAll(pop)
+		})
 		if eo.OnGeneration != nil {
 			st := islands[0].Snapshot(gen)
-			st.Evaluated = s.evals
-			st.BestSoFar = s.bs.MeanFitness()
+			st.Evaluated = sumEvals(searches)
+			st.BestSoFar = mergeBestSets(searches, eo.M).MeanFitness()
 			eo.OnGeneration(st)
 		}
 		if (gen+1)%opt.MigrateEvery == 0 && opt.Islands > 1 && opt.Migrants > 0 {
 			migrate(islands, opt.Migrants)
+		}
+		improved := false
+		for _, b := range improvedBy {
+			improved = improved || b
 		}
 		if improved {
 			stall = 0
@@ -136,10 +166,33 @@ func (d *Detector) EvolutionaryIslands(opt IslandOptions) (*Result, error) {
 	}
 
 	res.Generations = gen
-	res.Evaluations = s.evals
-	d.finalize(s.bs, res)
+	res.Evaluations = sumEvals(searches)
+	d.finalize(mergeBestSets(searches, eo.M), res)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// sumEvals totals the per-island logical evaluation counters.
+func sumEvals(searches []*search) int {
+	total := 0
+	for _, s := range searches {
+		total += s.evals
+	}
+	return total
+}
+
+// mergeBestSets folds the per-island best sets — in island order, so
+// the merge is deterministic — into one global top-M. Offer dedups by
+// genome key, so the result is exactly the M best distinct solutions
+// across all islands.
+func mergeBestSets(searches []*search, m int) *evo.BestSet {
+	bs := evo.NewBestSet(m)
+	for _, s := range searches {
+		for _, e := range s.bs.Entries() {
+			bs.Offer(e.Genome, e.Fitness)
+		}
+	}
+	return bs
 }
 
 // migrate copies each island's best `migrants` members over the next

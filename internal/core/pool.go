@@ -1,0 +1,52 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// resolveWorkers maps an options-style worker count to a concrete
+// pool size: zero is the serial default, negative selects GOMAXPROCS.
+func resolveWorkers(w int) int {
+	switch {
+	case w == 0:
+		return 1
+	case w < 0:
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on up to workers
+// goroutines, returning after all calls complete. With one worker (or
+// one item) it runs inline on the calling goroutine. Work is handed
+// out through an atomic counter, so callers must make fn independent
+// across indices; determinism is then inherited from fn itself.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for t := 0; t < workers; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

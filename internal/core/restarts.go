@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hido/internal/bitset"
 	"hido/internal/cube"
+	"hido/internal/grid"
 )
 
 // EvolutionaryRestarts runs the genetic search `restarts` times with
@@ -15,31 +17,71 @@ import (
 // qualifying projections — the paper's arrhythmia study collects every
 // projection with S ≤ −3 — union several runs.
 //
+// Restarts execute concurrently on opt.Workers goroutines (the budget
+// is split: surplus workers fan out inside each run's evaluator), and
+// all runs share one projection-count cache — opt.Cache, auto-created
+// when more than one restart runs — so a cube counted by any run is
+// free for the rest. Results are merged in restart order and each run
+// owns a derived seed, so the outcome is identical at every worker
+// count. When opt.OnGeneration is set, runs stay sequential so the
+// callback never executes concurrently.
+//
 // The merged result holds every distinct projection found (up to
 // restarts·M), sorted by ascending sparsity; Outliers is the union of
-// covered records; Evaluations and Generations are summed, and
-// ConvergedDeJong reports whether every run met the De Jong criterion.
+// covered records; Evaluations and Generations are summed (Elapsed is
+// wall clock), and ConvergedDeJong reports whether every run met the
+// De Jong criterion.
 func (d *Detector) EvolutionaryRestarts(opt EvoOptions, restarts int) (*Result, error) {
 	if restarts < 1 {
 		return nil, fmt.Errorf("core: restarts=%d must be positive", restarts)
 	}
+	if err := validateEvoOptions(d, opt); err != nil {
+		return nil, err
+	}
+	if opt.Cache != nil && opt.Cache.Index() != d.Index {
+		return nil, fmt.Errorf("core: count cache was built over a different index")
+	}
+	start := time.Now()
+	if opt.Cache == nil && restarts > 1 {
+		opt.Cache = grid.NewCache(d.Index)
+	}
+	w := resolveWorkers(opt.Workers)
+	outer := w
+	if outer > restarts {
+		outer = restarts
+	}
+	if opt.OnGeneration != nil {
+		outer = 1
+	}
+	inner := w / outer
+	if inner < 1 {
+		inner = 1
+	}
+
+	results := make([]*Result, restarts)
+	errs := make([]error, restarts)
+	parallelFor(restarts, outer, func(r int) {
+		o := opt
+		// Derive well-separated seeds; 0x9e3779b97f4a7c15 is the 64-bit
+		// golden-ratio increment, so successive restarts never collide.
+		o.Seed = opt.Seed + uint64(r)*0x9e3779b97f4a7c15
+		o.Workers = inner
+		results[r], errs[r] = d.Evolutionary(o)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	merged := &Result{
 		OutlierSet:      bitset.New(d.N()),
 		ConvergedDeJong: true,
 	}
 	seen := map[string]bool{}
-	for r := 0; r < restarts; r++ {
-		o := opt
-		// Derive well-separated seeds; 0x9e3779b97f4a7c15 is the 64-bit
-		// golden-ratio increment, so successive restarts never collide.
-		o.Seed = opt.Seed + uint64(r)*0x9e3779b97f4a7c15
-		res, err := d.Evolutionary(o)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		merged.Evaluations += res.Evaluations
 		merged.Generations += res.Generations
-		merged.Elapsed += res.Elapsed
 		merged.ConvergedDeJong = merged.ConvergedDeJong && res.ConvergedDeJong
 		for _, p := range res.Projections {
 			key := p.Cube.Key()
@@ -51,6 +93,7 @@ func (d *Detector) EvolutionaryRestarts(opt EvoOptions, restarts int) (*Result, 
 		}
 		merged.OutlierSet.Or(res.OutlierSet)
 	}
+	merged.Elapsed = time.Since(start)
 	sort.SliceStable(merged.Projections, func(a, b int) bool {
 		return merged.Projections[a].Sparsity < merged.Projections[b].Sparsity
 	})

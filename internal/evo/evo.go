@@ -175,8 +175,25 @@ func (pop *Population) Select(strategy Selection, rng *xrand.RNG) {
 		if p == 1 {
 			weights[0] = 1
 		}
+		// Draw p members against the cumulative weights with binary
+		// search — O(p log p) against WeightedChoice's O(p²) — while
+		// reproducing its draws bit for bit: the prefix sums are built by
+		// the same sequential additions, so `x < cum[j+1]` is the same
+		// float comparison the linear scan performs.
+		cum := make([]float64, p+1)
+		for i, w := range weights {
+			cum[i+1] = cum[i] + w
+		}
+		total := cum[p]
 		for i := 0; i < p; i++ {
-			j := rng.WeightedChoice(weights)
+			x := rng.Float64() * total
+			j := sort.Search(p, func(k int) bool { return x < cum[k+1] })
+			if j == p {
+				// Floating-point slack, mirroring WeightedChoice: fall
+				// back to the last index with positive weight.
+				for j = p - 1; j > 0 && weights[j] <= 0; j-- {
+				}
+			}
 			newMembers[i] = pop.Members[j].Clone()
 			newFitness[i] = pop.Fitness[j]
 		}
