@@ -13,7 +13,11 @@
 package hido_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -21,7 +25,10 @@ import (
 	"hido/internal/core"
 	"hido/internal/cube"
 	"hido/internal/grid"
+	"hido/internal/server"
+	"hido/internal/stream"
 	"hido/internal/synth"
+	"hido/internal/xrand"
 )
 
 // table1Detector builds the detector for one Table 1 profile.
@@ -444,3 +451,66 @@ func BenchmarkQuality_RankingComparison(b *testing.B) {
 		}
 	}
 }
+
+// --- Serving: /api/v1/score throughput through the full HTTP stack ---
+
+// benchScoreServer builds a hidod server with one fitted model behind
+// a real loopback listener.
+func benchScoreServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	ref, err := synth.Generate(synth.Config{
+		Name: "ref", N: 800, D: 8,
+		Groups: []synth.Group{{Dims: []int{0, 1, 2}, Noise: 0.03}},
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := stream.NewMonitor(ref, stream.Options{Phi: 5, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := server.New(server.Config{})
+	if err := s.Registry().Set("default", server.Entry{Monitor: mon, FittedAt: time.Now()}); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// benchServerScore drives POST /api/v1/score with JSON-lines batches
+// of the given size, reporting per-record throughput alongside
+// per-request latency.
+func benchServerScore(b *testing.B, batch int) {
+	ts := benchScoreServer(b)
+	r := xrand.New(3)
+	var body bytes.Buffer
+	for i := 0; i < batch; i++ {
+		f := r.Float64()
+		fmt.Fprintf(&body, "[%g,%g,%g,%g,%g,%g,%g,%g]\n",
+			f, f, f, r.Float64(), r.Float64(), r.Float64(), r.Float64(), r.Float64())
+	}
+	payload := body.Bytes()
+	url := ts.URL + "/api/v1/score"
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("score: %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkServerScore_Batch1(b *testing.B)     { benchServerScore(b, 1) }
+func BenchmarkServerScore_Batch100(b *testing.B)   { benchServerScore(b, 100) }
+func BenchmarkServerScore_Batch10000(b *testing.B) { benchServerScore(b, 10000) }

@@ -1,0 +1,152 @@
+// Command hidod serves fitted outlier models over HTTP: the online
+// half of the paper's fraud/intrusion deployments, with hidomon as the
+// offline half (both speak the same model JSON and alert JSON).
+//
+// Start with one or more pre-fitted models:
+//
+//	hidod -addr :8080 -load default=model.json -load fraud=fraud.json
+//
+// or start empty and fit over the API:
+//
+//	hidod -addr :8080
+//	curl -X POST --data-binary @ref.csv -H 'Content-Type: text/csv' \
+//	    'localhost:8080/api/v1/fit?model=default&phi=5'
+//
+// Endpoints: POST /api/v1/score, POST /api/v1/fit, GET /api/v1/jobs/{id},
+// GET|PUT|DELETE /api/v1/models/{name}, GET /api/v1/models, /healthz,
+// /readyz, /metrics (Prometheus text format).
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
+// in-flight requests and background fit jobs drain (bounded by
+// -drain), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hido/internal/server"
+	"hido/internal/stream"
+)
+
+// modelFlags collects repeated -load name=path flags.
+type modelFlags []struct{ name, path string }
+
+func (m *modelFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, s := range *m {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		inflight = flag.Int("max-inflight", 64, "max concurrently served score/fit requests (excess get 429)")
+		fitJobs  = flag.Int("max-fit-jobs", 2, "max concurrently running background fits")
+		maxBody  = flag.Int64("max-body", 32<<20, "request body limit in bytes")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline for score/fit")
+		workers  = flag.Int("workers", 0, "scoring workers per request (0 = GOMAXPROCS)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Var(&models, "load", "preload a model as name=path (repeatable)")
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if err := run(*addr, models, server.Config{
+		MaxInFlight:    *inflight,
+		MaxFitJobs:     *fitJobs,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		ScoreWorkers:   *workers,
+		Logger:         logger,
+	}, *drain, logger); err != nil {
+		fmt.Fprintf(os.Stderr, "hidod: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadModels installs each -load model into the registry.
+func loadModels(s *server.Server, models modelFlags) error {
+	for _, m := range models {
+		f, err := os.Open(m.path)
+		if err != nil {
+			return err
+		}
+		mon, err := stream.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", m.path, err)
+		}
+		if err := s.Registry().Set(m.name, server.Entry{
+			Monitor: mon, FittedAt: time.Now(), Source: "file:" + m.path,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(addr string, models modelFlags, cfg server.Config, drain time.Duration, logger *slog.Logger) error {
+	s := server.New(cfg)
+	if err := loadModels(s, models); err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", addr, "models", s.Registry().Names())
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests,
+	// then wait for background fit jobs, all within the drain budget.
+	logger.Info("shutting down", "drain", drain.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("draining requests: %w", err)
+	}
+	if err := s.DrainJobs(shutdownCtx); err != nil {
+		return fmt.Errorf("draining fit jobs: %w", err)
+	}
+	logger.Info("shutdown complete")
+	return nil
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hido/internal/server"
+	"hido/internal/stream"
+	"hido/internal/synth"
+)
+
+func TestModelFlags(t *testing.T) {
+	var m modelFlags
+	if err := m.Set("default=/tmp/a.json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("fraud=b.json"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.String(); got != "default=/tmp/a.json,fraud=b.json" {
+		t.Errorf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "noequals", "=path", "name="} {
+		if err := m.Set(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+// fixtureModel fits and saves a small model, returning its path.
+func fixtureModel(t *testing.T) string {
+	t.Helper()
+	ds, err := synth.Generate(synth.Config{
+		Name: "ref", N: 500, D: 6,
+		Groups: []synth.Group{{Dims: []int{0, 1}, Noise: 0.03}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := stream.NewMonitor(ds, stream.Options{Phi: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadModels(t *testing.T) {
+	path := fixtureModel(t)
+	s := server.New(server.Config{})
+	var m modelFlags
+	if err := m.Set("default=" + path); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadModels(s, m); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Registry().Get("default")
+	if !ok || e.Monitor.D() != 6 {
+		t.Fatalf("model not installed: ok=%v", ok)
+	}
+	if err := loadModels(s, modelFlags{{"x", filepath.Join(t.TempDir(), "absent.json")}}); err == nil {
+		t.Error("missing model file accepted")
+	}
+}
+
+// TestRunGracefulShutdown boots the daemon on a loopback port, scores
+// one batch over HTTP, sends itself SIGTERM, and requires run() to
+// drain and return nil.
+func TestRunGracefulShutdown(t *testing.T) {
+	path := fixtureModel(t)
+
+	// Reserve a loopback port for the daemon.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(addr, modelFlags{{"default", path}}, server.Config{}, 10*time.Second, discardLogger())
+	}()
+
+	base := "http://" + addr
+	waitReady(t, base)
+
+	body := strings.NewReader("[0.02,0.98,0.5,0.5,0.5,0.5]\n[0.5,0.5,0.5,0.5,0.5,0.5]\n")
+	resp, err := http.Post(base+"/api/v1/score?all=1", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

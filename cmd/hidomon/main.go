@@ -8,13 +8,23 @@
 // Score new records against a saved model (exit code 0 either way;
 // flagged records go to stdout with explanations):
 //
-//	hidomon -score stream.csv -model model.json [-explain]
+//	hidomon -score stream.csv -model model.json [-explain] [-json]
+//
+// With -json each alert is emitted as one JSON object per line with
+// the same fields the hidod server's /api/v1/score returns, so CLI
+// output and server responses are interchangeable; the human summary
+// moves to stderr. Scoring input is parsed strictly: a feature token
+// that is neither numeric nor a missing marker ("?", "NA", empty)
+// aborts with a non-zero exit instead of being silently reinterpreted
+// as a categorical column.
 //
 // Both CSV files need the same columns; a trailing label column can be
 // excluded with -label.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +45,7 @@ func main() {
 		header  = flag.Bool("header", true, "CSV files have a header row")
 		label   = flag.Int("label", -1, "label column index, -1 for none")
 		explain = flag.Bool("explain", false, "print matching projections per alert")
+		jsonOut = flag.Bool("json", false, "emit alerts as JSON lines (score)")
 	)
 	flag.Parse()
 	if *model == "" || (*fit == "") == (*score == "") {
@@ -46,7 +57,7 @@ func main() {
 	if *fit != "" {
 		err = runFit(*fit, *model, *phi, *s, *m, *seed, *header, *label)
 	} else {
-		err = runScore(*score, *model, *header, *label, *explain)
+		err = runScore(*score, *model, *header, *label, *explain, *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hidomon: %v\n", err)
@@ -82,7 +93,7 @@ func runFit(in, modelPath string, phi int, s float64, m int, seed uint64,
 	return nil
 }
 
-func runScore(in, modelPath string, header bool, label int, explain bool) error {
+func runScore(in, modelPath string, header bool, label int, explain, jsonOut bool) error {
 	f, err := os.Open(modelPath)
 	if err != nil {
 		return err
@@ -92,7 +103,12 @@ func runScore(in, modelPath string, header bool, label int, explain bool) error 
 	if err != nil {
 		return err
 	}
-	ds, err := dataset.ReadCSVFile(in, dataset.ReadCSVOptions{Header: header, LabelColumn: label})
+	// Strict: a model's grid cuts are numeric, so a malformed number in
+	// the scoring input must abort (non-zero exit), not be silently
+	// reinterpreted as a categorical column.
+	ds, err := dataset.ReadCSVFile(in, dataset.ReadCSVOptions{
+		Header: header, LabelColumn: label, Strict: true,
+	})
 	if err != nil {
 		return err
 	}
@@ -101,11 +117,31 @@ func runScore(in, modelPath string, header bool, label int, explain bool) error 
 	}
 	alerts := mon.ScoreBatch(ds)
 	flagged := 0
+	for _, a := range alerts {
+		if a.Flagged() {
+			flagged++
+		}
+	}
+	if jsonOut {
+		// One alert object per line, same fields as the hidod server's
+		// /api/v1/score results; keep stdout pure JSON lines.
+		w := bufio.NewWriter(os.Stdout)
+		enc := json.NewEncoder(w)
+		for _, res := range mon.Results(ds, alerts, explain, true) {
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%d/%d records flagged\n", flagged, ds.N())
+		return nil
+	}
 	for i, a := range alerts {
 		if !a.Flagged() {
 			continue
 		}
-		flagged++
 		lbl := ""
 		if l := ds.Label(i); l != "" {
 			lbl = "  label=" + l

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hido/internal/dataset"
+	"hido/internal/stream"
 	"hido/internal/synth"
 	"hido/internal/xrand"
 )
@@ -53,8 +57,108 @@ func TestFitThenScore(t *testing.T) {
 	if err != nil || info.Size() == 0 {
 		t.Fatal("model file missing or empty")
 	}
-	if err := runScore(st, model, true, 6, true); err != nil {
+	if err := runScore(st, model, true, 6, true, false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// fitFixture fits a model once for the scoring tests.
+func fitFixture(t *testing.T) string {
+	t.Helper()
+	ref := fixtureCSV(t, "ref.csv", refDS)
+	model := filepath.Join(t.TempDir(), "model.json")
+	if err := runFit(ref, model, 5, -3, 100, 1, true, 6); err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fnErr := fn()
+	w.Close()
+	out := <-done
+	if fnErr != nil {
+		t.Fatalf("captured run failed: %v", fnErr)
+	}
+	return out
+}
+
+// TestScoreJSONOutput checks -json emits one server-shaped JSON object
+// per alert and nothing else on stdout.
+func TestScoreJSONOutput(t *testing.T) {
+	model := fitFixture(t)
+	st := fixtureCSV(t, "stream.csv", streamDS)
+
+	out := captureStdout(t, func() error {
+		return runScore(st, model, true, 6, true, true)
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no JSON alerts emitted")
+	}
+	sawContrarian := false
+	for _, line := range lines {
+		var res stream.RecordResult
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("non-JSON stdout line %q: %v", line, err)
+		}
+		if !res.Flagged {
+			t.Errorf("clean record %d emitted in alert stream", res.Record)
+		}
+		if res.Record == 19 {
+			sawContrarian = true
+			if res.Label != "bad" || res.Score >= 0 || len(res.Explanations) == 0 {
+				t.Errorf("contrarian alert malformed: %+v", res)
+			}
+		}
+	}
+	if !sawContrarian {
+		t.Error("planted contrarian (record 19) missing from JSON alerts")
+	}
+}
+
+// TestScoreRejectsMalformedRows checks the strict-input fix: a feature
+// token that is not numeric aborts scoring instead of being silently
+// categorical-encoded.
+func TestScoreRejectsMalformedRows(t *testing.T) {
+	model := fitFixture(t)
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	csv := "a,b,c,d,e,f,label\n" +
+		"0.1,0.2,0.3,0.4,0.5,0.6,ok\n" +
+		"0.1,1O.5,0.3,0.4,0.5,0.6,ok\n" // "1O.5": letter O typo
+	if err := os.WriteFile(bad, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runScore(bad, model, true, 6, false, false)
+	if err == nil {
+		t.Fatal("malformed numeric row scored silently")
+	}
+	if !strings.Contains(err.Error(), "not numeric") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// Missing markers are still fine in strict mode.
+	ok := filepath.Join(t.TempDir(), "ok.csv")
+	csv = "a,b,c,d,e,f,label\n0.1,?,0.3,NA,0.5,0.6,ok\n"
+	if err := os.WriteFile(ok, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScore(ok, model, true, 6, false, false); err != nil {
+		t.Errorf("missing markers rejected in strict mode: %v", err)
 	}
 }
 
@@ -71,14 +175,14 @@ func TestFitErrors(t *testing.T) {
 
 func TestScoreErrors(t *testing.T) {
 	st := fixtureCSV(t, "stream.csv", streamDS)
-	if err := runScore(st, filepath.Join(t.TempDir(), "absent.json"), true, -1, false); err == nil {
+	if err := runScore(st, filepath.Join(t.TempDir(), "absent.json"), true, -1, false, false); err == nil {
 		t.Error("missing model accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScore(st, bad, true, -1, false); err == nil {
+	if err := runScore(st, bad, true, -1, false, false); err == nil {
 		t.Error("corrupt model accepted")
 	}
 }

@@ -23,6 +23,13 @@ type ReadCSVOptions struct {
 	Missing []string
 	// Comma is the field delimiter; ',' if zero.
 	Comma rune
+	// Strict rejects feature tokens that are neither numeric nor a
+	// missing marker instead of integer-encoding the whole column as
+	// categorical. Scoring paths (hidomon -score, the hidod server)
+	// use it: a model's grid cuts are numeric, so a malformed number
+	// like "1O.5" must be an error, not a silent reinterpretation of
+	// the column.
+	Strict bool
 }
 
 // ReadCSV parses a CSV stream into a Dataset. Non-numeric feature
@@ -96,12 +103,16 @@ func ReadCSV(r io.Reader, opts ReadCSVOptions) (*Dataset, error) {
 	numeric := make([]bool, len(featCols))
 	for i, j := range featCols {
 		numeric[i] = true
-		for _, rec := range body {
+		for ri, rec := range body {
 			f := strings.TrimSpace(rec[j])
 			if missing[f] {
 				continue
 			}
 			if _, err := strconv.ParseFloat(f, 64); err != nil {
+				if opts.Strict {
+					return nil, fmt.Errorf("dataset: row %d column %s: %q is not numeric (strict mode)",
+						ri+1, names[i], f)
+				}
 				numeric[i] = false
 				break
 			}

@@ -7,8 +7,10 @@ import (
 )
 
 // FuzzReadCSV drives the CSV reader with arbitrary input; it must
-// never panic, and any dataset it accepts must round-trip through
-// WriteCSV → ReadCSV with the same shape.
+// never panic, any dataset it accepts must round-trip through
+// WriteCSV → ReadCSV with the same shape, and strict mode must be a
+// strengthening: whatever strict accepts, lenient accepts identically,
+// and nothing strict accepts is categorical.
 func FuzzReadCSV(f *testing.F) {
 	seeds := []string{
 		"a,b\n1,2\n",
@@ -19,17 +21,53 @@ func FuzzReadCSV(f *testing.F) {
 		"\"q,uoted\",2\n1,2\n",
 		"",
 		"a\n",
+		// Quoted fields: embedded delimiters, quotes, newlines.
+		"\"a,1\",\"b\"\"2\"\n\"3\n4\",5\n",
+		// Ragged rows (width drift) must be rejected, not truncated.
+		"a,b,c\n1,2,3\n4,5\n",
+		"a,b\n1\n2,3,4\n",
+		// NaN/missing tokens: "?"/"NA"/empty are missing; literal NaN
+		// and Inf parse as floats; mixed case does not.
+		"a,b\nNaN,2\n?,NA\n,nan\n",
+		"x\n+Inf\n-Inf\nInf\n",
+		"v\n1e308\n-1.5e-300\n0x1p4\n",
+		// A numeric typo (letter O) silently flips a column
+		// categorical in lenient mode; strict must refuse.
+		"a,b\n1O.5,2\n3,4\n",
+		// Missing tokens with surrounding whitespace.
+		"a,b\n 1 , ? \n\t2\t,\tNA\t\n",
 	}
 	for _, s := range seeds {
 		f.Add(s, true, -1)
+		f.Add(s, false, 0)
 	}
 	f.Fuzz(func(t *testing.T, input string, header bool, labelCol int) {
 		if labelCol > 10 {
 			labelCol = 10
 		}
+		// Strict is a strengthening of lenient: it must never accept
+		// something lenient rejects, never disagree on shape, and never
+		// yield a categorical column.
+		strict, strictErr := ReadCSV(strings.NewReader(input), ReadCSVOptions{
+			Header: header, LabelColumn: labelCol, Strict: true,
+		})
 		ds, err := ReadCSV(strings.NewReader(input), ReadCSVOptions{
 			Header: header, LabelColumn: labelCol,
 		})
+		if strictErr == nil {
+			if err != nil {
+				t.Fatalf("strict accepted what lenient rejected: %v", err)
+			}
+			if strict.N() != ds.N() || strict.D() != ds.D() {
+				t.Fatalf("strict shape %dx%d != lenient %dx%d",
+					strict.N(), strict.D(), ds.N(), ds.D())
+			}
+			for j := 0; j < strict.D(); j++ {
+				if strict.IsCategorical(j) {
+					t.Fatalf("strict mode produced categorical column %d", j)
+				}
+			}
+		}
 		if err != nil {
 			return
 		}

@@ -1,0 +1,336 @@
+// Package metrics implements the Prometheus text exposition format on
+// the standard library alone: counters, gauges and histograms with
+// optional labels, collected in a Registry and written by WriteText in
+// the format scrapers expect (# HELP / # TYPE comments, one series per
+// line, histogram _bucket/_sum/_count expansion).
+//
+// The package exists so the serving daemon (cmd/hidod) can expose a
+// /metrics endpoint without pulling in the Prometheus client library —
+// the repo builds from the Go standard library only. Only the features
+// the server needs are implemented: no exemplars, no summaries, no
+// timestamps, no metric expiry.
+//
+// All metric operations are safe for concurrent use. Series (label
+// value combinations) are created on first touch and never removed.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind discriminates the three metric types.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one label-value combination of a family.
+type series struct {
+	labelValues []string
+	value       float64   // counter/gauge
+	buckets     []uint64  // histogram: cumulative-at-write, stored per bucket
+	sum         float64   // histogram
+	count       uint64    // histogram
+}
+
+// family is one named metric with its label schema and live series.
+type family struct {
+	name       string
+	help       string
+	kind       kind
+	labelNames []string
+	bounds     []float64 // histogram bucket upper bounds, ascending
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// get returns (creating if needed) the series for the label values.
+// Callers hold f.mu.
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s expects %d label value(s), got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), labelValues...)}
+		if f.kind == kindHistogram {
+			s.buckets = make([]uint64, len(f.bounds))
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Registry collects metric families and renders them as Prometheus
+// text. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help string, k kind, bounds []float64, labelNames []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("metrics: %s re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labelNames: append([]string(nil), labelNames...),
+		bounds:     bounds,
+		series:     make(map[string]*series),
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter registers (or returns the existing) monotonically increasing
+// counter. labelNames fixes the label schema; every Inc/Add must then
+// supply exactly that many label values.
+func (r *Registry) Counter(name, help string, labelNames ...string) *Counter {
+	return &Counter{r.register(name, help, kindCounter, nil, labelNames)}
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *Gauge {
+	return &Gauge{r.register(name, help, kindGauge, nil, labelNames)}
+}
+
+// Histogram registers (or returns the existing) histogram with the
+// given ascending bucket upper bounds (the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s buckets not strictly ascending", name))
+		}
+	}
+	return &Histogram{r.register(name, help, kindHistogram, append([]float64(nil), buckets...), labelNames)}
+}
+
+// DefBuckets are latency-shaped default histogram bounds (seconds).
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ f *family }
+
+// Inc adds 1 to the series selected by the label values.
+func (c *Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Add adds v (must be >= 0) to the series selected by the label values.
+func (c *Counter) Add(v float64, labelValues ...string) {
+	if v < 0 {
+		panic(fmt.Sprintf("metrics: counter %s decreased by %v", c.f.name, v))
+	}
+	c.f.mu.Lock()
+	c.f.get(labelValues).value += v
+	c.f.mu.Unlock()
+}
+
+// Value returns the current value of the series (0 if never touched);
+// intended for tests.
+func (c *Counter) Value(labelValues ...string) float64 {
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	return c.f.get(labelValues).value
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ f *family }
+
+// Set stores v in the series selected by the label values.
+func (g *Gauge) Set(v float64, labelValues ...string) {
+	g.f.mu.Lock()
+	g.f.get(labelValues).value = v
+	g.f.mu.Unlock()
+}
+
+// Add adds v (possibly negative) to the series.
+func (g *Gauge) Add(v float64, labelValues ...string) {
+	g.f.mu.Lock()
+	g.f.get(labelValues).value += v
+	g.f.mu.Unlock()
+}
+
+// Value returns the current value of the series; intended for tests.
+func (g *Gauge) Value(labelValues ...string) float64 {
+	g.f.mu.Lock()
+	defer g.f.mu.Unlock()
+	return g.f.get(labelValues).value
+}
+
+// Histogram counts observations into cumulative buckets.
+type Histogram struct{ f *family }
+
+// Observe records one observation in the series selected by the label
+// values.
+func (h *Histogram) Observe(v float64, labelValues ...string) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	s := h.f.get(labelValues)
+	for i, ub := range h.f.bounds {
+		if v <= ub {
+			s.buckets[i]++
+		}
+	}
+	s.sum += v
+	s.count++
+}
+
+// Count returns the number of observations in the series; for tests.
+func (h *Histogram) Count(labelValues ...string) uint64 {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	return h.f.get(labelValues).count
+}
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format, families in registration order, series sorted by
+// label values within a family.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case kindCounter, kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labelNames, s.labelValues, "", ""), formatFloat(s.value))
+			case kindHistogram:
+				for i, ub := range f.bounds {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelString(f.labelNames, s.labelValues, "le", formatFloat(ub)), s.buckets[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labelNames, s.labelValues, "le", "+Inf"), s.count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name,
+					labelString(f.labelNames, s.labelValues, "", ""), formatFloat(s.sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name,
+					labelString(f.labelNames, s.labelValues, "", ""), s.count)
+			}
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelString renders {k="v",...}; extraName/extraValue append one
+// synthetic label (the histogram "le"). Returns "" with no labels.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// validName reports whether s is a legal Prometheus metric/label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterAndGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.", "path", "code")
+	c.Inc("/score", "200")
+	c.Add(4, "/score", "200")
+	c.Inc("/fit", "202")
+	g := r.Gauge("in_flight", "In-flight requests.")
+	g.Add(3)
+	g.Add(-1)
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP requests_total Requests served.",
+		"# TYPE requests_total counter",
+		`requests_total{path="/fit",code="202"} 1`,
+		`requests_total{path="/score",code="200"} 5`,
+		"# TYPE in_flight gauge",
+		"in_flight 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value("/score", "200") != 5 {
+		t.Errorf("counter value = %v, want 5", c.Value("/score", "200"))
+	}
+	if g.Value() != 2 {
+		t.Errorf("gauge value = %v, want 2", g.Value())
+	}
+}
+
+func TestHistogramText(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1}, "path")
+	h.Observe(0.05, "/score")
+	h.Observe(0.5, "/score")
+	h.Observe(5, "/score")
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{path="/score",le="0.1"} 1`,
+		`latency_seconds_bucket{path="/score",le="1"} 2`,
+		`latency_seconds_bucket{path="/score",le="+Inf"} 3`,
+		`latency_seconds_sum{path="/score"} 5.55`,
+		`latency_seconds_count{path="/score"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count("/score") != 3 {
+		t.Errorf("histogram count = %d, want 3", h.Count("/score"))
+	}
+}
+
+// TestTextFormatWellFormed checks every non-comment line parses as
+// `name{labels} value` with balanced quotes — the shape a Prometheus
+// scraper requires.
+func TestTextFormatWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "with \"quotes\" and \\slashes\\.", "l").Inc(`va"l\ue` + "\nx")
+	r.Gauge("b", "").Set(math.Inf(1))
+	r.Histogram("h", "h.", []float64{1}).Observe(2)
+
+	out := render(t, r)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("bad comment line %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("line %q has no value separator", line)
+		}
+		id := line[:sp]
+		if i := strings.IndexByte(id, '{'); i >= 0 {
+			if !strings.HasSuffix(id, "}") {
+				t.Errorf("unbalanced braces in %q", line)
+			}
+			inner := id[i+1 : len(id)-1]
+			// Quotes must balance after removing escaped ones.
+			unescaped := strings.ReplaceAll(strings.ReplaceAll(inner, `\\`, ``), `\"`, ``)
+			if strings.Count(unescaped, `"`)%2 != 0 {
+				t.Errorf("unbalanced quotes in %q", line)
+			}
+		}
+		if strings.ContainsAny(line[:sp], "\n") {
+			t.Errorf("newline leaked into series %q", line)
+		}
+	}
+	if !strings.Contains(out, "b +Inf\n") {
+		t.Errorf("gauge +Inf not rendered:\n%s", out)
+	}
+}
+
+func TestReregistrationReturnsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", "l")
+	b := r.Counter("x_total", "x", "l")
+	a.Inc("v")
+	b.Inc("v")
+	if got := a.Value("v"); got != 2 {
+		t.Errorf("re-registered counter split state: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("schema change on re-registration not caught")
+		}
+	}()
+	r.Gauge("x_total", "x", "l")
+}
+
+func TestInvalidUsePanics(t *testing.T) {
+	r := NewRegistry()
+	for name, fn := range map[string]func(){
+		"bad metric name": func() { r.Counter("bad name", "") },
+		"bad label name":  func() { r.Counter("ok_total", "", "bad-label") },
+		"negative add":    func() { r.Counter("c_total", "").Add(-1) },
+		"label arity":     func() { r.Counter("d_total", "", "l").Inc() },
+		"bad buckets":     func() { r.Histogram("h", "", []float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "", "worker")
+	h := r.Histogram("lat", "", []float64{1, 10}, "worker")
+	var wg sync.WaitGroup
+	const workers, iters = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc(id)
+				h.Observe(float64(i%20), id)
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WriteText(&b)
+				}
+			}
+		}(string(rune('a' + w)))
+	}
+	wg.Wait()
+	total := 0.0
+	for w := 0; w < workers; w++ {
+		total += c.Value(string(rune('a' + w)))
+	}
+	if total != workers*iters {
+		t.Errorf("lost increments: %v, want %d", total, workers*iters)
+	}
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"net/http"
+	"strings"
+
+	"hido/internal/dataset"
+)
+
+// Ingestion formats for record bodies (/api/v1/score and /api/v1/fit).
+//
+//   - CSV (Content-Type text/csv): parsed exactly like the hidomon CLI
+//     input; `?header=0` for headerless files, `?label=N` to mark a
+//     label column. Scoring bodies are parsed strictly — a token that
+//     is neither numeric nor a missing marker is a 400, not a silent
+//     categorical reinterpretation.
+//   - JSON lines (Content-Type application/x-ndjson, application/jsonl
+//     or anything else): one record per line, either a bare array
+//     `[1.5, null, 2]` or an object `{"values":[...],"label":"x"}`.
+//     null encodes a missing attribute (JSON has no NaN).
+//
+// A decode error aborts the request: partial batches are never scored.
+
+// jsonRecord is the object form of one JSON-lines record.
+type jsonRecord struct {
+	Values []*float64 `json:"values"`
+	Label  string     `json:"label"`
+}
+
+// maxDecodeErrLine bounds how much of an offending line is echoed back
+// in error messages.
+const maxDecodeErrLine = 120
+
+// decodeRecords parses a request body into a dataset. d is the
+// expected dimensionality (0 = infer from the first record, the fit
+// path). strict applies to CSV bodies only; JSON lines are inherently
+// typed.
+func decodeRecords(r *http.Request, d int, strict bool) (*dataset.Dataset, error) {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	switch ct {
+	case "text/csv", "application/csv":
+		return decodeCSV(r, d, strict)
+	default:
+		return decodeJSONLines(r.Body, d)
+	}
+}
+
+func decodeCSV(r *http.Request, d int, strict bool) (*dataset.Dataset, error) {
+	q := r.URL.Query()
+	header := q.Get("header") != "0"
+	label := -1
+	if v := q.Get("label"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &label); err != nil {
+			return nil, fmt.Errorf("bad label column %q", v)
+		}
+	}
+	ds, err := dataset.ReadCSV(r.Body, dataset.ReadCSVOptions{
+		Header: header, LabelColumn: label, Strict: strict,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if d > 0 && ds.D() != d {
+		return nil, fmt.Errorf("body has %d attributes, model expects %d (check ?label=)", ds.D(), d)
+	}
+	return ds, nil
+}
+
+// errTrackReader remembers the first non-EOF error its inner reader
+// produced. bufio.Scanner surfaces a truncated final line *before*
+// reporting the read error, so a body cut off by MaxBytesReader would
+// otherwise look like a JSON syntax error (400) instead of a too-large
+// body (413).
+type errTrackReader struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errTrackReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err != nil && err != io.EOF && e.err == nil {
+		e.err = err
+	}
+	return n, err
+}
+
+func decodeJSONLines(body io.Reader, d int) (*dataset.Dataset, error) {
+	tr := &errTrackReader{r: body}
+	sc := bufio.NewScanner(tr)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var ds *dataset.Dataset
+	row := []float64(nil)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var values []*float64
+		var label string
+		if raw[0] == '{' {
+			var rec jsonRecord
+			if err := strictUnmarshal(raw, &rec); err != nil {
+				if tr.err != nil {
+					return nil, tr.err
+				}
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			values, label = rec.Values, rec.Label
+		} else {
+			if err := strictUnmarshal(raw, &values); err != nil {
+				if tr.err != nil {
+					return nil, tr.err
+				}
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+		}
+		if ds == nil {
+			width := len(values)
+			if d > 0 {
+				width = d
+			}
+			names := make([]string, width)
+			for j := range names {
+				names[j] = fmt.Sprintf("c%d", j)
+			}
+			ds = dataset.New(names, 64)
+			row = make([]float64, width)
+		}
+		if len(values) != ds.D() {
+			return nil, fmt.Errorf("line %d: record has %d values, want %d", line, len(values), ds.D())
+		}
+		for j, v := range values {
+			if v == nil {
+				row[j] = math.NaN()
+			} else {
+				row[j] = *v
+			}
+		}
+		ds.AppendRow(row, label)
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("line %d exceeds the per-line limit", line+1)
+		}
+		return nil, err
+	}
+	if ds == nil || ds.N() == 0 {
+		return nil, fmt.Errorf("empty body")
+	}
+	return ds, nil
+}
+
+// strictUnmarshal decodes one JSON value rejecting trailing garbage.
+func strictUnmarshal(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	if err := dec.Decode(v); err != nil {
+		return shortJSONErr(raw, err)
+	}
+	if dec.More() {
+		return shortJSONErr(raw, fmt.Errorf("trailing data after record"))
+	}
+	return nil
+}
+
+func shortJSONErr(raw []byte, err error) error {
+	s := string(raw)
+	if len(s) > maxDecodeErrLine {
+		s = s[:maxDecodeErrLine] + "..."
+	}
+	return fmt.Errorf("%v in %q", err, strings.TrimSpace(s))
+}

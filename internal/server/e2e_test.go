@@ -1,0 +1,211 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hido/internal/stream"
+)
+
+// TestEndToEndFitServeScore exercises the full serving lifecycle over
+// a real HTTP listener: upload a reference window to /api/v1/fit, poll
+// the job to completion, score a batch, and verify the results are
+// identical to what the hidomon CLI would produce offline — hidomon
+// -score is stream.Load(model JSON) + ScoreBatch, so we download the
+// fitted model through the API and replay exactly that path. Finally
+// the /metrics scrape must carry non-zero request, latency and alert
+// series.
+func TestEndToEndFitServeScore(t *testing.T) {
+	s := New(Config{Logger: nil})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Not ready before the first model.
+	if code := getCode(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before fit: %d", code)
+	}
+
+	// Fit asynchronously from an uploaded CSV reference window.
+	ref := csvBody(t, refWindow(t, 600, 130))
+	resp, err := http.Post(ts.URL+"/api/v1/fit?model=fraud&phi=5&seed=7&label=8", "text/csv", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fitResp fitResponse
+	decodeBody(t, resp, http.StatusAccepted, &fitResp)
+	if fitResp.Job == "" || fitResp.Records != 600 {
+		t.Fatalf("fit response: %+v", fitResp)
+	}
+
+	// Poll the job endpoint until the fit lands.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + fitResp.StatusURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		decodeBody(t, resp, http.StatusOK, &st)
+		if st.State == JobFailed {
+			t.Fatalf("fit job failed: %s", st.Error)
+		}
+		if st.State == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fit job did not finish")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code := getCode(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after fit: %d", code)
+	}
+
+	// Score a batch over HTTP.
+	batch := scoreWindow(t, 50, 140)
+	var scored scoreResponse
+	resp, err = http.Post(ts.URL+"/api/v1/score?model=fraud&label=8&all=1&explain=1",
+		"text/csv", csvBody(t, batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusOK, &scored)
+	if scored.Records != 50 || scored.Flagged == 0 {
+		t.Fatalf("server scoring: %+v records=%d flagged=%d", scored.Model, scored.Records, scored.Flagged)
+	}
+
+	// Replay the hidomon path: download the model, load it offline,
+	// score the same batch.
+	resp, err = http.Get(ts.URL + "/api/v1/models/fraud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model download: %d", resp.StatusCode)
+	}
+	mon, err := stream.Load(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := mon.Results(batch, mon.ScoreBatch(batch), true, false)
+
+	serverJSON, _ := json.Marshal(scored.Results)
+	offlineJSON, _ := json.Marshal(offline)
+	if !bytes.Equal(serverJSON, offlineJSON) {
+		t.Fatalf("server and offline (hidomon-path) results differ:\nserver:  %s\noffline: %s",
+			serverJSON, offlineJSON)
+	}
+
+	// Metrics must expose non-zero request/latency/alert series.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	metricsText := string(body)
+	assertSeriesPositive(t, metricsText, `hidod_requests_total{endpoint="/api/v1/score",method="POST",code="200"}`)
+	assertSeriesPositive(t, metricsText, `hidod_request_duration_seconds_count{endpoint="/api/v1/score"}`)
+	assertSeriesPositive(t, metricsText, `hidod_alerts_total`)
+	assertSeriesPositive(t, metricsText, `hidod_records_scored_total`)
+	assertSeriesPositive(t, metricsText, `hidod_fit_jobs_total{state="done"}`)
+	checkPrometheusText(t, metricsText)
+}
+
+func getCode(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func decodeBody(t *testing.T, resp *http.Response, wantCode int, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("status %d, want %d: %s", resp.StatusCode, wantCode, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+}
+
+// assertSeriesPositive finds the series line and requires value > 0.
+func assertSeriesPositive(t *testing.T, text, series string) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line[len(series)+1:], "%g", &v); err != nil {
+				t.Errorf("unparseable value in %q: %v", line, err)
+			} else if v <= 0 {
+				t.Errorf("series %s = %v, want > 0", series, v)
+			}
+			return
+		}
+	}
+	t.Errorf("series %s missing from /metrics", series)
+}
+
+// checkPrometheusText validates the scrape's overall shape: every
+// non-comment line is `name[{labels}] value`, every series' family has
+// a preceding # TYPE line.
+func checkPrometheusText(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Error("blank line in exposition")
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Errorf("bad TYPE line %q", line)
+				continue
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Errorf("bad series line %q", line)
+			continue
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) && typed[strings.TrimSuffix(name, suffix)] {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if !typed[base] {
+			t.Errorf("series %q has no # TYPE", line)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hido/internal/stream"
+)
+
+// scoreResponse is the body of a successful POST /api/v1/score.
+type scoreResponse struct {
+	Model   string                `json:"model"`
+	Records int                   `json:"records"`
+	Flagged int                   `json:"flagged"`
+	Results []stream.RecordResult `json:"results"`
+}
+
+// fitResponse is the 202 body of POST /api/v1/fit.
+type fitResponse struct {
+	Job       string `json:"job"`
+	Model     string `json:"model"`
+	Records   int    `json:"records"`
+	StatusURL string `json:"status_url"`
+}
+
+// modelInfo is one row of GET /api/v1/models.
+type modelInfo struct {
+	Name        string  `json:"name"`
+	D           int     `json:"d"`
+	K           int     `json:"k"`
+	Projections int     `json:"projections"`
+	FittedAt    string  `json:"fitted_at"`
+	AgeSeconds  float64 `json:"age_seconds"`
+	Source      string  `json:"source"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// modelParam returns the model name a request addresses, defaulting to
+// "default" so single-model deployments need no query parameter.
+func modelParam(r *http.Request) string {
+	if name := r.URL.Query().Get("model"); name != "" {
+		return name
+	}
+	return "default"
+}
+
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v != "" && v != "0" && v != "false"
+}
+
+// handleScore scores one uploaded batch against a registered model.
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	name := modelParam(r)
+	e, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not loaded", name))
+		return
+	}
+	ds, err := decodeRecords(r, e.Monitor.D(), true)
+	if err != nil {
+		writeError(w, httpStatusFromErr(err), err.Error())
+		return
+	}
+	if s.testHookScoring != nil {
+		s.testHookScoring()
+	}
+	alerts, err := e.Monitor.ScoreBatchContext(r.Context(), ds, s.cfg.ScoreWorkers)
+	if err != nil {
+		writeError(w, httpStatusFromErr(err), "scoring aborted: "+err.Error())
+		return
+	}
+	flagged := 0
+	for _, a := range alerts {
+		if a.Flagged() {
+			flagged++
+		}
+	}
+	s.mRecords.Add(float64(len(alerts)))
+	s.mAlerts.Add(float64(flagged))
+	writeJSON(w, http.StatusOK, scoreResponse{
+		Model:   name,
+		Records: len(alerts),
+		Flagged: flagged,
+		Results: e.Monitor.Results(ds, alerts, boolParam(r, "explain"), !boolParam(r, "all")),
+	})
+}
+
+// handleFit fits a model asynchronously from an uploaded reference
+// window and installs it in the registry on success.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	name := modelParam(r)
+	q := r.URL.Query()
+	opt := stream.Options{Phi: 5, TargetS: -3, M: 100, Seed: 1}
+	var err error
+	if v := q.Get("phi"); v != "" {
+		if opt.Phi, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad phi: "+v)
+			return
+		}
+	}
+	if v := q.Get("s"); v != "" {
+		if opt.TargetS, err = strconv.ParseFloat(v, 64); err != nil {
+			writeError(w, http.StatusBadRequest, "bad s: "+v)
+			return
+		}
+	}
+	if v := q.Get("m"); v != "" {
+		if opt.M, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad m: "+v)
+			return
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		if opt.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed: "+v)
+			return
+		}
+	}
+	if opt.Phi < 2 || opt.TargetS >= 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("invalid fit parameters: phi=%d (need >=2), s=%v (need <0)", opt.Phi, opt.TargetS))
+		return
+	}
+	// Fitting tolerates categorical columns (they are integer-encoded
+	// like the offline CLI does), so the lenient decoder is correct
+	// here where the scoring path is strict.
+	ds, err := decodeRecords(r, 0, false)
+	if err != nil {
+		writeError(w, httpStatusFromErr(err), err.Error())
+		return
+	}
+
+	id, err := s.jobs.start(name, ds.N(), s.cfg.MaxFitJobs, s.cfg.Now())
+	if err != nil {
+		s.mSaturated.Inc()
+		writeError(w, http.StatusTooManyRequests, "fit rejected: "+err.Error())
+		return
+	}
+	s.mJobsRunning.Set(float64(s.jobs.inFlight()))
+	go func() {
+		mon, err := stream.NewMonitor(ds, opt)
+		if err == nil {
+			err = s.registry.Set(name, Entry{Monitor: mon, FittedAt: s.cfg.Now(), Source: "fit:" + id})
+		}
+		state, msg := "done", ""
+		if err != nil {
+			state, msg = "failed", err.Error()
+			s.cfg.Logger.Error("fit job failed", "job", id, "model", name, "error", msg)
+		}
+		s.jobs.finish(id, msg, s.cfg.Now())
+		s.mJobsRunning.Set(float64(s.jobs.inFlight()))
+		s.mJobsTotal.Inc(state)
+	}()
+
+	statusURL := "/api/v1/jobs/" + id
+	w.Header().Set("Location", statusURL)
+	writeJSON(w, http.StatusAccepted, fitResponse{
+		Job: id, Model: name, Records: ds.N(), StatusURL: statusURL,
+	})
+}
+
+// handleJob reports fit job status.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.jobs.get(id, s.cfg.Now())
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("job %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleModelList lists installed models with metadata.
+func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
+	now := s.cfg.Now()
+	names := s.registry.Names()
+	infos := make([]modelInfo, 0, len(names))
+	for _, n := range names {
+		e, ok := s.registry.Get(n)
+		if !ok {
+			continue
+		}
+		infos = append(infos, modelInfo{
+			Name:        n,
+			D:           e.Monitor.D(),
+			K:           e.Monitor.K(),
+			Projections: len(e.Monitor.Projections()),
+			FittedAt:    e.FittedAt.UTC().Format(time.RFC3339),
+			AgeSeconds:  now.Sub(e.FittedAt).Seconds(),
+			Source:      e.Source,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+// handleModelGet downloads a model as hidomon-format JSON, so a model
+// fitted on the server can be scored offline by the CLI and vice
+// versa.
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not loaded", name))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := e.Monitor.Save(w); err != nil {
+		s.cfg.Logger.Error("model download failed", "model", name, "error", err)
+	}
+}
+
+// handleModelPut uploads (or hot-swaps) a model atomically.
+func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	mon, err := stream.Load(r.Body)
+	if err != nil {
+		writeError(w, httpStatusFromErr(err), err.Error())
+		return
+	}
+	if err := s.registry.Set(name, Entry{Monitor: mon, FittedAt: s.cfg.Now(), Source: "put"}); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model": name, "d": mon.D(), "k": mon.K(), "projections": len(mon.Projections()),
+	})
+}
+
+// handleModelDelete removes a model from the registry.
+func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.registry.Delete(name) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not loaded", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: ready once a model is loaded.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.registry.Len() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no models loaded")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics serves the Prometheus text exposition. Gauges derived
+// from registry state (model count, model ages, running jobs) are
+// refreshed at scrape time.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := s.cfg.Now()
+	names := s.registry.Names()
+	s.mModels.Set(float64(len(names)))
+	for _, n := range names {
+		if e, ok := s.registry.Get(n); ok {
+			s.mModelAge.Set(now.Sub(e.FittedAt).Seconds(), n)
+		}
+	}
+	s.mJobsRunning.Set(float64(s.jobs.inFlight()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteText(w); err != nil {
+		s.cfg.Logger.Error("metrics write failed", "error", err)
+	}
+}

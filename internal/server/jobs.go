@@ -1,0 +1,110 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job states. A job is created queued, moves to running immediately
+// (fit work starts on its own goroutine), and terminates in done or
+// failed.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is the wire form of one fit job, served by
+// GET /api/v1/jobs/{id}.
+type JobStatus struct {
+	ID       string  `json:"id"`
+	State    string  `json:"state"`
+	Model    string  `json:"model"`
+	Records  int     `json:"records"`
+	Error    string  `json:"error,omitempty"`
+	Elapsed  float64 `json:"elapsed_seconds"`
+	finished time.Time
+}
+
+// jobs tracks asynchronous fit work. The WaitGroup lets graceful
+// shutdown drain running fits before the process exits.
+type jobs struct {
+	mu      sync.Mutex
+	seq     int
+	byID    map[string]*jobEntry
+	wg      sync.WaitGroup
+	running int
+}
+
+type jobEntry struct {
+	status  JobStatus
+	started time.Time
+}
+
+func newJobs() *jobs {
+	return &jobs{byID: make(map[string]*jobEntry)}
+}
+
+// start registers a new running job and returns its id. It fails when
+// max jobs are already running (checked under the same lock, so the
+// bound holds under concurrent fit requests).
+func (js *jobs) start(model string, records, max int, now time.Time) (string, error) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if js.running >= max {
+		return "", fmt.Errorf("%d fit job(s) already running", js.running)
+	}
+	js.seq++
+	id := fmt.Sprintf("job-%d", js.seq)
+	js.byID[id] = &jobEntry{
+		status:  JobStatus{ID: id, State: JobRunning, Model: model, Records: records},
+		started: now,
+	}
+	js.running++
+	js.wg.Add(1)
+	return id, nil
+}
+
+// finish terminates a job; errMsg empty means success.
+func (js *jobs) finish(id, errMsg string, now time.Time) {
+	js.mu.Lock()
+	e := js.byID[id]
+	if errMsg == "" {
+		e.status.State = JobDone
+	} else {
+		e.status.State = JobFailed
+		e.status.Error = errMsg
+	}
+	e.status.finished = now
+	js.running--
+	js.mu.Unlock()
+	js.wg.Done()
+}
+
+// get returns a snapshot of the job's status.
+func (js *jobs) get(id string, now time.Time) (JobStatus, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	e, ok := js.byID[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	st := e.status
+	end := st.finished
+	if st.State == JobRunning {
+		end = now
+	}
+	st.Elapsed = end.Sub(e.started).Seconds()
+	return st, true
+}
+
+// inFlight returns how many jobs are running.
+func (js *jobs) inFlight() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.running
+}
+
+// wait blocks until every running job finishes (graceful shutdown).
+func (js *jobs) wait() { js.wg.Wait() }

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hido/internal/stream"
+)
+
+// Entry is one named model in the registry together with its serving
+// metadata.
+type Entry struct {
+	Monitor *stream.Monitor
+	// FittedAt is when the model was installed (fit completion or
+	// upload time), feeding the hidod_model_age_seconds gauge.
+	FittedAt time.Time
+	// Source records provenance for operators: "file:...", "fit:job-3",
+	// "put".
+	Source string
+}
+
+// Registry is a named, concurrency-safe model store. Lookups are lock
+// cheap; Set replaces a model atomically, so scoring requests either
+// see the old model or the new one, never a mix (a single request's
+// batch additionally snapshots the monitor's model internally).
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]Entry)}
+}
+
+// Get returns the named entry.
+func (r *Registry) Get(name string) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.models[name]
+	return e, ok
+}
+
+// Set installs (or hot-swaps) a model under the name.
+func (r *Registry) Set(name string, e Entry) error {
+	if name == "" {
+		return fmt.Errorf("server: empty model name")
+	}
+	if e.Monitor == nil {
+		return fmt.Errorf("server: nil monitor for model %q", name)
+	}
+	r.mu.Lock()
+	r.models[name] = e
+	r.mu.Unlock()
+	return nil
+}
+
+// Delete removes the named model, reporting whether it existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.models[name]
+	delete(r.models, name)
+	return ok
+}
+
+// Len returns the number of installed models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}
+
+// Names returns the installed model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.models))
+	for n := range r.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,278 @@
+// Package server is hido's network-facing serving subsystem: the HTTP
+// API behind cmd/hidod. It wraps the streaming monitor
+// (internal/stream) in a named model registry and exposes scoring,
+// asynchronous fitting, model management, health probes and
+// Prometheus-format self-metrics (internal/metrics).
+//
+// The paper's motivating deployments — credit-card fraud, network
+// intrusion — are online services: models are mined offline on a
+// reference window and incoming events are scored continuously. This
+// package is that deployment shape. Production behaviors are part of
+// the design, not bolt-ons:
+//
+//   - backpressure: a max-in-flight semaphore bounds the heavy
+//     endpoints (/api/v1/score, /api/v1/fit); excess requests get 429
+//     immediately instead of queueing without bound.
+//   - per-request timeouts: scoring runs under the request context
+//     plus a configurable deadline; a timed-out or disconnected
+//     request abandons its batch instead of burning the worker pool.
+//   - body-size limits: every request body is capped; overruns are 413.
+//   - hot swap: PUT /api/v1/models/{name} replaces a model atomically
+//     while scoring traffic continues on the old snapshot.
+//   - observability: structured access logs plus /metrics counters,
+//     latency histograms, and gauges for in-flight work and model age.
+//
+// API (all JSON unless noted):
+//
+//	POST   /api/v1/score?model=N[&explain=1][&all=1]   score a batch (CSV or JSON-lines body)
+//	POST   /api/v1/fit?model=N&phi=..&s=..             async fit -> 202 + job id
+//	GET    /api/v1/jobs/{id}                           fit job status
+//	GET    /api/v1/models                              list models + metadata
+//	GET    /api/v1/models/{name}                       download model JSON (hidomon format)
+//	PUT    /api/v1/models/{name}                       upload/hot-swap a model
+//	DELETE /api/v1/models/{name}                       remove a model
+//	GET    /healthz                                    liveness (always 200)
+//	GET    /readyz                                     readiness (503 until a model is loaded)
+//	GET    /metrics                                    Prometheus text format
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"hido/internal/metrics"
+)
+
+// Config tunes the server. The zero value serves with sane defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently served heavy requests (score,
+	// fit); excess requests are rejected with 429. Default 64.
+	MaxInFlight int
+	// MaxFitJobs bounds concurrently running background fits; excess
+	// fit requests are rejected with 429. Default 2.
+	MaxFitJobs int
+	// MaxBodyBytes caps request bodies; overruns are 413.
+	// Default 32 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout is the per-request deadline for heavy endpoints.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// ScoreWorkers is the per-request scoring fan-out (0 =
+	// GOMAXPROCS). Total scoring parallelism is bounded by
+	// MaxInFlight × ScoreWorkers.
+	ScoreWorkers int
+	// Logger receives structured access and error logs; nil discards.
+	Logger *slog.Logger
+	// Now is the clock (test seam). Default time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxFitJobs == 0 {
+		c.MaxFitJobs = 2
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ScoreWorkers == 0 {
+		c.ScoreWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is the HTTP serving subsystem. Create with New, mount
+// Handler() on an http.Server, and call DrainJobs during shutdown.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	jobs     *jobs
+	reg      *metrics.Registry
+	sem      chan struct{}
+	mux      *http.ServeMux
+
+	mRequests    *metrics.Counter
+	mLatency     *metrics.Histogram
+	mInFlight    *metrics.Gauge
+	mSaturated   *metrics.Counter
+	mRecords     *metrics.Counter
+	mAlerts      *metrics.Counter
+	mModels      *metrics.Gauge
+	mModelAge    *metrics.Gauge
+	mJobsRunning *metrics.Gauge
+	mJobsTotal   *metrics.Counter
+
+	// testHookScoring, when set, runs while a score request holds its
+	// in-flight slot, letting tests park requests deterministically.
+	testHookScoring func()
+}
+
+// New builds a Server with an empty model registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := metrics.NewRegistry()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(),
+		jobs:     newJobs(),
+		reg:      reg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+
+		mRequests: reg.Counter("hidod_requests_total",
+			"HTTP requests served, by endpoint, method and status code.",
+			"endpoint", "method", "code"),
+		mLatency: reg.Histogram("hidod_request_duration_seconds",
+			"HTTP request latency in seconds, by endpoint.", nil, "endpoint"),
+		mInFlight: reg.Gauge("hidod_in_flight_requests",
+			"Requests currently being served."),
+		mSaturated: reg.Counter("hidod_saturated_total",
+			"Requests rejected with 429 because max-in-flight (or the fit-job bound) was reached."),
+		mRecords: reg.Counter("hidod_records_scored_total",
+			"Records scored across all score requests."),
+		mAlerts: reg.Counter("hidod_alerts_total",
+			"Scored records that matched at least one sparse projection."),
+		mModels: reg.Gauge("hidod_models",
+			"Models currently installed in the registry."),
+		mModelAge: reg.Gauge("hidod_model_age_seconds",
+			"Seconds since each installed model was fitted or uploaded.", "model"),
+		mJobsRunning: reg.Gauge("hidod_fit_jobs_running",
+			"Background fit jobs currently running."),
+		mJobsTotal: reg.Counter("hidod_fit_jobs_total",
+			"Completed background fit jobs, by final state.", "state"),
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /api/v1/score", "/api/v1/score", true, s.handleScore)
+	s.route("POST /api/v1/fit", "/api/v1/fit", true, s.handleFit)
+	s.route("GET /api/v1/jobs/{id}", "/api/v1/jobs/{id}", false, s.handleJob)
+	s.route("GET /api/v1/models", "/api/v1/models", false, s.handleModelList)
+	s.route("GET /api/v1/models/{name}", "/api/v1/models/{name}", false, s.handleModelGet)
+	s.route("PUT /api/v1/models/{name}", "/api/v1/models/{name}", false, s.handleModelPut)
+	s.route("DELETE /api/v1/models/{name}", "/api/v1/models/{name}", false, s.handleModelDelete)
+	s.route("GET /healthz", "/healthz", false, s.handleHealthz)
+	s.route("GET /readyz", "/readyz", false, s.handleReadyz)
+	s.route("GET /metrics", "/metrics", false, s.handleMetrics)
+	return s
+}
+
+// Registry exposes the model store (cmd/hidod preloads models into it).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Metrics exposes the metrics registry (for extra process-level gauges).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Handler returns the fully wrapped HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// DrainJobs blocks until running fit jobs finish, or ctx expires.
+// Graceful shutdown calls it after http.Server.Shutdown has drained
+// request handlers.
+func (s *Server) DrainJobs(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { defer close(done); s.jobs.wait() }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// statusWriter captures the response code for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// route mounts a handler with the shared middleware stack: body
+// limits, access logging, request metrics, and — for heavy endpoints —
+// the in-flight semaphore and per-request deadline.
+func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := s.cfg.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		s.mInFlight.Add(1)
+		defer func() {
+			s.mInFlight.Add(-1)
+			elapsed := s.cfg.Now().Sub(start)
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.mRequests.Inc(endpoint, r.Method, strconv.Itoa(code))
+			s.mLatency.Observe(elapsed.Seconds(), endpoint)
+			s.cfg.Logger.Info("request",
+				"method", r.Method, "path", r.URL.Path, "endpoint", endpoint,
+				"code", code, "bytes", sw.bytes,
+				"duration_ms", float64(elapsed.Microseconds())/1000,
+				"remote", r.RemoteAddr)
+		}()
+
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		}
+		if heavy {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.mSaturated.Inc()
+				writeError(sw, http.StatusTooManyRequests, "server saturated: max in-flight requests reached")
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(sw, r)
+	})
+}
+
+// httpStatusFromErr maps decode/scoring failures to status codes.
+func httpStatusFromErr(err error) int {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+

@@ -1,0 +1,51 @@
+package stream
+
+import "hido/internal/dataset"
+
+// RecordResult is the JSON wire form of one scored record. It is the
+// unit both of the hidod server's /api/v1/score response and of
+// `hidomon -json` output, so piping the CLI and scraping the server
+// yield interchangeable streams.
+type RecordResult struct {
+	// Record is the zero-based row index within the scored batch.
+	Record int `json:"record"`
+	// Score is the most negative sparsity coefficient among matching
+	// projections (0 when none matched).
+	Score float64 `json:"score"`
+	// Flagged reports whether any projection matched.
+	Flagged bool `json:"flagged"`
+	// Matches indexes the model's retained projections.
+	Matches []int `json:"matches,omitempty"`
+	// Label carries the input's class label when present (evaluation
+	// only — never used in scoring).
+	Label string `json:"label,omitempty"`
+	// Explanations renders the matching projections as attribute
+	// ranges; populated only on request.
+	Explanations []string `json:"explanations,omitempty"`
+}
+
+// Results converts a batch of alerts into wire results. When
+// flaggedOnly is set, clean records are omitted (the alert-stream
+// shape); otherwise every record appears. With explain set, each
+// flagged result carries its projection descriptions.
+func (m *Monitor) Results(ds *dataset.Dataset, alerts []Alert, explain, flaggedOnly bool) []RecordResult {
+	v := m.snapshot() // one consistent model for every explanation
+	out := make([]RecordResult, 0, len(alerts))
+	for i, a := range alerts {
+		if flaggedOnly && !a.Flagged() {
+			continue
+		}
+		r := RecordResult{
+			Record:  i,
+			Score:   a.Score,
+			Flagged: a.Flagged(),
+			Matches: a.Matches,
+			Label:   ds.Label(i),
+		}
+		if explain && a.Flagged() {
+			r.Explanations = v.explain(a)
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -17,8 +17,11 @@
 package stream
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hido/internal/core"
 	"hido/internal/dataset"
@@ -125,17 +128,45 @@ func (m *Monitor) Refit(reference *dataset.Dataset) error {
 	return nil
 }
 
-// Score evaluates one record against the current model. The record
-// must have the model's dimensionality; NaN marks missing attributes.
-func (m *Monitor) Score(record []float64) Alert {
+// view is an immutable snapshot of the current model: scoring against
+// a view is lock-free and a whole batch sees one consistent model even
+// if Refit swaps it mid-batch.
+type view struct {
+	grid        *discretize.Grid
+	names       []string
+	projections []core.Projection
+}
+
+// snapshot captures the current model under the read lock.
+func (m *Monitor) snapshot() view {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	if len(record) != m.grid.D {
-		panic(fmt.Sprintf("stream: record has %d values, model has %d dims", len(record), m.grid.D))
+	return view{grid: m.grid, names: m.names, projections: m.projections}
+}
+
+// explain renders the matching projections of an alert against the
+// snapshot. Matches beyond the snapshot's projection list (an alert
+// scored against an older, larger model) are skipped rather than
+// trusted.
+func (v view) explain(a Alert) []string {
+	out := make([]string, 0, len(a.Matches))
+	for _, pi := range a.Matches {
+		if pi < 0 || pi >= len(v.projections) {
+			continue
+		}
+		out = append(out, v.projections[pi].DescribeRanges(v.names, v.grid))
 	}
-	cells := m.grid.AssignRow(record)
+	return out
+}
+
+// score evaluates one record against the snapshot.
+func (v view) score(record []float64) Alert {
+	if len(record) != v.grid.D {
+		panic(fmt.Sprintf("stream: record has %d values, model has %d dims", len(record), v.grid.D))
+	}
+	cells := v.grid.AssignRow(record)
 	var a Alert
-	for pi, p := range m.projections {
+	for pi, p := range v.projections {
 		if p.Cube.Covers(cells) {
 			a.Matches = append(a.Matches, pi)
 			if p.Sparsity < a.Score {
@@ -146,14 +177,77 @@ func (m *Monitor) Score(record []float64) Alert {
 	return a
 }
 
+// Score evaluates one record against the current model. The record
+// must have the model's dimensionality; NaN marks missing attributes.
+func (m *Monitor) Score(record []float64) Alert {
+	return m.snapshot().score(record)
+}
+
 // ScoreBatch scores every row of a dataset, returning one alert per
-// record.
+// record. The whole batch is scored against one consistent model
+// snapshot even if a concurrent Refit lands mid-batch.
 func (m *Monitor) ScoreBatch(ds *dataset.Dataset) []Alert {
-	out := make([]Alert, ds.N())
-	for i := range out {
-		out[i] = m.Score(ds.RowView(i))
-	}
+	out, _ := m.ScoreBatchContext(context.Background(), ds, 1)
 	return out
+}
+
+// scoreChunk is how many rows a batch worker scores between context
+// checks (and per claim from the shared cursor).
+const scoreChunk = 256
+
+// ScoreBatchContext scores every row of a dataset against one
+// consistent model snapshot, fanning the rows across up to `workers`
+// goroutines (workers <= 1, or a single-chunk batch, scores inline;
+// workers == 0 means GOMAXPROCS). It returns ctx.Err if the context is
+// cancelled before the batch completes; the partial alerts are
+// discarded. This is the serving path of cmd/hidod: request handlers
+// pass their per-request context so timeouts and client disconnects
+// abandon the batch instead of burning the worker pool.
+func (m *Monitor) ScoreBatchContext(ctx context.Context, ds *dataset.Dataset, workers int) ([]Alert, error) {
+	v := m.snapshot()
+	n := ds.N()
+	out := make([]Alert, n)
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if chunks := (n + scoreChunk - 1) / scoreChunk; workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if i%scoreChunk == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			out[i] = v.score(ds.RowView(i))
+		}
+		return out, nil
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(scoreChunk)) - scoreChunk
+				if lo >= n || ctx.Err() != nil {
+					return
+				}
+				hi := lo + scoreChunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = v.score(ds.RowView(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Projections returns the current model's retained projections
@@ -165,15 +259,10 @@ func (m *Monitor) Projections() []core.Projection {
 }
 
 // Explain renders the matching projections of an alert with attribute
-// names from the current model.
+// names from the current model. Matches that no longer exist (the
+// alert was scored before a Refit shrank the model) are skipped.
 func (m *Monitor) Explain(a Alert) []string {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]string, 0, len(a.Matches))
-	for _, pi := range a.Matches {
-		out = append(out, m.projections[pi].DescribeRanges(m.names, m.grid))
-	}
-	return out
+	return m.snapshot().explain(a)
 }
 
 // K returns the model's projection dimensionality.

@@ -1,9 +1,12 @@
 package stream
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"hido/internal/dataset"
 	"hido/internal/synth"
@@ -153,6 +156,174 @@ func TestMonitorValidation(t *testing.T) {
 		}
 	}()
 	m.Score([]float64{1, 2})
+}
+
+func TestScoreBatchContextMatchesSerial(t *testing.T) {
+	m, err := NewMonitor(reference(500, 20), Options{Phi: 5, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(22)
+	batch := dataset.New(make([]string, 8), 1000)
+	for i := 0; i < 997; i++ {
+		batch.AppendRow(typical(r), "")
+	}
+	for i := 0; i < 3; i++ {
+		batch.AppendRow(contrarian(r), "")
+	}
+	want := make([]Alert, batch.N())
+	for i := range want {
+		want[i] = m.Score(batch.RowView(i))
+	}
+	for _, workers := range []int{0, 1, 2, 7} {
+		got, err := m.ScoreBatchContext(context.Background(), batch, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d alerts differ from serial scoring", workers)
+		}
+	}
+}
+
+func TestScoreBatchContextCancelled(t *testing.T) {
+	m, err := NewMonitor(reference(300, 23), Options{Phi: 5, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(25)
+	batch := dataset.New(make([]string, 8), 4000)
+	for i := 0; i < 4000; i++ {
+		batch.AppendRow(typical(r), "")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.ScoreBatchContext(ctx, batch, 4); err != context.Canceled {
+		t.Errorf("cancelled batch returned err=%v, want context.Canceled", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	<-ctx2.Done()
+	if _, err := m.ScoreBatchContext(ctx2, batch, 1); err != context.DeadlineExceeded {
+		t.Errorf("timed-out batch returned err=%v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestResults(t *testing.T) {
+	m, err := NewMonitor(reference(600, 26), Options{Phi: 5, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(28)
+	batch := dataset.New(make([]string, 8), 10)
+	for i := 0; i < 9; i++ {
+		batch.AppendRow(typical(r), "ok")
+	}
+	batch.AppendRow(contrarian(r), "bad")
+	alerts := m.ScoreBatch(batch)
+	if !alerts[9].Flagged() {
+		t.Fatal("contrarian not flagged; cannot exercise Results")
+	}
+
+	all := m.Results(batch, alerts, true, false)
+	if len(all) != 10 {
+		t.Fatalf("all results: got %d, want 10", len(all))
+	}
+	last := all[9]
+	if !last.Flagged || last.Record != 9 || last.Label != "bad" ||
+		last.Score != alerts[9].Score || len(last.Explanations) == 0 {
+		t.Errorf("flagged result malformed: %+v", last)
+	}
+
+	flagged := m.Results(batch, alerts, false, true)
+	for _, res := range flagged {
+		if !res.Flagged {
+			t.Errorf("flaggedOnly returned clean record %d", res.Record)
+		}
+		if res.Explanations != nil {
+			t.Errorf("explanations present without explain: %+v", res)
+		}
+	}
+}
+
+// TestMonitorConcurrentRefitAndScore hammers the hot-swap path the
+// server's PUT /api/v1/models/{name} relies on: many goroutines score
+// single records and whole batches while several others Refit the
+// shared monitor. Run under -race in CI; correctness here is "every
+// alert came from one coherent model" — batch scoring snapshots the
+// model, so within a batch all alerts agree.
+func TestMonitorConcurrentRefitAndScore(t *testing.T) {
+	m, err := NewMonitor(reference(400, 30), Options{Phi: 5, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(32)
+	batch := dataset.New(make([]string, 8), 400)
+	for i := 0; i < 399; i++ {
+		batch.AppendRow(typical(r), "")
+	}
+	batch.AppendRow(contrarian(r), "")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rr := xrand.New(seed)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					_ = m.Score(typical(rr))
+				case 1:
+					alerts, err := m.ScoreBatchContext(context.Background(), batch, 3)
+					if err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
+					if len(alerts) != batch.N() {
+						t.Errorf("batch returned %d alerts", len(alerts))
+						return
+					}
+				case 2:
+					a := m.Score(contrarian(rr))
+					_ = m.Explain(a)
+				}
+			}
+		}(uint64(100 + w))
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				if err := m.Refit(reference(400, seed+uint64(i))); err != nil {
+					t.Errorf("refit: %v", err)
+					return
+				}
+			}
+		}(uint64(200 + 10*w))
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); wg.Wait() }()
+	// Let scorers overlap all refits, then stop them.
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		close(stop)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("concurrent refit/score deadlocked")
+	}
+	if m.K() < 1 || m.D() != 8 {
+		t.Error("model lost after concurrent refit/score")
+	}
 }
 
 func TestMonitorConcurrentScore(t *testing.T) {
