@@ -327,7 +327,7 @@ func BenchmarkAblation_EquiDepthVsEquiWidth(b *testing.B) {
 		b.Skip("short mode")
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunAblation(bench.AblationOptions{Seed: 1, Profile: "Machine"})
+		res, err := bench.RunAblation(bench.AblationOptions{Seed: 1, Profile: "Machine", BrutePhi: 4})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -150,8 +150,14 @@ func run(cfg config) error {
 	var res *core.Result
 	switch algo {
 	case "brute":
-		res, err = det.BruteForceParallel(
-			core.BruteForceOptions{K: k, M: m, MaxDuration: budget}, cfg.workers)
+		// The CLI's 0 means "all CPUs" (matching evo); BruteForceOptions
+		// encodes that as a negative worker count.
+		bruteWorkers := cfg.workers
+		if bruteWorkers == 0 {
+			bruteWorkers = -1
+		}
+		res, err = det.BruteForce(
+			core.BruteForceOptions{K: k, M: m, MaxDuration: budget, Workers: bruteWorkers})
 		if errors.Is(err, core.ErrBudgetExceeded) {
 			fmt.Fprintf(os.Stderr, "warning: brute force hit the %s budget; results are partial\n", budget)
 			err = nil

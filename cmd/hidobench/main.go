@@ -30,7 +30,7 @@ func main() {
 		exp         = flag.String("exp", "all", "experiment: table1|table2|arrhythmia|figure1|housing|scaling|shell|quality|convergence|ablation|all")
 		seed        = flag.Uint64("seed", 1, "random seed (all experiments are deterministic per seed)")
 		bruteBudget = flag.Duration("brute-budget", 30*time.Second, "per-dataset brute-force budget for table1")
-		workers     = flag.Int("workers", 0, "worker-sweep cap for the ablation's parallel table (0 = all CPUs)")
+		workers     = flag.Int("workers", 0, "worker-sweep cap for the ablation's parallel table and table1's brute-force column (0 = all CPUs)")
 		outdir      = flag.String("outdir", "", "directory for figure1 view CSVs (omit to skip)")
 		csvdir      = flag.String("csvdir", "", "run every experiment and write CSV results into this directory")
 	)
@@ -61,7 +61,15 @@ func main() {
 	}
 
 	run("table1", func() error {
-		rows, err := bench.RunTable1(bench.Table1Options{Seed: *seed, BruteBudget: *bruteBudget})
+		// The CLI's 0 means "all CPUs"; Table1Options encodes that as a
+		// negative worker count (0 there keeps the serial path).
+		bruteWorkers := *workers
+		if bruteWorkers == 0 {
+			bruteWorkers = -1
+		}
+		rows, err := bench.RunTable1(bench.Table1Options{
+			Seed: *seed, BruteBudget: *bruteBudget, BruteWorkers: bruteWorkers,
+		})
 		if err != nil {
 			return err
 		}

@@ -25,6 +25,23 @@ type AblationResult struct {
 	PhiSweep   []PhiAblationRow
 	Topology   []TopologyAblationRow
 	Parallel   []ParallelAblationRow
+	Brute      []BruteAblationRow
+}
+
+// BruteAblationRow measures one workers × pruning cell of the sharded
+// brute-force enumeration on the paper's d=20, k=4 reference workload
+// (§3's C(20,4)·φ⁴ combinatorics argument, with every attribute in a
+// correlated group so anti-correlated subtrees actually empty out).
+// Identical re-checks the determinism guarantee against the serial
+// unpruned reference in situ.
+type BruteAblationRow struct {
+	Workers   int
+	Pruning   bool
+	Time      time.Duration
+	Speedup   float64 // serial pruning-off wall clock / this cell's
+	Evals     int
+	Pruned    int // subtrees skipped by coverage pruning
+	Identical bool
 }
 
 // ParallelAblationRow measures one workers × cache cell: several
@@ -108,6 +125,10 @@ type AblationOptions struct {
 	// Workers caps the worker sweep of the parallel ablation
 	// (0 selects GOMAXPROCS).
 	Workers int
+	// BrutePhi is the grid resolution of the brute-force workers ×
+	// pruning sweep (default 10, the paper's d=20, k=4, φ=10 reference
+	// point; tests pass a smaller φ to keep the enumeration cheap).
+	BrutePhi int
 }
 
 func (o AblationOptions) withDefaults() AblationOptions {
@@ -116,6 +137,9 @@ func (o AblationOptions) withDefaults() AblationOptions {
 	}
 	if o.M == 0 {
 		o.M = 20
+	}
+	if o.BrutePhi == 0 {
+		o.BrutePhi = 10
 	}
 	return o
 }
@@ -283,6 +307,14 @@ func RunAblation(opt AblationOptions) (*AblationResult, error) {
 		}
 	}
 
+	// Brute-force workers × pruning on the paper's d=20, k=4 reference
+	// workload. Every attribute belongs to a correlated group, so the
+	// anti-correlated grid-cell combinations the paper mines are empty
+	// and coverage pruning has real subtrees to skip.
+	if out.Brute, err = runBruteAblation(opt); err != nil {
+		return nil, err
+	}
+
 	// Phi sweep (rebuilds the grid each time; k follows §2.4).
 	for _, phi := range []int{3, 5, 8, 12} {
 		d := core.NewDetector(ds, phi)
@@ -299,6 +331,53 @@ func RunAblation(opt AblationOptions) (*AblationResult, error) {
 		})
 	}
 	return out, nil
+}
+
+// runBruteAblation sweeps worker count × coverage pruning over one
+// exact enumeration of the d=20, k=4 space. The baseline cell
+// (workers=1, pruning off) is the pre-sharding serial path; every
+// other cell must reproduce its projections bit for bit.
+func runBruteAblation(opt AblationOptions) ([]BruteAblationRow, error) {
+	ds, err := synth.Generate(synth.Config{
+		Name: "brute-d20", N: 600, D: 20,
+		Groups: []synth.Group{
+			{Dims: []int{0, 1, 2, 3, 4, 5, 6}, Noise: 0.015},
+			{Dims: []int{7, 8, 9, 10, 11, 12, 13}, Noise: 0.015},
+			{Dims: []int{14, 15, 16, 17, 18, 19}, Noise: 0.015},
+		},
+		Outliers: 6, Scale: true,
+	}, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	det := core.NewDetector(ds, opt.BrutePhi)
+	var rows []BruteAblationRow
+	var ref []core.Projection
+	var baseTime time.Duration
+	for _, w := range []int{1, 2, 4, 8} {
+		for _, pruning := range []bool{false, true} {
+			start := time.Now()
+			res, err := det.BruteForce(core.BruteForceOptions{
+				K: 4, M: opt.M, Workers: w, DisablePruning: !pruning,
+			})
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if ref == nil {
+				ref = res.Projections
+				baseTime = elapsed
+			}
+			rows = append(rows, BruteAblationRow{
+				Workers: w, Pruning: pruning,
+				Time:    elapsed,
+				Speedup: float64(baseTime) / float64(elapsed),
+				Evals:   res.Evaluations, Pruned: res.Pruned,
+				Identical: sameProjections(ref, res.Projections),
+			})
+		}
+	}
+	return rows, nil
 }
 
 // sameProjections reports whether two projection lists agree exactly
@@ -350,6 +429,16 @@ func FormatAblation(r *AblationResult) string {
 		fmt.Fprintf(&b, "  w=%-2d cache=%-3s quality=%.3f time=%s speedup=%.2fx hits=%d misses=%d identical=%v\n",
 			row.Workers, cache, row.Quality, row.Time.Round(time.Millisecond),
 			row.Speedup, row.Hits, row.Misses, row.Identical)
+	}
+	b.WriteString("brute-force ablation (workers × coverage pruning, d=20 k=4):\n")
+	for _, row := range r.Brute {
+		pruning := "off"
+		if row.Pruning {
+			pruning = "on"
+		}
+		fmt.Fprintf(&b, "  w=%-2d pruning=%-3s time=%s speedup=%.2fx evals=%d pruned=%d identical=%v\n",
+			row.Workers, pruning, row.Time.Round(time.Millisecond),
+			row.Speedup, row.Evals, row.Pruned, row.Identical)
 	}
 	b.WriteString("phi sweep (k from Eq. 2 at s=-3):\n")
 	for _, row := range r.PhiSweep {

@@ -59,6 +59,24 @@ func goldenAblationResult() *AblationResult {
 			{Workers: 4, Cache: true, Quality: -3.412, Time: 980 * time.Millisecond,
 				Speedup: 4.60, Hits: 30518, Misses: 17693, Identical: true},
 		},
+		Brute: []BruteAblationRow{
+			{Workers: 1, Pruning: false, Time: 980 * time.Millisecond,
+				Speedup: 1.0, Evals: 48450000, Identical: true},
+			{Workers: 1, Pruning: true, Time: 265 * time.Millisecond,
+				Speedup: 3.70, Evals: 9797560, Pruned: 429993, Identical: true},
+			{Workers: 2, Pruning: false, Time: 505 * time.Millisecond,
+				Speedup: 1.94, Evals: 48450000, Identical: true},
+			{Workers: 2, Pruning: true, Time: 140 * time.Millisecond,
+				Speedup: 7.00, Evals: 9797560, Pruned: 429993, Identical: true},
+			{Workers: 4, Pruning: false, Time: 262 * time.Millisecond,
+				Speedup: 3.74, Evals: 48450000, Identical: true},
+			{Workers: 4, Pruning: true, Time: 76 * time.Millisecond,
+				Speedup: 12.89, Evals: 9797560, Pruned: 429993, Identical: true},
+			{Workers: 8, Pruning: false, Time: 143 * time.Millisecond,
+				Speedup: 6.85, Evals: 48450000, Identical: true},
+			{Workers: 8, Pruning: true, Time: 44 * time.Millisecond,
+				Speedup: 22.27, Evals: 9797560, Pruned: 429993, Identical: true},
+		},
 		PhiSweep: []PhiAblationRow{
 			{Phi: 3, AdvisedK: 7, SingletonSparsity: -0.71, Quality: -3.050, Recall: 0.83},
 			{Phi: 5, AdvisedK: 4, SingletonSparsity: -1.33, Quality: -3.412, Recall: 0.92},

@@ -236,13 +236,27 @@ func TestRunAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	res, err := RunAblation(AblationOptions{Seed: 1, Profile: "Machine"})
+	res, err := RunAblation(AblationOptions{Seed: 1, Profile: "Machine", BrutePhi: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Crossover) != 2 || len(res.Selection) != 3 ||
-		len(res.GridMethod) != 2 || len(res.PopSize) != 4 || len(res.PhiSweep) != 4 || len(res.Topology) != 3 {
+		len(res.GridMethod) != 2 || len(res.PopSize) != 4 || len(res.PhiSweep) != 4 ||
+		len(res.Topology) != 3 || len(res.Brute) != 8 {
 		t.Fatalf("ablation row counts wrong: %+v", res)
+	}
+	for _, row := range res.Brute {
+		if !row.Identical {
+			t.Errorf("brute cell w=%d pruning=%v diverged from the serial reference",
+				row.Workers, row.Pruning)
+		}
+		if row.Pruning && row.Evals > res.Brute[0].Evals {
+			t.Errorf("pruned cell w=%d evaluated more (%d) than the unpruned baseline (%d)",
+				row.Workers, row.Evals, res.Brute[0].Evals)
+		}
+	}
+	if res.Brute[0].Workers != 1 || res.Brute[0].Pruning || res.Brute[0].Speedup != 1.0 {
+		t.Errorf("brute baseline cell wrong: %+v", res.Brute[0])
 	}
 	if res.Crossover[0].Kind != core.OptimizedCrossover {
 		t.Error("crossover rows out of order")
@@ -252,7 +266,8 @@ func TestRunAblation(t *testing.T) {
 		t.Errorf("optimized quality %.3f much worse than two-point %.3f",
 			res.Crossover[0].Quality, res.Crossover[1].Quality)
 	}
-	if !strings.Contains(FormatAblation(res), "phi sweep") {
+	report := FormatAblation(res)
+	if !strings.Contains(report, "phi sweep") || !strings.Contains(report, "brute-force ablation") {
 		t.Error("FormatAblation missing sections")
 	}
 }

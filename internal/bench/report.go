@@ -157,6 +157,16 @@ func AblationCSV(w io.Writer, r *AblationResult) error {
 			f64(row.Quality), f64(row.Recall), "",
 			fmt.Sprintf("k=%d singletonS=%.3f", row.AdvisedK, row.SingletonSparsity)})
 	}
+	for _, row := range r.Brute {
+		pruning := "off"
+		if row.Pruning {
+			pruning = "on"
+		}
+		out = append(out, []string{"brute", fmt.Sprintf("w%d-prune-%s", row.Workers, pruning),
+			"", "", ms(row.Time),
+			fmt.Sprintf("speedup=%.2f evals=%d pruned=%d identical=%v",
+				row.Speedup, row.Evals, row.Pruned, row.Identical)})
+	}
 	return writeCSV(w, header, out)
 }
 

@@ -96,7 +96,7 @@ func TestAblationCSV(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	ab, err := RunAblation(AblationOptions{Seed: 1, Profile: "Machine"})
+	ab, err := RunAblation(AblationOptions{Seed: 1, Profile: "Machine", BrutePhi: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestAblationCSV(t *testing.T) {
 	for _, rec := range recs[1:] {
 		sections[rec[0]] = true
 	}
-	for _, want := range []string{"crossover", "selection", "grid", "popsize", "topology", "phi"} {
+	for _, want := range []string{"crossover", "selection", "grid", "popsize", "topology", "phi", "brute"} {
 		if !sections[want] {
 			t.Errorf("section %q missing", want)
 		}

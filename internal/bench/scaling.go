@@ -78,8 +78,13 @@ func RunScaling(opt ScalingOptions) ([]ScalingRow, error) {
 		row := ScalingRow{D: d, K: opt.K, Phi: opt.Phi,
 			SpaceSize: cube.SpaceSize(d, opt.K, opt.Phi)}
 
+		// The experiment's claim is that the *unpruned* enumeration cost
+		// tracks the closed form C(d,k)·φ^k exactly; coverage pruning
+		// would break that identity (its speedup is measured separately
+		// in the brute-force ablation).
 		res, err := det.BruteForce(core.BruteForceOptions{
 			K: opt.K, M: 10, MaxDuration: opt.BruteBudget,
+			DisablePruning: true,
 		})
 		switch {
 		case errors.Is(err, core.ErrBudgetExceeded):

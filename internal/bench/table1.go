@@ -36,6 +36,9 @@ type Table1Options struct {
 	// SkipBruteAboveD skips brute force entirely for data sets with
 	// more dimensions (0 = never skip; the budget still applies).
 	SkipBruteAboveD int
+	// BruteWorkers is the worker count for the brute-force column
+	// (0 = serial, <0 = all CPUs); results are identical either way.
+	BruteWorkers int
 }
 
 func (o Table1Options) withDefaults() Table1Options {
@@ -101,6 +104,7 @@ func runTable1Row(p synth.Profile, opt Table1Options) (Table1Row, error) {
 	if opt.SkipBruteAboveD == 0 || p.D <= opt.SkipBruteAboveD {
 		res, err := det.BruteForce(core.BruteForceOptions{
 			K: p.K, M: opt.M, MaxDuration: opt.BruteBudget,
+			Workers: opt.BruteWorkers,
 		})
 		switch {
 		case errors.Is(err, core.ErrBudgetExceeded):

@@ -165,6 +165,23 @@ func (s *Set) Xor(o *Set) {
 	}
 }
 
+// AndFrom stores a AND b into s and returns the resulting
+// cardinality, in a single pass over the words — the fused form of
+// CopyFrom + And + Count used at the interior levels of the
+// brute-force enumeration, where the count feeds the coverage-pruning
+// decision. All three sets must share a capacity; s may alias a or b.
+func (s *Set) AndFrom(a, b *Set) int {
+	s.mustMatch(a)
+	s.mustMatch(b)
+	c := 0
+	for i, w := range a.words {
+		w &= b.words[i]
+		s.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
 // IntersectCount returns |s AND o| without allocating.
 func (s *Set) IntersectCount(o *Set) int {
 	s.mustMatch(o)

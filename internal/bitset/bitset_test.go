@@ -189,6 +189,48 @@ func TestIntersectCountMatchesAnd(t *testing.T) {
 	}
 }
 
+func TestAndFromMatchesAndPlusCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		want := a.Clone()
+		want.And(b)
+		dst := New(n)
+		dst.Fill() // stale contents must be overwritten, not merged
+		if got := dst.AndFrom(a, b); got != want.Count() {
+			t.Fatalf("n=%d: AndFrom count = %d, want %d", n, got, want.Count())
+		}
+		if !dst.Equal(want) {
+			t.Fatalf("n=%d: AndFrom words differ from And", n)
+		}
+	}
+	// Aliasing dst with an operand is allowed: a.AndFrom(a, b) == a.And(b).
+	a, b := FromIndices(100, []int{1, 4, 50, 99}), FromIndices(100, []int{4, 50, 80})
+	want := a.Clone()
+	want.And(b)
+	if got := a.AndFrom(a, b); got != 2 || !a.Equal(want) {
+		t.Errorf("aliased AndFrom = %d (%v), want 2 (%v)", got, a.Indices(), want.Indices())
+	}
+}
+
+func TestAndFromCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AndFrom across capacities did not panic")
+		}
+	}()
+	New(64).AndFrom(New(64), New(128))
+}
+
 func TestIndicesRoundTrip(t *testing.T) {
 	idx := []int{0, 7, 63, 64, 128, 199}
 	s := FromIndices(200, idx)

@@ -2,11 +2,14 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"sync/atomic"
 	"time"
 
 	"hido/internal/bitset"
 	"hido/internal/cube"
 	"hido/internal/evo"
+	"hido/internal/grid"
 )
 
 // ErrBudgetExceeded reports that brute force hit its candidate or time
@@ -26,11 +29,91 @@ type BruteForceOptions struct {
 	// "non-empty" projections; a negative value admits empty cubes.
 	MinCoverage int
 	// MaxCandidates aborts after evaluating this many k-dimensional
-	// cubes (0 = unlimited).
+	// cubes (0 = unlimited). Accounting is atomic across workers: when
+	// the budget is hit, exactly MaxCandidates leaves were evaluated.
 	MaxCandidates uint64
 	// MaxDuration aborts after this much wall-clock time (0 = unlimited).
+	// The deadline is checked at interior levels of the enumeration as
+	// well as at leaves, so a run cannot overshoot by a whole subtree
+	// even when pruning skips every leaf in it.
 	MaxDuration time.Duration
+	// Workers sizes the pool mining the enumeration subtrees. Zero runs
+	// serially; negative selects GOMAXPROCS. Results are bit-for-bit
+	// identical at every worker count (see BruteForce).
+	Workers int
+	// Cache optionally shares a memoized projection-count cache across
+	// searches, mirroring EvoOptions.Cache: leaf counts are resolved
+	// through (and stored into) the cache, so a later evolutionary run
+	// or repeated sweep over the same detector reuses them. It must
+	// have been built over this detector's Index; nil keeps the
+	// incremental bitmap counting uncached. The cache changes only
+	// speed, never results.
+	Cache *grid.Cache
+	// DisablePruning turns off coverage pruning, visiting every leaf
+	// like Figure 2 verbatim. The pruned and unpruned searches retain
+	// identical projections (pruned subtrees contain only cubes below
+	// MinCoverage, which the leaf filter would discard anyway); only
+	// Evaluations and Pruned differ. Used by the pruning-correctness
+	// differential test and the speedup ablation.
+	DisablePruning bool
 }
+
+// bfTask is one top-level (dimension, range) prefix of the enumeration
+// tree — the unit of work sharding. Each cube is generated under
+// exactly one prefix (dimensions are taken in increasing order), so
+// tasks are independent and their best sets merge without overlap.
+type bfTask struct {
+	dim int
+	rng uint16
+}
+
+// bfShared is the state one BruteForce run shares across its workers.
+type bfShared struct {
+	d        *Detector
+	opt      BruteForceOptions
+	k        int
+	minCov   int
+	prune    bool
+	deadline time.Time
+
+	tasks []bfTask
+	next  atomic.Int64
+	// results[t] is task t's best set, filled by whichever worker
+	// claimed it; nil marks a task skipped after the budget was hit.
+	results []*evo.BestSet
+
+	// evaluated is the atomic candidate-budget reservation counter
+	// (only advanced when MaxCandidates > 0); evals and pruned
+	// accumulate the per-worker telemetry.
+	evaluated atomic.Uint64
+	budgetHit atomic.Bool
+	evals     atomic.Uint64
+	pruned    atomic.Uint64
+}
+
+// bfWorker carries one worker's scratch: the per-level partial record
+// sets, the in-progress cube, and the local telemetry counters merged
+// into bfShared when the worker drains.
+type bfWorker struct {
+	sh         *bfShared
+	bs         *evo.BestSet // current task's best set
+	partials   []*bitset.Set
+	c          cube.Cube
+	evals      uint64
+	pruned     uint64
+	sinceCheck int
+}
+
+// Budget checks are amortized: leaves weigh 1, interior nodes weigh
+// bfInteriorWeight (their bitmap AND is ~an order of magnitude more
+// work than a leaf's fused intersection-count), and the wall clock is
+// consulted every bfBudgetStride units. Pruning can discard entire
+// subtrees between leaves, so interior nodes must advance the counter
+// too or a skewed grid could run far past its deadline unchecked.
+const (
+	bfBudgetStride   = 1024
+	bfInteriorWeight = 64
+)
 
 // BruteForce enumerates every k-dimensional cube — the candidate sets
 // R_i of Figure 2, built as R_{i−1} ⊕ Q_1 with dimensions taken in
@@ -39,11 +122,30 @@ type BruteForceOptions struct {
 //
 // The enumeration is depth-first with an incrementally maintained
 // record bitmap per level, so a leaf costs one bitmap intersection
-// count. If a budget is exceeded, the partial result is returned along
-// with ErrBudgetExceeded.
+// count. Two accelerations preserve the exact result:
+//
+//   - Sharding: the top-level (dimension, range) prefixes are
+//     distributed over opt.Workers goroutines, each mining its
+//     subtrees with private scratch bitmaps and a per-task best set;
+//     the per-task sets are merged in prefix order, so the Result —
+//     projections, sparsity values, outliers, Evaluations — is
+//     bit-for-bit identical at every worker count.
+//   - Coverage pruning: when a partial record set's count falls below
+//     MinCoverage, every cube in the subtree below it is also below
+//     MinCoverage (counts only shrink as constraints are added) and
+//     would be discarded by the leaf filter, so the subtree is skipped
+//     without enumerating its φ^(k−depth) leaves. Result.Pruned counts
+//     the skipped subtrees.
+//
+// If a budget is exceeded, the partial result is returned along with
+// ErrBudgetExceeded; which subtrees completed then depends on
+// scheduling, but the MaxCandidates accounting stays exact.
 func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 	if err := d.validateKM(opt.K, opt.M); err != nil {
 		return nil, err
+	}
+	if opt.Cache != nil && opt.Cache.Index() != d.Index {
+		return nil, fmt.Errorf("core: count cache was built over a different index")
 	}
 	if opt.MinCoverage == 0 {
 		opt.MinCoverage = 1
@@ -51,90 +153,203 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 		opt.MinCoverage = 0
 	}
 	start := time.Now()
-	var deadline time.Time
+
+	sh := &bfShared{
+		d:   d,
+		opt: opt,
+		k:   opt.K,
+		// Pruning cuts subtrees whose partial count is already below
+		// MinCoverage; at MinCoverage 0 no count qualifies (empty cubes
+		// are admissible results), so pruning is a no-op there.
+		minCov: opt.MinCoverage,
+		prune:  !opt.DisablePruning && opt.MinCoverage > 0,
+	}
 	if opt.MaxDuration > 0 {
-		deadline = start.Add(opt.MaxDuration)
+		sh.deadline = start.Add(opt.MaxDuration)
 	}
-
-	bs := evo.NewBestSet(opt.M)
-	res := &Result{}
-	k := opt.K
-
-	// partial[i] holds the record set of the first i constraints.
-	partials := make([]*bitset.Set, k)
-	for i := range partials {
-		partials[i] = bitset.New(d.N())
-	}
-	c := cube.New(d.D())
-	evaluated := uint64(0)
-	budgetHit := false
-
-	// checkBudget is sampled every budgetStride leaves to keep the
-	// time.Now() overhead out of the inner loop.
-	const budgetStride = 4096
-	sinceCheck := 0
-
-	var rec func(depth, startDim int, parent *bitset.Set) bool
-	rec = func(depth, startDim int, parent *bitset.Set) bool {
-		lastLevel := depth == k-1
-		for j := startDim; j <= d.D()-(k-depth); j++ {
-			for r := 1; r <= d.Phi(); r++ {
-				if lastLevel {
-					var n int
-					if parent == nil {
-						// k == 1: the range bitmap itself is the cube.
-						n = d.Index.RangeSet(j, uint16(r)).Count()
-					} else {
-						n = d.Index.ExtendCount(parent, j, uint16(r))
-					}
-					evaluated++
-					if n >= opt.MinCoverage {
-						c[j] = uint16(r)
-						s := d.Index.SparsityOf(n, k)
-						if s < bs.Worst() {
-							bs.Offer(evo.Genome(c), s)
-						}
-						c[j] = cube.DontCare
-					}
-					if opt.MaxCandidates > 0 && evaluated >= opt.MaxCandidates {
-						budgetHit = true
-						return false
-					}
-					sinceCheck++
-					if sinceCheck >= budgetStride {
-						sinceCheck = 0
-						if !deadline.IsZero() && time.Now().After(deadline) {
-							budgetHit = true
-							return false
-						}
-					}
-					continue
-				}
-				// Interior level: materialize the partial record set.
-				next := partials[depth]
-				if parent == nil {
-					next.CopyFrom(d.Index.RangeSet(j, uint16(r)))
-				} else {
-					next.CopyFrom(parent)
-					next.And(d.Index.RangeSet(j, uint16(r)))
-				}
-				c[j] = uint16(r)
-				ok := rec(depth+1, j+1, next)
-				c[j] = cube.DontCare
-				if !ok {
-					return false
-				}
-			}
+	for j := 0; j <= d.D()-opt.K; j++ {
+		for r := 1; r <= d.Phi(); r++ {
+			sh.tasks = append(sh.tasks, bfTask{dim: j, rng: uint16(r)})
 		}
-		return true
 	}
-	rec(0, 0, nil)
+	sh.results = make([]*evo.BestSet, len(sh.tasks))
 
-	res.Evaluations = int(evaluated)
-	d.finalize(bs, res)
+	workers := resolveWorkers(opt.Workers)
+	if workers > len(sh.tasks) {
+		workers = len(sh.tasks)
+	}
+	sh.run(workers)
+
+	// Deterministic merge: per-task best sets in prefix order, entries
+	// already sorted by fitness within each. No genome appears under
+	// two prefixes, so ties are resolved identically at every worker
+	// count.
+	merged := evo.NewBestSet(opt.M)
+	for _, bs := range sh.results {
+		if bs == nil {
+			continue
+		}
+		for _, e := range bs.Entries() {
+			merged.Offer(e.Genome, e.Fitness)
+		}
+	}
+	res := &Result{
+		Evaluations: int(sh.evals.Load()),
+		Pruned:      int(sh.pruned.Load()),
+	}
+	d.finalize(merged, res)
 	res.Elapsed = time.Since(start)
-	if budgetHit {
+	if sh.budgetHit.Load() {
 		return res, ErrBudgetExceeded
 	}
 	return res, nil
+}
+
+// runWorker claims tasks from the shared counter until they run out,
+// then folds the local telemetry into the shared counters.
+func (sh *bfShared) runWorker() {
+	w := &bfWorker{
+		sh:       sh,
+		partials: make([]*bitset.Set, sh.k),
+		c:        cube.New(sh.d.D()),
+	}
+	for i := range w.partials {
+		w.partials[i] = bitset.New(sh.d.N())
+	}
+	for {
+		t := int(sh.next.Add(1)) - 1
+		if t >= len(sh.tasks) {
+			break
+		}
+		if sh.budgetHit.Load() {
+			continue // drain the remaining task indices
+		}
+		w.runTask(t)
+	}
+	sh.evals.Add(w.evals)
+	sh.pruned.Add(w.pruned)
+}
+
+// runTask mines the subtree under one top-level prefix into a fresh
+// per-task best set.
+func (w *bfWorker) runTask(t int) {
+	sh := w.sh
+	w.bs = evo.NewBestSet(sh.opt.M)
+	sh.results[t] = w.bs
+	tk := sh.tasks[t]
+	if sh.k == 1 {
+		// The prefix is the leaf: the range bitmap itself is the cube.
+		w.leaf(tk.dim, tk.rng, nil)
+		return
+	}
+	root := w.partials[0]
+	root.CopyFrom(sh.d.Index.RangeSet(tk.dim, tk.rng))
+	if sh.prune && root.Count() < sh.minCov {
+		w.pruned++
+		return
+	}
+	w.c[tk.dim] = tk.rng
+	w.rec(1, tk.dim+1, root)
+	w.c[tk.dim] = cube.DontCare
+}
+
+// rec enumerates the cubes extending the partial record set parent
+// (whose constraints occupy dimensions below startDim), reporting
+// false when a budget stop was hit.
+func (w *bfWorker) rec(depth, startDim int, parent *bitset.Set) bool {
+	sh := w.sh
+	if sh.budgetHit.Load() {
+		return false
+	}
+	lastLevel := depth == sh.k-1
+	for j := startDim; j <= sh.d.D()-(sh.k-depth); j++ {
+		for r := 1; r <= sh.d.Phi(); r++ {
+			if lastLevel {
+				if !w.leaf(j, uint16(r), parent) {
+					return false
+				}
+				continue
+			}
+			if w.checkTime(bfInteriorWeight) {
+				return false
+			}
+			next := w.partials[depth]
+			n := next.AndFrom(parent, sh.d.Index.RangeSet(j, uint16(r)))
+			if sh.prune && n < sh.minCov {
+				w.pruned++
+				continue
+			}
+			w.c[j] = uint16(r)
+			ok := w.rec(depth+1, j+1, next)
+			w.c[j] = cube.DontCare
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// leaf evaluates one full k-dimensional cube: the parent partial
+// extended by range r of dimension j (parent is nil only at k=1). It
+// reports false when a budget stop was hit.
+func (w *bfWorker) leaf(j int, r uint16, parent *bitset.Set) bool {
+	sh := w.sh
+	var ev uint64
+	if sh.opt.MaxCandidates > 0 {
+		// Reserve a budget slot before evaluating: reservations past
+		// the cap are abandoned, so exactly MaxCandidates leaves are
+		// evaluated no matter how many workers race here.
+		ev = sh.evaluated.Add(1)
+		if ev > sh.opt.MaxCandidates {
+			sh.budgetHit.Store(true)
+			return false
+		}
+	}
+	w.c[j] = r
+	var n int
+	switch {
+	case sh.opt.Cache != nil:
+		n = sh.opt.Cache.CountWith(w.c.Key(), func() int {
+			if parent == nil {
+				return sh.d.Index.RangeSet(j, r).Count()
+			}
+			return sh.d.Index.ExtendCount(parent, j, r)
+		})
+	case parent == nil:
+		n = sh.d.Index.RangeSet(j, r).Count()
+	default:
+		n = sh.d.Index.ExtendCount(parent, j, r)
+	}
+	w.evals++
+	if n >= sh.minCov {
+		if s := sh.d.Index.SparsityOf(n, sh.k); s < w.bs.Worst() {
+			w.bs.Offer(evo.Genome(w.c), s)
+		}
+	}
+	w.c[j] = cube.DontCare
+	if ev != 0 && ev == sh.opt.MaxCandidates {
+		sh.budgetHit.Store(true)
+		return false
+	}
+	return !w.checkTime(1)
+}
+
+// checkTime advances the amortized budget counter by weight and, every
+// bfBudgetStride units, consults the shared stop flag and the wall
+// clock. It reports whether the worker should abort.
+func (w *bfWorker) checkTime(weight int) bool {
+	w.sinceCheck += weight
+	if w.sinceCheck < bfBudgetStride {
+		return false
+	}
+	w.sinceCheck = 0
+	if w.sh.budgetHit.Load() {
+		return true
+	}
+	if !w.sh.deadline.IsZero() && time.Now().After(w.sh.deadline) {
+		w.sh.budgetHit.Store(true)
+		return true
+	}
+	return false
 }

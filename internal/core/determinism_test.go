@@ -35,6 +35,9 @@ func resultsEqual(t *testing.T, label string, a, b *Result) {
 	if a.Evaluations != b.Evaluations {
 		t.Fatalf("%s: evaluations %d vs %d", label, a.Evaluations, b.Evaluations)
 	}
+	if a.Pruned != b.Pruned {
+		t.Fatalf("%s: pruned %d vs %d", label, a.Pruned, b.Pruned)
+	}
 	if a.Generations != b.Generations {
 		t.Fatalf("%s: generations %d vs %d", label, a.Generations, b.Generations)
 	}
@@ -129,6 +132,38 @@ func TestEvolutionaryIslandsDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// The sharded brute-force enumeration must be invisible in the
+// results: any worker count, with or without a shared count cache,
+// yields the same Result — projections, sparsity values, outliers,
+// Evaluations, Pruned — as the serial run.
+func TestBruteForceDeterministicAcrossWorkers(t *testing.T) {
+	ds := plantedDataset(350, 9, 45)
+	det := NewDetector(ds, 4)
+	base := BruteForceOptions{K: 3, M: 12}
+
+	ref, err := det.BruteForce(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Projections) == 0 {
+		t.Fatal("reference run found nothing; test dataset too easy to misconfigure silently")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, cached := range []bool{false, true} {
+			o := base
+			o.Workers = workers
+			if cached {
+				o.Cache = grid.NewCache(det.Index)
+			}
+			got, err := det.BruteForce(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, labelWC("bruteforce", workers, cached), ref, got)
+		}
+	}
+}
+
 // A cache bound to a different detector's index must be rejected, not
 // silently produce wrong counts.
 func TestCacheIndexMismatchRejected(t *testing.T) {
@@ -143,6 +178,10 @@ func TestCacheIndexMismatchRejected(t *testing.T) {
 	}
 	if _, err := detA.EvolutionaryIslands(IslandOptions{Evo: opt}); err == nil {
 		t.Error("islands accepted a foreign cache")
+	}
+	bf := BruteForceOptions{K: 2, M: 3, Cache: grid.NewCache(detB.Index)}
+	if _, err := detA.BruteForce(bf); err == nil {
+		t.Error("brute force accepted a foreign cache")
 	}
 }
 

@@ -13,6 +13,7 @@ type resultJSON struct {
 	Projections []projectionJSON `json:"projections"`
 	Outliers    []outlierJSON    `json:"outliers"`
 	Evaluations int              `json:"evaluations"`
+	Pruned      int              `json:"pruned,omitempty"`
 	Generations int              `json:"generations,omitempty"`
 	ElapsedMS   float64          `json:"elapsed_ms"`
 	Quality     *float64         `json:"quality,omitempty"`
@@ -37,6 +38,7 @@ type outlierJSON struct {
 func (r *Result) WriteJSON(w io.Writer, d *Detector) error {
 	out := resultJSON{
 		Evaluations: r.Evaluations,
+		Pruned:      r.Pruned,
 		Generations: r.Generations,
 		ElapsedMS:   float64(r.Elapsed.Microseconds()) / 1000,
 	}

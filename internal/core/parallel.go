@@ -1,150 +1,36 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
+import "sync"
 
-	"hido/internal/bitset"
-	"hido/internal/cube"
-	"hido/internal/evo"
-)
-
-// BruteForceParallel is BruteForce fanned out over worker goroutines:
-// the first-level (dimension, range) branches of the enumeration tree
-// are distributed over a work queue and each worker mines its subtree
-// with a private best-set; the sets are merged at the end. Quality is
-// identical to the sequential search (both retain the optimum);
-// tie-breaking among equal-sparsity cubes may differ.
-//
-// workers <= 0 selects GOMAXPROCS. The candidate and time budgets are
-// shared across workers (approximately for the candidate budget: each
-// worker checks the global counter at leaf granularity).
-func (d *Detector) BruteForceParallel(opt BruteForceOptions, workers int) (*Result, error) {
-	if err := d.validateKM(opt.K, opt.M); err != nil {
-		return nil, err
+// run executes the task list on a pool of workers, each with its own
+// scratch bitsets and partials stack. With one worker the loop runs
+// inline on the calling goroutine — the serial search is literally the
+// parallel search at pool size 1, which is what makes the bit-identical
+// guarantee checkable rather than aspirational.
+func (sh *bfShared) run(workers int) {
+	if workers <= 1 {
+		sh.runWorker()
+		return
 	}
-	if opt.MinCoverage == 0 {
-		opt.MinCoverage = 1
-	} else if opt.MinCoverage < 0 {
-		opt.MinCoverage = 0
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if opt.K == 1 || workers == 1 {
-		// No useful first-level fan-out at k=1; fall back.
-		return d.BruteForce(opt)
-	}
-	start := time.Now()
-	var deadline time.Time
-	if opt.MaxDuration > 0 {
-		deadline = start.Add(opt.MaxDuration)
-	}
-
-	type job struct {
-		dim int
-		rng uint16
-	}
-	jobs := make(chan job)
-	var evaluated atomic.Uint64
-	var budgetHit atomic.Bool
-
-	k := opt.K
-	results := make([]*evo.BestSet, workers)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		results[w] = evo.NewBestSet(opt.M)
-		wg.Add(1)
-		go func(bs *evo.BestSet) {
+	wg.Add(workers)
+	for t := 0; t < workers; t++ {
+		go func() {
 			defer wg.Done()
-			partials := make([]*bitset.Set, k)
-			for i := range partials {
-				partials[i] = bitset.New(d.N())
-			}
-			c := cube.New(d.D())
-			sinceCheck := 0
-			const budgetStride = 4096
-
-			var rec func(depth, startDim int, parent *bitset.Set) bool
-			rec = func(depth, startDim int, parent *bitset.Set) bool {
-				lastLevel := depth == k-1
-				for j := startDim; j <= d.D()-(k-depth); j++ {
-					for r := 1; r <= d.Phi(); r++ {
-						if lastLevel {
-							n := d.Index.ExtendCount(parent, j, uint16(r))
-							ev := evaluated.Add(1)
-							if n >= opt.MinCoverage {
-								c[j] = uint16(r)
-								s := d.Index.SparsityOf(n, k)
-								if s < bs.Worst() {
-									bs.Offer(evo.Genome(c), s)
-								}
-								c[j] = cube.DontCare
-							}
-							if opt.MaxCandidates > 0 && ev >= opt.MaxCandidates {
-								budgetHit.Store(true)
-								return false
-							}
-							sinceCheck++
-							if sinceCheck >= budgetStride {
-								sinceCheck = 0
-								if budgetHit.Load() {
-									return false
-								}
-								if !deadline.IsZero() && time.Now().After(deadline) {
-									budgetHit.Store(true)
-									return false
-								}
-							}
-							continue
-						}
-						next := partials[depth]
-						next.CopyFrom(parent)
-						next.And(d.Index.RangeSet(j, uint16(r)))
-						c[j] = uint16(r)
-						ok := rec(depth+1, j+1, next)
-						c[j] = cube.DontCare
-						if !ok {
-							return false
-						}
-					}
-				}
-				return true
-			}
-
-			for jb := range jobs {
-				if budgetHit.Load() {
-					continue // drain
-				}
-				partials[0].CopyFrom(d.Index.RangeSet(jb.dim, jb.rng))
-				c[jb.dim] = jb.rng
-				rec(1, jb.dim+1, partials[0])
-				c[jb.dim] = cube.DontCare
-			}
-		}(results[w])
+			sh.runWorker()
+		}()
 	}
-
-	for j := 0; j <= d.D()-k; j++ {
-		for r := 1; r <= d.Phi(); r++ {
-			jobs <- job{dim: j, rng: uint16(r)}
-		}
-	}
-	close(jobs)
 	wg.Wait()
+}
 
-	merged := evo.NewBestSet(opt.M)
-	for _, bs := range results {
-		for _, e := range bs.Entries() {
-			merged.Offer(e.Genome, e.Fitness)
-		}
+// BruteForceParallel is BruteForce with an explicit worker count:
+// workers <= 0 selects GOMAXPROCS. It predates BruteForceOptions.Workers
+// and is kept for callers that size the pool at the call site; the
+// result is bit-for-bit identical to BruteForce at any worker count.
+func (d *Detector) BruteForceParallel(opt BruteForceOptions, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = -1
 	}
-	res := &Result{Evaluations: int(evaluated.Load())}
-	d.finalize(merged, res)
-	res.Elapsed = time.Since(start)
-	if budgetHit.Load() {
-		return res, ErrBudgetExceeded
-	}
-	return res, nil
+	opt.Workers = workers
+	return d.BruteForce(opt)
 }

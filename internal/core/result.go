@@ -80,6 +80,10 @@ type Result struct {
 
 	// Evaluations counts distinct fitness (cube count) computations.
 	Evaluations int
+	// Pruned counts the enumeration subtrees skipped by brute-force
+	// coverage pruning (every cube below them falls under MinCoverage).
+	// Zero for the evolutionary search and for unpruned runs.
+	Pruned int
 	// Generations is the number of GA generations (0 for brute force).
 	Generations int
 	// ConvergedDeJong reports whether the GA stopped on the De Jong

@@ -72,6 +72,30 @@ func (c *Cache) CountKey(cb cube.Cube, key string) int {
 	return n
 }
 
+// CountWith returns the memoized count for key, calling compute on a
+// miss and storing its result. The caller guarantees compute returns
+// the count of the cube the key canonically denotes for this cache's
+// index; the brute-force enumerator uses this to reuse its
+// incrementally maintained partial record sets (one bitmap
+// intersection per leaf) instead of re-intersecting k bitmaps the way
+// Count would on a miss.
+func (c *Cache) CountWith(key string, compute func() int) int {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.RLock()
+	n, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return n
+	}
+	n = compute()
+	c.misses.Add(1)
+	sh.mu.Lock()
+	sh.m[key] = n
+	sh.mu.Unlock()
+	return n
+}
+
 // shardOf maps a key to its shard by FNV-1a.
 func shardOf(key string) uint32 {
 	h := uint32(2166136261)

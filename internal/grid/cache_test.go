@@ -45,6 +45,32 @@ func TestCacheAgreesWithIndex(t *testing.T) {
 	}
 }
 
+// CountWith must call compute exactly once per key, serve repeats from
+// the table, and count the lookups in the same Stats as Count.
+func TestCountWithMemoizes(t *testing.T) {
+	_, ix := fixture(100, 4, 3, 31, 0)
+	c := NewCache(ix)
+	calls := 0
+	compute := func() int { calls++; return 42 }
+	if got := c.CountWith("k1", compute); got != 42 {
+		t.Fatalf("first CountWith = %d, want 42", got)
+	}
+	if got := c.CountWith("k1", compute); got != 42 {
+		t.Fatalf("second CountWith = %d, want 42", got)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	// A different key computes again; its value must not collide.
+	if got := c.CountWith("k2", func() int { return 7 }); got != 7 {
+		t.Fatalf("CountWith(k2) = %d, want 7", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Size != 2 {
+		t.Errorf("stats %+v, want 1 hit / 2 misses / size 2", st)
+	}
+}
+
 // The differential property the race layer leans on: under concurrent
 // access from many goroutines, every cached count still agrees with
 // the naive full-scan oracle, and CoverInto over the same cubes keeps

@@ -47,10 +47,10 @@ func (k kind) String() string {
 // series is one label-value combination of a family.
 type series struct {
 	labelValues []string
-	value       float64   // counter/gauge
-	buckets     []uint64  // histogram: cumulative-at-write, stored per bucket
-	sum         float64   // histogram
-	count       uint64    // histogram
+	value       float64  // counter/gauge
+	buckets     []uint64 // histogram: cumulative-at-write, stored per bucket
+	sum         float64  // histogram
+	count       uint64   // histogram
 }
 
 // family is one named metric with its label schema and live series.

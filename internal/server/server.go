@@ -275,4 +275,3 @@ func httpStatusFromErr(err error) int {
 		return http.StatusBadRequest
 	}
 }
-
