@@ -32,6 +32,7 @@ import (
 	"hido/internal/core"
 	"hido/internal/dataset"
 	"hido/internal/discretize"
+	"hido/internal/obs"
 )
 
 func main() {
@@ -58,8 +59,15 @@ func main() {
 		baseline  = flag.String("baseline", "", "also run a baseline for comparison: knn, lof or db")
 		samples   = flag.Int("samples", 512, "subspaces for -algo sampled")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
+		trace     = flag.String("trace", "", "write JSON-lines search trace events to this file")
+		verbose   = flag.Bool("v", false, "print live search progress to stderr")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("hido"))
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -71,6 +79,7 @@ func main() {
 		restarts: *restarts, islands: *islands, workers: *workers,
 		minimal: *minimal, filter: *filter, baseline: *baseline,
 		samples: *samples, jsonOut: *jsonOut,
+		trace: *trace, verbose: *verbose,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hido: %v\n", err)
@@ -96,6 +105,37 @@ type config struct {
 	baseline           string
 	samples            int
 	jsonOut            bool
+	trace              string
+	verbose            bool
+}
+
+// buildObserver assembles the CLI's observer stack: a JSON-lines
+// tracer when -trace names a file, compact stderr progress lines under
+// -v, nil when neither is requested (the zero-cost default). The
+// returned closer flushes the trace file and reports any write error.
+func buildObserver(cfg config) (obs.Observer, func() error, error) {
+	var tracer *obs.Tracer
+	var sinks []obs.Observer
+	closer := func() error { return nil }
+	if cfg.trace != "" {
+		f, err := os.Create(cfg.trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		tracer = obs.NewTracer(f)
+		sinks = append(sinks, tracer.Observer())
+		closer = func() error {
+			if err := tracer.Err(); err != nil {
+				f.Close()
+				return fmt.Errorf("trace write failed: %w", err)
+			}
+			return f.Close()
+		}
+	}
+	if cfg.verbose {
+		sinks = append(sinks, obs.NewLogObserver(os.Stderr))
+	}
+	return obs.Multi(sinks...), closer, nil
 }
 
 func run(cfg config) error {
@@ -147,6 +187,11 @@ func run(cfg config) error {
 		return runSampled(cfg, ds, det, k)
 	}
 
+	observer, closeTrace, err := buildObserver(cfg)
+	if err != nil {
+		return err
+	}
+
 	var res *core.Result
 	switch algo {
 	case "brute":
@@ -156,8 +201,8 @@ func run(cfg config) error {
 		if bruteWorkers == 0 {
 			bruteWorkers = -1
 		}
-		res, err = det.BruteForce(
-			core.BruteForceOptions{K: k, M: m, MaxDuration: budget, Workers: bruteWorkers})
+		res, err = det.BruteForce(core.BruteForceOptions{
+			K: k, M: m, MaxDuration: budget, Workers: bruteWorkers, Observer: observer})
 		if errors.Is(err, core.ErrBudgetExceeded) {
 			fmt.Fprintf(os.Stderr, "warning: brute force hit the %s budget; results are partial\n", budget)
 			err = nil
@@ -169,7 +214,8 @@ func run(cfg config) error {
 		if evoWorkers == 0 {
 			evoWorkers = -1
 		}
-		opt := core.EvoOptions{K: k, M: m, Seed: seed, Crossover: kind, Workers: evoWorkers}
+		opt := core.EvoOptions{K: k, M: m, Seed: seed, Crossover: kind, Workers: evoWorkers,
+			Observer: observer}
 		switch {
 		case cfg.islands > 0:
 			res, err = det.EvolutionaryIslands(core.IslandOptions{Evo: opt, Islands: cfg.islands})
@@ -182,6 +228,9 @@ func run(cfg config) error {
 		return fmt.Errorf("unknown algorithm %q", algo)
 	}
 	if err != nil {
+		return err
+	}
+	if err := closeTrace(); err != nil {
 		return err
 	}
 	if cfg.filter != 0 {

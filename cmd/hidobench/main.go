@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hido/internal/bench"
+	"hido/internal/obs"
 )
 
 func main() {
@@ -33,8 +34,33 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker-sweep cap for the ablation's parallel table and table1's brute-force column (0 = all CPUs)")
 		outdir      = flag.String("outdir", "", "directory for figure1 view CSVs (omit to skip)")
 		csvdir      = flag.String("csvdir", "", "run every experiment and write CSV results into this directory")
+		trace       = flag.String("trace", "", "write table1's JSON-lines search trace events to this file")
+		verbose     = flag.Bool("v", false, "print live table1 search progress to stderr")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("hidobench"))
+		return
+	}
+
+	// The observer stack feeds the searches RunTable1 launches; the
+	// other experiments run too many short searches to trace usefully.
+	var observer obs.Observer
+	var traceFile *os.File
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hidobench: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		defer traceFile.Close()
+		observer = obs.NewTracer(f).Observer()
+	}
+	if *verbose {
+		observer = obs.Multi(observer, obs.NewLogObserver(os.Stderr))
+	}
 
 	if *csvdir != "" {
 		paths, err := bench.WriteAllCSV(*csvdir, *seed, *bruteBudget)
@@ -69,6 +95,7 @@ func main() {
 		}
 		rows, err := bench.RunTable1(bench.Table1Options{
 			Seed: *seed, BruteBudget: *bruteBudget, BruteWorkers: bruteWorkers,
+			Observer: observer,
 		})
 		if err != nil {
 			return err

@@ -27,13 +27,16 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"hido/internal/obs"
 	"hido/internal/server"
 	"hido/internal/stream"
 )
@@ -61,19 +64,32 @@ func (m *modelFlags) Set(v string) error {
 func main() {
 	var models modelFlags
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		inflight = flag.Int("max-inflight", 64, "max concurrently served score/fit requests (excess get 429)")
-		fitJobs  = flag.Int("max-fit-jobs", 2, "max concurrently running background fits")
-		maxBody  = flag.Int64("max-body", 32<<20, "request body limit in bytes")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline for score/fit")
-		workers  = flag.Int("workers", 0, "scoring workers per request (0 = GOMAXPROCS)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+		addr      = flag.String("addr", ":8080", "listen address")
+		inflight  = flag.Int("max-inflight", 64, "max concurrently served score/fit requests (excess get 429)")
+		fitJobs   = flag.Int("max-fit-jobs", 2, "max concurrently running background fits")
+		maxBody   = flag.Int64("max-body", 32<<20, "request body limit in bytes")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline for score/fit")
+		workers   = flag.Int("workers", 0, "scoring workers per request (0 = GOMAXPROCS)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "json", "log format: json or text")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Var(&models, "load", "preload a model as name=path (repeatable)")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("hidod"))
+		return
+	}
 
-	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	if err := run(*addr, models, server.Config{
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hidod: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logFormat != "text")
+	if err := run(*addr, *pprofAddr, models, server.Config{
 		MaxInFlight:    *inflight,
 		MaxFitJobs:     *fitJobs,
 		MaxBodyBytes:   *maxBody,
@@ -107,7 +123,10 @@ func loadModels(s *server.Server, models modelFlags) error {
 	return nil
 }
 
-func run(addr string, models modelFlags, cfg server.Config, drain time.Duration, logger *slog.Logger) error {
+func run(addr, pprofAddr string, models modelFlags, cfg server.Config, drain time.Duration, logger *slog.Logger) error {
+	b := obs.Build()
+	logger.Info("starting", "binary", "hidod",
+		"version", b.Version, "go", b.GoVersion, "revision", b.Revision)
 	s := server.New(cfg)
 	if err := loadModels(s, models); err != nil {
 		return err
@@ -121,6 +140,14 @@ func run(addr string, models modelFlags, cfg server.Config, drain time.Duration,
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if pprofAddr != "" {
+		stopPprof, err := servePprof(pprofAddr, logger)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -149,4 +176,36 @@ func run(addr string, models modelFlags, cfg server.Config, drain time.Duration,
 	}
 	logger.Info("shutdown complete")
 	return nil
+}
+
+// servePprof serves net/http/pprof on its own listener, separate from
+// the API server so profiling is never exposed on the service port.
+// Only loopback hosts are accepted: profiles leak memory contents, so
+// the listener must not be reachable off-box.
+func servePprof(addr string, logger *slog.Logger) (stop func(), err error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof address %q: %w", addr, err)
+	}
+	if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
+		return nil, fmt.Errorf("pprof address %q is not a loopback address", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		logger.Info("pprof listening", "addr", ln.Addr().String())
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("pprof server failed", "error", err)
+		}
+	}()
+	return func() { _ = srv.Close() }, nil
 }

@@ -98,7 +98,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- run(addr, modelFlags{{"default", path}}, server.Config{}, 10*time.Second, discardLogger())
+		done <- run(addr, "", modelFlags{{"default", path}}, server.Config{}, 10*time.Second, discardLogger())
 	}()
 
 	base := "http://" + addr

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"hido/internal/dataset"
+	"hido/internal/obs"
 	"hido/internal/synth"
 )
 
@@ -33,8 +34,13 @@ func main() {
 		groups   = flag.String("groups", "", "custom: correlated groups as 'dim,dim,...;dim,dim,...'")
 		outliers = flag.Int("outliers", 5, "custom: planted outliers")
 		missing  = flag.Float64("missing", 0, "custom: missing-value rate")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("hidogen"))
+		return
+	}
 	if *out == "" || (*name == "" && !*custom) {
 		flag.Usage()
 		os.Exit(2)

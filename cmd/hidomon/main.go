@@ -30,6 +30,7 @@ import (
 	"os"
 
 	"hido/internal/dataset"
+	"hido/internal/obs"
 	"hido/internal/stream"
 )
 
@@ -46,8 +47,14 @@ func main() {
 		label   = flag.Int("label", -1, "label column index, -1 for none")
 		explain = flag.Bool("explain", false, "print matching projections per alert")
 		jsonOut = flag.Bool("json", false, "emit alerts as JSON lines (score)")
+		verbose = flag.Bool("v", false, "print live fitting progress to stderr")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("hidomon"))
+		return
+	}
 	if *model == "" || (*fit == "") == (*score == "") {
 		fmt.Fprintln(os.Stderr, "hidomon: need -model plus exactly one of -fit or -score")
 		flag.Usage()
@@ -55,7 +62,7 @@ func main() {
 	}
 	var err error
 	if *fit != "" {
-		err = runFit(*fit, *model, *phi, *s, *m, *seed, *header, *label)
+		err = runFit(*fit, *model, *phi, *s, *m, *seed, *header, *label, *verbose)
 	} else {
 		err = runScore(*score, *model, *header, *label, *explain, *jsonOut)
 	}
@@ -66,13 +73,17 @@ func main() {
 }
 
 func runFit(in, modelPath string, phi int, s float64, m int, seed uint64,
-	header bool, label int) error {
+	header bool, label int, verbose bool) error {
 	ds, err := dataset.ReadCSVFile(in, dataset.ReadCSVOptions{Header: header, LabelColumn: label})
 	if err != nil {
 		return err
 	}
+	var observer obs.Observer
+	if verbose {
+		observer = obs.NewLogObserver(os.Stderr)
+	}
 	mon, err := stream.NewMonitor(ds, stream.Options{
-		Phi: phi, TargetS: s, M: m, Seed: seed,
+		Phi: phi, TargetS: s, M: m, Seed: seed, Observer: observer,
 	})
 	if err != nil {
 		return err

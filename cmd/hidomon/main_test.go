@@ -50,7 +50,7 @@ func TestFitThenScore(t *testing.T) {
 	st := fixtureCSV(t, "stream.csv", streamDS)
 	model := filepath.Join(t.TempDir(), "model.json")
 
-	if err := runFit(ref, model, 5, -3, 100, 1, true, 6); err != nil {
+	if err := runFit(ref, model, 5, -3, 100, 1, true, 6, false); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(model)
@@ -67,7 +67,7 @@ func fitFixture(t *testing.T) string {
 	t.Helper()
 	ref := fixtureCSV(t, "ref.csv", refDS)
 	model := filepath.Join(t.TempDir(), "model.json")
-	if err := runFit(ref, model, 5, -3, 100, 1, true, 6); err != nil {
+	if err := runFit(ref, model, 5, -3, 100, 1, true, 6, false); err != nil {
 		t.Fatal(err)
 	}
 	return model
@@ -164,11 +164,11 @@ func TestScoreRejectsMalformedRows(t *testing.T) {
 
 func TestFitErrors(t *testing.T) {
 	model := filepath.Join(t.TempDir(), "m.json")
-	if err := runFit(filepath.Join(t.TempDir(), "absent.csv"), model, 5, -3, 10, 1, true, -1); err == nil {
+	if err := runFit(filepath.Join(t.TempDir(), "absent.csv"), model, 5, -3, 10, 1, true, -1, false); err == nil {
 		t.Error("missing input accepted")
 	}
 	ref := fixtureCSV(t, "ref.csv", refDS)
-	if err := runFit(ref, model, 1, -3, 10, 1, true, 6); err == nil {
+	if err := runFit(ref, model, 1, -3, 10, 1, true, 6, false); err == nil {
 		t.Error("phi=1 accepted")
 	}
 }

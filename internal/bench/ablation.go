@@ -57,6 +57,7 @@ type ParallelAblationRow struct {
 	Time         time.Duration
 	Speedup      float64 // serial cache-off wall clock / this cell's
 	Hits, Misses uint64  // shared-cache counters (zero when Cache=false)
+	Size         int     // distinct cube counts memoized (zero when Cache=false)
 	Identical    bool
 }
 
@@ -301,7 +302,7 @@ func RunAblation(opt AblationOptions) (*AblationResult, error) {
 			}
 			if cache != nil {
 				st := cache.Stats()
-				row.Hits, row.Misses = st.Hits, st.Misses
+				row.Hits, row.Misses, row.Size = st.Hits, st.Misses, st.Size
 			}
 			out.Parallel = append(out.Parallel, row)
 		}
@@ -426,9 +427,9 @@ func FormatAblation(r *AblationResult) string {
 		if row.Cache {
 			cache = "on"
 		}
-		fmt.Fprintf(&b, "  w=%-2d cache=%-3s quality=%.3f time=%s speedup=%.2fx hits=%d misses=%d identical=%v\n",
+		fmt.Fprintf(&b, "  w=%-2d cache=%-3s quality=%.3f time=%s speedup=%.2fx hits=%d misses=%d size=%d identical=%v\n",
 			row.Workers, cache, row.Quality, row.Time.Round(time.Millisecond),
-			row.Speedup, row.Hits, row.Misses, row.Identical)
+			row.Speedup, row.Hits, row.Misses, row.Size, row.Identical)
 	}
 	b.WriteString("brute-force ablation (workers × coverage pruning, d=20 k=4):\n")
 	for _, row := range r.Brute {

@@ -49,15 +49,15 @@ func goldenAblationResult() *AblationResult {
 			{Workers: 1, Cache: false, Quality: -3.412, Time: 4510 * time.Millisecond,
 				Speedup: 1.0, Identical: true},
 			{Workers: 1, Cache: true, Quality: -3.412, Time: 3120 * time.Millisecond,
-				Speedup: 1.45, Hits: 30518, Misses: 17693, Identical: true},
+				Speedup: 1.45, Hits: 30518, Misses: 17693, Size: 17693, Identical: true},
 			{Workers: 2, Cache: false, Quality: -3.412, Time: 2410 * time.Millisecond,
 				Speedup: 1.87, Identical: true},
 			{Workers: 2, Cache: true, Quality: -3.412, Time: 1690 * time.Millisecond,
-				Speedup: 2.67, Hits: 30518, Misses: 17693, Identical: true},
+				Speedup: 2.67, Hits: 30518, Misses: 17693, Size: 17693, Identical: true},
 			{Workers: 4, Cache: false, Quality: -3.412, Time: 1350 * time.Millisecond,
 				Speedup: 3.34, Identical: true},
 			{Workers: 4, Cache: true, Quality: -3.412, Time: 980 * time.Millisecond,
-				Speedup: 4.60, Hits: 30518, Misses: 17693, Identical: true},
+				Speedup: 4.60, Hits: 30518, Misses: 17693, Size: 17693, Identical: true},
 		},
 		Brute: []BruteAblationRow{
 			{Workers: 1, Pruning: false, Time: 980 * time.Millisecond,

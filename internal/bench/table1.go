@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hido/internal/core"
+	"hido/internal/obs"
 	"hido/internal/synth"
 )
 
@@ -39,6 +40,10 @@ type Table1Options struct {
 	// BruteWorkers is the worker count for the brute-force column
 	// (0 = serial, <0 = all CPUs); results are identical either way.
 	BruteWorkers int
+	// Observer, when set, receives every search's events, with run IDs
+	// derived from the profile and column ("shuttle/brute",
+	// "shuttle/gen-opt"). Never changes the rows.
+	Observer obs.Observer
 }
 
 func (o Table1Options) withDefaults() Table1Options {
@@ -104,7 +109,8 @@ func runTable1Row(p synth.Profile, opt Table1Options) (Table1Row, error) {
 	if opt.SkipBruteAboveD == 0 || p.D <= opt.SkipBruteAboveD {
 		res, err := det.BruteForce(core.BruteForceOptions{
 			K: p.K, M: opt.M, MaxDuration: opt.BruteBudget,
-			Workers: opt.BruteWorkers,
+			Workers:  opt.BruteWorkers,
+			Observer: opt.Observer, RunID: p.Name + "/brute",
 		})
 		switch {
 		case errors.Is(err, core.ErrBudgetExceeded):
@@ -122,6 +128,7 @@ func runTable1Row(p synth.Profile, opt Table1Options) (Table1Row, error) {
 
 	gen, err := det.Evolutionary(core.EvoOptions{
 		K: p.K, M: opt.M, Seed: opt.Seed, Crossover: core.TwoPointCrossover,
+		Observer: opt.Observer, RunID: p.Name + "/gen",
 	})
 	if err != nil {
 		return row, err
@@ -132,6 +139,7 @@ func runTable1Row(p synth.Profile, opt Table1Options) (Table1Row, error) {
 
 	genOpt, err := det.Evolutionary(core.EvoOptions{
 		K: p.K, M: opt.M, Seed: opt.Seed, Crossover: core.OptimizedCrossover,
+		Observer: opt.Observer, RunID: p.Name + "/gen-opt",
 	})
 	if err != nil {
 		return row, err

@@ -10,6 +10,7 @@ import (
 	"hido/internal/cube"
 	"hido/internal/evo"
 	"hido/internal/grid"
+	"hido/internal/obs"
 )
 
 // ErrBudgetExceeded reports that brute force hit its candidate or time
@@ -56,6 +57,19 @@ type BruteForceOptions struct {
 	// Evaluations and Pruned differ. Used by the pruning-correctness
 	// differential test and the speedup ablation.
 	DisablePruning bool
+	// Observer, when set, receives periodic progress heartbeats (tasks
+	// completed, leaves evaluated, subtrees pruned, evaluations/sec)
+	// and a terminal run summary (see internal/obs). A nil observer
+	// costs zero allocations on the hot path; an attached observer only
+	// reads the shared telemetry counters from a side goroutine, so the
+	// Result stays bit-identical with or without one, at every worker
+	// count. Implementations must be safe for concurrent use.
+	Observer obs.Observer
+	// ProgressInterval is the heartbeat period when an Observer is
+	// attached (default 1s). Ignored without an Observer.
+	ProgressInterval time.Duration
+	// RunID labels observer events and trace lines (default "brute").
+	RunID string
 }
 
 // bfTask is one top-level (dimension, range) prefix of the enumeration
@@ -89,6 +103,9 @@ type bfShared struct {
 	budgetHit atomic.Bool
 	evals     atomic.Uint64
 	pruned    atomic.Uint64
+	// tasksDone counts completed subtree tasks for progress heartbeats;
+	// advanced (and read) only when an observer is attached.
+	tasksDone atomic.Int64
 }
 
 // bfWorker carries one worker's scratch: the per-level partial record
@@ -102,6 +119,21 @@ type bfWorker struct {
 	evals      uint64
 	pruned     uint64
 	sinceCheck int
+	// evalsFlushed/prunedFlushed track how much of the local telemetry
+	// has been folded into the shared counters already; with an
+	// observer attached checkTime flushes the delta every budget stride
+	// so heartbeats see live counts, and the drain flushes the rest.
+	evalsFlushed  uint64
+	prunedFlushed uint64
+}
+
+// flushCounts folds the not-yet-flushed local telemetry into the
+// shared counters.
+func (w *bfWorker) flushCounts() {
+	w.sh.evals.Add(w.evals - w.evalsFlushed)
+	w.sh.pruned.Add(w.pruned - w.prunedFlushed)
+	w.evalsFlushed = w.evals
+	w.prunedFlushed = w.pruned
 }
 
 // Budget checks are amortized: leaves weigh 1, interior nodes weigh
@@ -152,6 +184,9 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 	} else if opt.MinCoverage < 0 {
 		opt.MinCoverage = 0
 	}
+	if opt.RunID == "" {
+		opt.RunID = "brute"
+	}
 	start := time.Now()
 
 	sh := &bfShared{
@@ -178,7 +213,19 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 	if workers > len(sh.tasks) {
 		workers = len(sh.tasks)
 	}
-	sh.run(workers)
+	if opt.Observer != nil {
+		interval := opt.ProgressInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		stop, done := make(chan struct{}), make(chan struct{})
+		go sh.heartbeat(start, interval, stop, done)
+		sh.run(workers)
+		close(stop)
+		<-done
+	} else {
+		sh.run(workers)
+	}
 
 	// Deterministic merge: per-task best sets in prefix order, entries
 	// already sorted by fitness within each. No genome appears under
@@ -199,6 +246,8 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 	}
 	d.finalize(merged, res)
 	res.Elapsed = time.Since(start)
+	sh.notifyProgress(start)
+	notifySummary(opt.Observer, opt.RunID, "brute", res, sh.budgetHit.Load(), opt.Cache)
 	if sh.budgetHit.Load() {
 		return res, ErrBudgetExceeded
 	}
@@ -225,9 +274,11 @@ func (sh *bfShared) runWorker() {
 			continue // drain the remaining task indices
 		}
 		w.runTask(t)
+		if sh.opt.Observer != nil {
+			sh.tasksDone.Add(1)
+		}
 	}
-	sh.evals.Add(w.evals)
-	sh.pruned.Add(w.pruned)
+	w.flushCounts()
 }
 
 // runTask mines the subtree under one top-level prefix into a fresh
@@ -344,6 +395,11 @@ func (w *bfWorker) checkTime(weight int) bool {
 		return false
 	}
 	w.sinceCheck = 0
+	if w.sh.opt.Observer != nil {
+		// Live counts for the heartbeat goroutine; without an observer
+		// the shared counters are touched only at the drain.
+		w.flushCounts()
+	}
 	if w.sh.budgetHit.Load() {
 		return true
 	}

@@ -8,6 +8,7 @@ import (
 	"hido/internal/cube"
 	"hido/internal/evo"
 	"hido/internal/grid"
+	"hido/internal/obs"
 	"hido/internal/xrand"
 )
 
@@ -89,9 +90,23 @@ type EvoOptions struct {
 	Seed uint64
 	// OnGeneration, when set, observes per-generation statistics.
 	OnGeneration func(evo.Stats)
+	// Observer, when set, receives structured per-generation events and
+	// a terminal run summary (see internal/obs). A nil observer costs
+	// zero allocations on the hot path, and an attached observer never
+	// changes the Result — it only reads derived snapshots. Restarts
+	// and islands deliver events from several goroutines, so
+	// implementations must be safe for concurrent use.
+	Observer obs.Observer
+	// RunID labels this run's observer events and trace lines (default
+	// "evo"). Restarts and islands derive per-run IDs from it
+	// ("evo.r0", "evo.i2").
+	RunID string
 }
 
 func (o EvoOptions) withDefaults() EvoOptions {
+	if o.RunID == "" {
+		o.RunID = "evo"
+	}
 	if o.PopSize == 0 {
 		o.PopSize = 100
 	}
@@ -136,6 +151,9 @@ type search struct {
 	workers int
 	evals   int
 	ctxs    []*xoverCtx // lazily built per-worker scratch contexts
+	// lastDistinct is the latest generation's distinct-genome count,
+	// maintained by evaluateAll only when the run is observed.
+	lastDistinct int
 }
 
 type fitEntry struct {
@@ -205,21 +223,16 @@ func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
 		s.mutateAll(pop)
 		s.evaluateAll(pop)
 		improved := s.offerAll(pop)
-		if opt.OnGeneration != nil {
-			st := pop.Snapshot(gen)
-			st.Evaluated = s.evals
-			st.BestSoFar = s.bs.MeanFitness()
-			if e := s.bs.Entries(); len(e) > 0 {
-				st.BestString = cube.Cube(e[0].Genome).String()
-			}
-			opt.OnGeneration(st)
-		}
+		// The De Jong fraction doubles as the event's convergence field,
+		// so compute it once per generation.
+		frac := pop.ConvergedFraction(0.95)
+		s.notifyGeneration(pop, gen, frac)
 		if improved {
 			stall = 0
 		} else {
 			stall++
 		}
-		if pop.Converged() {
+		if frac >= 1 {
 			res.ConvergedDeJong = true
 			gen++
 			break
@@ -234,6 +247,7 @@ func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
 	res.Evaluations = s.evals
 	d.finalize(s.bs, res)
 	res.Elapsed = time.Since(start)
+	notifySummary(opt.Observer, opt.RunID, "evo", res, false, opt.Cache)
 	return res, nil
 }
 
@@ -300,6 +314,18 @@ func (s *search) evaluateAll(pop *evo.Population) {
 
 	for i := 0; i < n; i++ {
 		pop.Fitness[i] = s.cache[keys[i]].sparsity
+	}
+
+	// The keys are already in hand, so the population's diversity count
+	// is nearly free here; notifyGeneration reads it instead of paying
+	// for a fresh comparison-sort over the members. Only observed runs
+	// need it.
+	if s.opt.OnGeneration != nil || s.opt.Observer != nil {
+		seen := make(map[string]struct{}, n)
+		for _, k := range keys {
+			seen[k] = struct{}{}
+		}
+		s.lastDistinct = len(seen)
 	}
 }
 

@@ -20,7 +20,9 @@ import (
 // sparse projections.
 type IslandOptions struct {
 	// Evo carries the per-island parameters; Evo.PopSize is the size
-	// of EACH island. Evo.OnGeneration observes island 0. Evo.Workers
+	// of EACH island. Evo.OnGeneration observes island 0; Evo.Observer
+	// receives one generation event per island per generation (run IDs
+	// "evo.i0", "evo.i1", …) plus an "evo-islands" summary. Evo.Workers
 	// is the TOTAL worker budget: islands evolve concurrently, and
 	// leftover workers fan out inside each island's evaluator. Results
 	// are identical at every worker count — each island owns an
@@ -94,10 +96,19 @@ func (d *Detector) EvolutionaryIslands(opt IslandOptions) (*Result, error) {
 	master := xrand.New(eo.Seed)
 	searches := make([]*search, opt.Islands)
 	islands := make([]*evo.Population, opt.Islands)
+	runID := eo.RunID
+	if runID == "" {
+		runID = "evo"
+	}
 	for i := range searches {
 		io := eo
 		io.Seed = master.Uint64()
 		io.Workers = inner
+		// Per-island generation events are emitted at the barrier below
+		// (not by the island itself); the legacy callback still observes
+		// island 0 only.
+		io.OnGeneration = nil
+		io.RunID = fmt.Sprintf("%s.i%d", runID, i)
 		s, err := newSearch(d, io)
 		if err != nil {
 			return nil, err
@@ -135,6 +146,13 @@ func (d *Detector) EvolutionaryIslands(opt IslandOptions) (*Result, error) {
 			st.BestSoFar = mergeBestSets(searches, eo.M).MeanFitness()
 			eo.OnGeneration(st)
 		}
+		if eo.Observer != nil {
+			// One event per island, in island order at the barrier, so
+			// delivery is deterministic.
+			for i, s := range searches {
+				s.notifyGeneration(islands[i], gen, islands[i].ConvergedFraction(0.95))
+			}
+		}
 		if (gen+1)%opt.MigrateEvery == 0 && opt.Islands > 1 && opt.Migrants > 0 {
 			migrate(islands, opt.Migrants)
 		}
@@ -169,6 +187,7 @@ func (d *Detector) EvolutionaryIslands(opt IslandOptions) (*Result, error) {
 	res.Evaluations = sumEvals(searches)
 	d.finalize(mergeBestSets(searches, eo.M), res)
 	res.Elapsed = time.Since(start)
+	notifySummary(eo.Observer, runID, "evo-islands", res, false, eo.Cache)
 	return res, nil
 }
 

@@ -24,7 +24,10 @@ import (
 // free for the rest. Results are merged in restart order and each run
 // owns a derived seed, so the outcome is identical at every worker
 // count. When opt.OnGeneration is set, runs stay sequential so the
-// callback never executes concurrently.
+// callback never executes concurrently. An opt.Observer does NOT
+// serialize the restarts — it must be concurrency-safe, and each
+// restart labels its events with a derived run ID ("evo.r0", "evo.r1",
+// …); a final aggregate summary is emitted under the parent ID.
 //
 // The merged result holds every distinct projection found (up to
 // restarts·M), sorted by ascending sparsity; Outliers is the union of
@@ -58,6 +61,10 @@ func (d *Detector) EvolutionaryRestarts(opt EvoOptions, restarts int) (*Result, 
 		inner = 1
 	}
 
+	runID := opt.RunID
+	if runID == "" {
+		runID = "evo"
+	}
 	results := make([]*Result, restarts)
 	errs := make([]error, restarts)
 	parallelFor(restarts, outer, func(r int) {
@@ -66,6 +73,9 @@ func (d *Detector) EvolutionaryRestarts(opt EvoOptions, restarts int) (*Result, 
 		// golden-ratio increment, so successive restarts never collide.
 		o.Seed = opt.Seed + uint64(r)*0x9e3779b97f4a7c15
 		o.Workers = inner
+		if restarts > 1 {
+			o.RunID = fmt.Sprintf("%s.r%d", runID, r)
+		}
 		results[r], errs[r] = d.Evolutionary(o)
 	})
 	for _, err := range errs {
@@ -98,6 +108,11 @@ func (d *Detector) EvolutionaryRestarts(opt EvoOptions, restarts int) (*Result, 
 		return merged.Projections[a].Sparsity < merged.Projections[b].Sparsity
 	})
 	merged.Outliers = merged.OutlierSet.Indices()
+	if restarts > 1 {
+		// Each restart already emitted its own summary; this is the
+		// aggregate record for the whole union.
+		notifySummary(opt.Observer, runID, "evo-restarts", merged, false, opt.Cache)
+	}
 	return merged, nil
 }
 

@@ -49,6 +49,19 @@ func appendUint(b []byte, v uint16) []byte {
 	return append(b, byte('0'+v%10))
 }
 
+// compare orders two equal-length genomes lexicographically.
+func (g Genome) compare(o Genome) int {
+	for i := range g {
+		if g[i] != o[i] {
+			if g[i] < o[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // Population is a set of genomes with cached fitness values. Lower
 // fitness is better throughout (the paper minimizes the sparsity
 // coefficient).
@@ -91,6 +104,7 @@ type Stats struct {
 	MeanFit    float64
 	WorstFit   float64
 	Converged  float64 // fraction of genes meeting the De Jong criterion
+	Distinct   int     // distinct genomes in the population (diversity)
 	Evaluated  int     // cumulative fitness evaluations
 	BestSoFar  float64 // best fitness ever seen (from the BestSet)
 	BestString string
@@ -98,6 +112,17 @@ type Stats struct {
 
 // Snapshot computes the population statistics for generation gen.
 func (pop *Population) Snapshot(gen int) Stats {
+	s := pop.FitnessStats(gen)
+	s.Distinct = pop.Distinct()
+	s.Converged = pop.ConvergedFraction(0.95)
+	return s
+}
+
+// FitnessStats computes only the fitness aggregates (best, mean,
+// worst) — the cheap part of Snapshot. Callers that already track
+// convergence and diversity (the core search does both as byproducts)
+// fill those fields themselves instead of recomputing them.
+func (pop *Population) FitnessStats(gen int) Stats {
 	s := Stats{Gen: gen, BestFit: math.Inf(1), WorstFit: math.Inf(-1)}
 	sum := 0.0
 	for _, f := range pop.Fitness {
@@ -112,8 +137,30 @@ func (pop *Population) Snapshot(gen int) Stats {
 	if pop.Len() > 0 {
 		s.MeanFit = sum / float64(pop.Len())
 	}
-	s.Converged = pop.ConvergedFraction(0.95)
 	return s
+}
+
+// Distinct counts the distinct genomes by sorting member indices
+// lexicographically — exact, and far cheaper than building a string
+// key per member.
+func (pop *Population) Distinct() int {
+	if pop.Len() == 0 {
+		return 0
+	}
+	idx := make([]int, pop.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return pop.Members[idx[a]].compare(pop.Members[idx[b]]) < 0
+	})
+	n := 1
+	for i := 1; i < len(idx); i++ {
+		if pop.Members[idx[i-1]].compare(pop.Members[idx[i]]) != 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Selection chooses the next generation's parents.
@@ -238,8 +285,20 @@ func (pop *Population) ConvergedFraction(threshold float64) float64 {
 		return 0
 	}
 	genomeLen := len(pop.Members[0])
+	// Gene values are grid ranges bounded by φ (0 = don't-care), so a
+	// dense counter array beats a map; size it to the largest value
+	// present.
+	maxVal := uint16(0)
+	for _, g := range pop.Members {
+		for _, v := range g {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	counts := make([]int, int(maxVal)+1)
 	converged := 0
-	counts := map[uint16]int{}
+	need := threshold * float64(pop.Len())
 	for pos := 0; pos < genomeLen; pos++ {
 		clear(counts)
 		max := 0
@@ -249,7 +308,7 @@ func (pop *Population) ConvergedFraction(threshold float64) float64 {
 				max = counts[g[pos]]
 			}
 		}
-		if float64(max) >= threshold*float64(pop.Len()) {
+		if float64(max) >= need {
 			converged++
 		}
 	}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: module version, Go
+// toolchain, and the VCS revision baked in by `go build` when the
+// module is built from a checkout.
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for source
+	// builds, a semver tag for released builds).
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS commit hash, possibly truncated; empty when
+	// the build carried no VCS stamp (e.g. `go test` binaries).
+	Revision string
+	// Modified reports whether the checkout had uncommitted changes.
+	Modified bool
+}
+
+// Build returns the binary's build information, read once from
+// debug.ReadBuildInfo.
+var Build = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{Version: "unknown", GoVersion: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Version = info.Main.Version
+	if b.Version == "" {
+		b.Version = "(devel)"
+	}
+	b.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+			if len(b.Revision) > 12 {
+				b.Revision = b.Revision[:12]
+			}
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// String renders the build info on one line:
+// "(devel) go1.24.0 rev 1a2b3c4d5e6f+dirty".
+func (b BuildInfo) String() string {
+	s := b.Version + " " + b.GoVersion
+	if b.Revision != "" {
+		s += " rev " + b.Revision
+		if b.Modified {
+			s += "+dirty"
+		}
+	}
+	return s
+}
+
+// VersionLine renders the standard `-version` output for a binary.
+func VersionLine(binary string) string {
+	return fmt.Sprintf("%s %s", binary, Build())
+}

@@ -1,0 +1,20 @@
+package obs
+
+import "context"
+
+// requestIDKey is the context key carrying a request-scoped ID.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID. The serving
+// middleware attaches one per request; everything downstream (handlers,
+// fit jobs, error logs) reads it back with RequestID so one ID threads
+// through every log line and trace event a request produces.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "" when none is set.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,66 @@
+// Package obs is hido's observability layer: a leveled structured
+// logger, a JSON-lines trace writer with run-scoped IDs and monotonic
+// timestamps, a search Observer contract shared by the brute-force and
+// evolutionary searches, request-ID propagation for the serving
+// daemon, and build/version introspection.
+//
+// The package is dependency-free (standard library only) and sits
+// below every other hido package except the leaf utilities: core,
+// stream, server and the cmd/ binaries all emit through it, so one
+// trace file interleaves search telemetry and serving telemetry with a
+// shared clock and ID scheme.
+//
+// Two contracts shape the design:
+//
+//   - A nil Observer costs nothing. Search hot paths guard every
+//     emission with a nil check and build event payloads only behind
+//     it, so detectors without an observer attached run the exact
+//     pre-observability machine code: zero allocations, zero atomics
+//     beyond the telemetry counters that already existed.
+//   - Observation never perturbs results. Observers receive copies of
+//     derived statistics; nothing they do can reach back into search
+//     state, so the bit-identical Result guarantees across worker
+//     counts hold with or without an observer attached.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger returns a leveled structured logger writing to w: JSON
+// objects (one per line) when json is true, logfmt-style key=value
+// text otherwise. Every hido daemon and CLI builds its logger here so
+// field names and level handling stay consistent across binaries.
+func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// NopLogger returns a logger that discards everything — the default
+// when a component is handed no logger.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// ParseLevel maps a -log-level flag value (debug, info, warn, error;
+// case-insensitive) to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return slog.LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}

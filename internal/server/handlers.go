@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
+	"hido/internal/dataset"
+	"hido/internal/obs"
 	"hido/internal/stream"
 )
 
@@ -63,14 +66,21 @@ func boolParam(r *http.Request, name string) bool {
 }
 
 // handleScore scores one uploaded batch against a registered model.
+// Each phase — decode, score, encode — is timed into the per-phase
+// latency histogram.
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/api/v1/score"
 	name := modelParam(r)
 	e, ok := s.registry.Get(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not loaded", name))
 		return
 	}
-	ds, err := decodeRecords(r, e.Monitor.D(), true)
+	var ds *dataset.Dataset
+	var err error
+	s.phase(endpoint, "decode", func() {
+		ds, err = decodeRecords(r, e.Monitor.D(), true)
+	})
 	if err != nil {
 		writeError(w, httpStatusFromErr(err), err.Error())
 		return
@@ -78,7 +88,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if s.testHookScoring != nil {
 		s.testHookScoring()
 	}
-	alerts, err := e.Monitor.ScoreBatchContext(r.Context(), ds, s.cfg.ScoreWorkers)
+	var alerts []stream.Alert
+	s.phase(endpoint, "score", func() {
+		alerts, err = e.Monitor.ScoreBatchContext(r.Context(), ds, s.cfg.ScoreWorkers)
+	})
 	if err != nil {
 		writeError(w, httpStatusFromErr(err), "scoring aborted: "+err.Error())
 		return
@@ -91,11 +104,13 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mRecords.Add(float64(len(alerts)))
 	s.mAlerts.Add(float64(flagged))
-	writeJSON(w, http.StatusOK, scoreResponse{
-		Model:   name,
-		Records: len(alerts),
-		Flagged: flagged,
-		Results: e.Monitor.Results(ds, alerts, boolParam(r, "explain"), !boolParam(r, "all")),
+	s.phase(endpoint, "encode", func() {
+		writeJSON(w, http.StatusOK, scoreResponse{
+			Model:   name,
+			Records: len(alerts),
+			Flagged: flagged,
+			Results: e.Monitor.Results(ds, alerts, boolParam(r, "explain"), !boolParam(r, "all")),
+		})
 	})
 }
 
@@ -138,7 +153,10 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	// Fitting tolerates categorical columns (they are integer-encoded
 	// like the offline CLI does), so the lenient decoder is correct
 	// here where the scoring path is strict.
-	ds, err := decodeRecords(r, 0, false)
+	var ds *dataset.Dataset
+	s.phase("/api/v1/fit", "decode", func() {
+		ds, err = decodeRecords(r, 0, false)
+	})
 	if err != nil {
 		writeError(w, httpStatusFromErr(err), err.Error())
 		return
@@ -151,7 +169,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mJobsRunning.Set(float64(s.jobs.inFlight()))
+	jobLog := s.cfg.Logger.With("job", id, "model", name, "req", obs.RequestID(r.Context()))
+	// The fitting searches report through the job-scoped logger:
+	// per-generation events at debug, run summaries at info.
+	opt.Observer = obs.NewSlogObserver(jobLog)
 	go func() {
+		jobLog.Info("fit job started", "records", ds.N(), "phi", opt.Phi, "s", opt.TargetS)
 		mon, err := stream.NewMonitor(ds, opt)
 		if err == nil {
 			err = s.registry.Set(name, Entry{Monitor: mon, FittedAt: s.cfg.Now(), Source: "fit:" + id})
@@ -159,7 +182,9 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		state, msg := "done", ""
 		if err != nil {
 			state, msg = "failed", err.Error()
-			s.cfg.Logger.Error("fit job failed", "job", id, "model", name, "error", msg)
+			jobLog.Error("fit job failed", "error", msg)
+		} else {
+			jobLog.Info("fit job done", "projections", len(mon.Projections()))
 		}
 		s.jobs.finish(id, msg, s.cfg.Now())
 		s.mJobsRunning.Set(float64(s.jobs.inFlight()))
@@ -250,10 +275,18 @@ func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the liveness probe. The body carries the build
+// stamp (version, go toolchain, VCS revision) and process uptime so a
+// probe or operator can identify the running binary.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	b := obs.Build()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"version":        b.Version,
+		"go":             b.GoVersion,
+		"revision":       b.Revision,
+		"uptime_seconds": s.cfg.Now().Sub(s.started).Seconds(),
+	})
 }
 
 // handleReadyz is the readiness probe: ready once a model is loaded.
@@ -268,7 +301,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the Prometheus text exposition. Gauges derived
-// from registry state (model count, model ages, running jobs) are
+// from registry state (model count, model ages, fit-cache counters,
+// running jobs) and from the Go runtime (goroutines, heap, GC) are
 // refreshed at scrape time.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	now := s.cfg.Now()
@@ -277,9 +311,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, n := range names {
 		if e, ok := s.registry.Get(n); ok {
 			s.mModelAge.Set(now.Sub(e.FittedAt).Seconds(), n)
+			st := e.Monitor.FitStats()
+			s.mFitCacheHits.Set(float64(st.Hits), n)
+			s.mFitCacheMisses.Set(float64(st.Misses), n)
+			s.mFitCacheSize.Set(float64(st.Size), n)
 		}
 	}
 	s.mJobsRunning.Set(float64(s.jobs.inFlight()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mGoroutines.Set(float64(runtime.NumGoroutine()))
+	s.mHeapBytes.Set(float64(ms.HeapAlloc))
+	s.mGCPauses.Set(float64(ms.PauseTotalNs) / 1e9)
+	s.mGCCycles.Set(float64(ms.NumGC))
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WriteText(w); err != nil {
 		s.cfg.Logger.Error("metrics write failed", "error", err)

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"hido/internal/metrics"
+	"hido/internal/obs"
 )
 
 // Config tunes the server. The zero value serves with sane defaults.
@@ -108,8 +109,12 @@ type Server struct {
 	sem      chan struct{}
 	mux      *http.ServeMux
 
+	reqIDs  *obs.IDSource
+	started time.Time
+
 	mRequests    *metrics.Counter
 	mLatency     *metrics.Histogram
+	mPhase       *metrics.Histogram
 	mInFlight    *metrics.Gauge
 	mSaturated   *metrics.Counter
 	mRecords     *metrics.Counter
@@ -118,6 +123,15 @@ type Server struct {
 	mModelAge    *metrics.Gauge
 	mJobsRunning *metrics.Gauge
 	mJobsTotal   *metrics.Counter
+
+	mGoroutines *metrics.Gauge
+	mHeapBytes  *metrics.Gauge
+	mGCPauses   *metrics.Gauge
+	mGCCycles   *metrics.Gauge
+
+	mFitCacheHits   *metrics.Gauge
+	mFitCacheMisses *metrics.Gauge
+	mFitCacheSize   *metrics.Gauge
 
 	// testHookScoring, when set, runs while a score request holds its
 	// in-flight slot, letting tests park requests deterministically.
@@ -134,12 +148,17 @@ func New(cfg Config) *Server {
 		jobs:     newJobs(),
 		reg:      reg,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
+		reqIDs:   obs.NewIDSource("req"),
+		started:  cfg.Now(),
 
 		mRequests: reg.Counter("hidod_requests_total",
 			"HTTP requests served, by endpoint, method and status code.",
 			"endpoint", "method", "code"),
 		mLatency: reg.Histogram("hidod_request_duration_seconds",
 			"HTTP request latency in seconds, by endpoint.", nil, "endpoint"),
+		mPhase: reg.Histogram("hidod_request_phase_seconds",
+			"Per-phase request latency in seconds (decode, score, encode), by endpoint.",
+			nil, "endpoint", "phase"),
 		mInFlight: reg.Gauge("hidod_in_flight_requests",
 			"Requests currently being served."),
 		mSaturated: reg.Counter("hidod_saturated_total",
@@ -156,6 +175,22 @@ func New(cfg Config) *Server {
 			"Background fit jobs currently running."),
 		mJobsTotal: reg.Counter("hidod_fit_jobs_total",
 			"Completed background fit jobs, by final state.", "state"),
+
+		mGoroutines: reg.Gauge("hidod_goroutines",
+			"Goroutines alive at scrape time."),
+		mHeapBytes: reg.Gauge("hidod_heap_alloc_bytes",
+			"Bytes of allocated heap objects at scrape time."),
+		mGCPauses: reg.Gauge("hidod_gc_pause_seconds_total",
+			"Cumulative stop-the-world GC pause seconds."),
+		mGCCycles: reg.Gauge("hidod_gc_cycles_total",
+			"Completed GC cycles."),
+
+		mFitCacheHits: reg.Gauge("hidod_fit_cache_hits",
+			"Projection-count cache hits during each model's last in-process fit.", "model"),
+		mFitCacheMisses: reg.Gauge("hidod_fit_cache_misses",
+			"Projection-count cache misses during each model's last in-process fit.", "model"),
+		mFitCacheSize: reg.Gauge("hidod_fit_cache_size",
+			"Distinct cube counts memoized during each model's last in-process fit.", "model"),
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /api/v1/score", "/api/v1/score", true, s.handleScore)
@@ -217,13 +252,23 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// route mounts a handler with the shared middleware stack: body
-// limits, access logging, request metrics, and — for heavy endpoints —
-// the in-flight semaphore and per-request deadline.
+// route mounts a handler with the shared middleware stack: request-ID
+// assignment, body limits, access logging, request metrics, and — for
+// heavy endpoints — the in-flight semaphore and per-request deadline.
 func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := s.cfg.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		// Propagate the caller's correlation ID when it supplies one;
+		// mint a fresh one otherwise. Handlers read it back from the
+		// request context (obs.RequestID) and clients from the response
+		// header.
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = s.reqIDs.Next()
+		}
+		sw.Header().Set("X-Request-Id", reqID)
+		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
 		s.mInFlight.Add(1)
 		defer func() {
 			s.mInFlight.Add(-1)
@@ -235,6 +280,7 @@ func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc)
 			s.mRequests.Inc(endpoint, r.Method, strconv.Itoa(code))
 			s.mLatency.Observe(elapsed.Seconds(), endpoint)
 			s.cfg.Logger.Info("request",
+				"req", reqID,
 				"method", r.Method, "path", r.URL.Path, "endpoint", endpoint,
 				"code", code, "bytes", sw.bytes,
 				"duration_ms", float64(elapsed.Microseconds())/1000,
@@ -259,6 +305,15 @@ func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc)
 		}
 		h(sw, r)
 	})
+}
+
+// phase times one stage of a request (decode, score, encode) into the
+// per-phase latency histogram: f runs, then the elapsed wall clock is
+// recorded under the endpoint+phase pair.
+func (s *Server) phase(endpoint, phase string, f func()) {
+	start := s.cfg.Now()
+	f()
+	s.mPhase.Observe(s.cfg.Now().Sub(start).Seconds(), endpoint, phase)
 }
 
 // httpStatusFromErr maps decode/scoring failures to status codes.

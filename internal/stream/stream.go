@@ -26,6 +26,8 @@ import (
 	"hido/internal/core"
 	"hido/internal/dataset"
 	"hido/internal/discretize"
+	"hido/internal/grid"
+	"hido/internal/obs"
 )
 
 // Alert describes why a scored record was flagged.
@@ -55,6 +57,10 @@ type Options struct {
 	Restarts int
 	// Seed drives the searches.
 	Seed uint64
+	// Observer, when set, receives the fitting searches' generation
+	// events and run summaries (see internal/obs). Excluded from the
+	// persisted model JSON; never changes the fitted model.
+	Observer obs.Observer `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +87,7 @@ type Monitor struct {
 	names       []string
 	projections []core.Projection
 	k           int
+	fitStats    grid.CacheStats // count-cache counters from the last Refit
 }
 
 // NewMonitor fits the initial model on the reference window.
@@ -104,12 +111,18 @@ func NewMonitor(reference *dataset.Dataset, opt Options) (*Monitor, error) {
 func (m *Monitor) Refit(reference *dataset.Dataset) error {
 	det := core.NewDetector(reference, m.opt.Phi)
 	advice := det.Advise(m.opt.TargetS)
+	// An explicit count cache (rather than the one EvolutionaryRestarts
+	// auto-creates) lets the monitor retain its hit/miss/size counters
+	// after the fit — cmd/hidod exposes them as hidod_fit_cache_*
+	// gauges.
+	cache := grid.NewCache(det.Index)
 	// MinCoverage -1 admits cubes that are EMPTY in the reference
 	// window — offline mining discards them (they cover no record),
 	// but online they are the strongest alarms: a new record landing
 	// in a region the reference never occupied.
 	res, err := det.EvolutionaryRestarts(core.EvoOptions{
 		K: advice.K, M: m.opt.M, Seed: m.opt.Seed, MinCoverage: -1,
+		Cache: cache, Observer: m.opt.Observer, RunID: "fit",
 	}, m.opt.Restarts)
 	if err != nil {
 		return err
@@ -125,6 +138,7 @@ func (m *Monitor) Refit(reference *dataset.Dataset) error {
 	m.names = append([]string(nil), reference.Names...)
 	m.projections = res.Projections
 	m.k = advice.K
+	m.fitStats = cache.Stats()
 	return nil
 }
 
@@ -277,4 +291,13 @@ func (m *Monitor) D() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.grid.D
+}
+
+// FitStats returns the projection-count cache counters from the last
+// Refit (all zero for a model loaded from JSON, which never fitted in
+// this process).
+func (m *Monitor) FitStats() grid.CacheStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.fitStats
 }
