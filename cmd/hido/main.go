@@ -7,7 +7,7 @@
 //	     [-m 20] [-algo evo|brute|sampled] [-crossover optimized|twopoint]
 //	     [-restarts 1] [-islands 0] [-workers 1] [-samples 512]
 //	     [-filter 0] [-minimal] [-baseline knn|lof|db]
-//	     [-json]
+//	     [-checkpoint file] [-resume file] [-json]
 //	     [-seed 1] [-top 10] [-explain]
 //
 // With -k 0 the projection dimensionality is chosen by the paper's
@@ -59,6 +59,9 @@ func main() {
 		baseline  = flag.String("baseline", "", "also run a baseline for comparison: knn, lof or db")
 		samples   = flag.Int("samples", 512, "subspaces for -algo sampled")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
+		ckpt      = flag.String("checkpoint", "", "periodically save search progress to this file")
+		ckptEvery = flag.Duration("checkpoint-interval", 10*time.Second, "minimum spacing between checkpoint snapshots")
+		resume    = flag.String("resume", "", "resume a killed search from this checkpoint file (implies -checkpoint)")
 		trace     = flag.String("trace", "", "write JSON-lines search trace events to this file")
 		verbose   = flag.Bool("v", false, "print live search progress to stderr")
 		version   = flag.Bool("version", false, "print version and exit")
@@ -79,6 +82,7 @@ func main() {
 		restarts: *restarts, islands: *islands, workers: *workers,
 		minimal: *minimal, filter: *filter, baseline: *baseline,
 		samples: *samples, jsonOut: *jsonOut,
+		checkpoint: *ckpt, checkpointEvery: *ckptEvery, resume: *resume,
 		trace: *trace, verbose: *verbose,
 	}
 	if err := run(cfg); err != nil {
@@ -105,8 +109,37 @@ type config struct {
 	baseline           string
 	samples            int
 	jsonOut            bool
+	checkpoint         string
+	checkpointEvery    time.Duration
+	resume             string
 	trace              string
 	verbose            bool
+}
+
+// checkpointOptions resolves the -checkpoint/-resume flags into core
+// options, or nil when neither is set. -resume implies checkpointing
+// to the same file, so a twice-killed search keeps its progress.
+func checkpointOptions(cfg config) (*core.CheckpointOptions, error) {
+	if cfg.checkpoint == "" && cfg.resume == "" {
+		return nil, nil
+	}
+	if cfg.resume != "" && cfg.checkpoint != "" && cfg.resume != cfg.checkpoint {
+		return nil, fmt.Errorf("-checkpoint %s and -resume %s name different files", cfg.checkpoint, cfg.resume)
+	}
+	switch {
+	case cfg.algo == "sampled":
+		return nil, fmt.Errorf("-checkpoint/-resume are not supported with -algo sampled")
+	case cfg.restarts > 1:
+		return nil, fmt.Errorf("-checkpoint/-resume are not supported with -restarts (each restart is its own search)")
+	case cfg.islands > 0:
+		return nil, fmt.Errorf("-checkpoint/-resume are not supported with -islands")
+	}
+	opt := &core.CheckpointOptions{Path: cfg.checkpoint, Interval: cfg.checkpointEvery}
+	if cfg.resume != "" {
+		opt.Path = cfg.resume
+		opt.Resume = true
+	}
+	return opt, nil
 }
 
 // buildObserver assembles the CLI's observer stack: a JSON-lines
@@ -183,6 +216,11 @@ func run(cfg config) error {
 		return fmt.Errorf("unknown crossover %q", crossover)
 	}
 
+	ckptOpt, err := checkpointOptions(cfg)
+	if err != nil {
+		return err
+	}
+
 	if algo == "sampled" {
 		return runSampled(cfg, ds, det, k)
 	}
@@ -202,9 +240,13 @@ func run(cfg config) error {
 			bruteWorkers = -1
 		}
 		res, err = det.BruteForce(core.BruteForceOptions{
-			K: k, M: m, MaxDuration: budget, Workers: bruteWorkers, Observer: observer})
+			K: k, M: m, MaxDuration: budget, Workers: bruteWorkers, Observer: observer,
+			Checkpoint: ckptOpt})
 		if errors.Is(err, core.ErrBudgetExceeded) {
 			fmt.Fprintf(os.Stderr, "warning: brute force hit the %s budget; results are partial\n", budget)
+			if ckptOpt != nil {
+				fmt.Fprintf(os.Stderr, "resume with: -resume %s\n", ckptOpt.Path)
+			}
 			err = nil
 		}
 	case "evo":
@@ -215,7 +257,7 @@ func run(cfg config) error {
 			evoWorkers = -1
 		}
 		opt := core.EvoOptions{K: k, M: m, Seed: seed, Crossover: kind, Workers: evoWorkers,
-			Observer: observer}
+			Observer: observer, Checkpoint: ckptOpt}
 		switch {
 		case cfg.islands > 0:
 			res, err = det.EvolutionaryIslands(core.IslandOptions{Evo: opt, Islands: cfg.islands})

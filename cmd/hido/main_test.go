@@ -107,3 +107,70 @@ func TestRunJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCheckpointOptions(t *testing.T) {
+	base := baseConfig("in.csv")
+	if opt, err := checkpointOptions(base); opt != nil || err != nil {
+		t.Fatalf("no flags: %v %v", opt, err)
+	}
+
+	ck := base
+	ck.checkpoint, ck.checkpointEvery = "s.ckpt", 5*time.Second
+	opt, err := checkpointOptions(ck)
+	if err != nil || opt.Path != "s.ckpt" || opt.Resume || opt.Interval != 5*time.Second {
+		t.Fatalf("-checkpoint: %+v %v", opt, err)
+	}
+
+	rs := base
+	rs.resume = "s.ckpt"
+	opt, err = checkpointOptions(rs)
+	if err != nil || opt.Path != "s.ckpt" || !opt.Resume {
+		t.Fatalf("-resume: %+v %v", opt, err)
+	}
+
+	// -resume implies -checkpoint to the same file; naming both with
+	// the same path is fine, different paths is a contradiction.
+	both := ck
+	both.resume = ck.checkpoint
+	if _, err := checkpointOptions(both); err != nil {
+		t.Errorf("matching -checkpoint/-resume rejected: %v", err)
+	}
+	both.resume = "other.ckpt"
+	if _, err := checkpointOptions(both); err == nil {
+		t.Error("conflicting -checkpoint/-resume accepted")
+	}
+
+	for name, mod := range map[string]func(*config){
+		"sampled":  func(c *config) { c.algo = "sampled" },
+		"restarts": func(c *config) { c.restarts = 2 },
+		"islands":  func(c *config) { c.islands = 2 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := ck
+			mod(&cfg)
+			if _, err := checkpointOptions(cfg); err == nil {
+				t.Error("unsupported combination accepted")
+			}
+		})
+	}
+}
+
+// The CLI end of checkpoint/resume: a budget-killed brute search
+// resumed through run() completes without error.
+func TestRunCheckpointResume(t *testing.T) {
+	path := writeFixture(t)
+	ckpt := filepath.Join(t.TempDir(), "search.ckpt")
+
+	cfg := baseConfig(path)
+	cfg.algo = "brute"
+	cfg.checkpoint = ckpt
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	resumed := baseConfig(path)
+	resumed.algo = "brute"
+	resumed.resume = ckpt
+	if err := run(resumed); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"hido/internal/obs"
 	"hido/internal/server"
+	"hido/internal/store"
 	"hido/internal/stream"
 )
 
@@ -71,6 +72,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline for score/fit")
 		workers   = flag.Int("workers", 0, "scoring workers per request (0 = GOMAXPROCS)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+		stateDir  = flag.String("state-dir", "", "durable model directory: every fit/PUT/DELETE is persisted there and the model set is recovered on startup")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "json", "log format: json or text")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
@@ -89,7 +91,7 @@ func main() {
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logFormat != "text")
-	if err := run(*addr, *pprofAddr, models, server.Config{
+	if err := run(*addr, *pprofAddr, *stateDir, models, server.Config{
 		MaxInFlight:    *inflight,
 		MaxFitJobs:     *fitJobs,
 		MaxBodyBytes:   *maxBody,
@@ -102,8 +104,11 @@ func main() {
 	}
 }
 
-// loadModels installs each -load model into the registry.
-func loadModels(s *server.Server, models modelFlags) error {
+// loadModels installs each -load model into the registry. With a
+// state store attached the -load models are persisted too: they were
+// given explicitly on this boot's command line, so they override (and
+// durably replace) whatever recovery found under the same names.
+func loadModels(s *server.Server, models modelFlags, st *store.Store) error {
 	for _, m := range models {
 		f, err := os.Open(m.path)
 		if err != nil {
@@ -114,21 +119,66 @@ func loadModels(s *server.Server, models modelFlags) error {
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", m.path, err)
 		}
+		now := time.Now()
 		if err := s.Registry().Set(m.name, server.Entry{
-			Monitor: mon, FittedAt: time.Now(), Source: "file:" + m.path,
+			Monitor: mon, FittedAt: now, Source: "file:" + m.path,
 		}); err != nil {
 			return err
+		}
+		if st != nil {
+			if err := st.Save(m.name, mon, now, "file:"+m.path); err != nil {
+				return fmt.Errorf("persisting %s: %w", m.name, err)
+			}
 		}
 	}
 	return nil
 }
 
-func run(addr, pprofAddr string, models modelFlags, cfg server.Config, drain time.Duration, logger *slog.Logger) error {
+// openStateDir opens the durable model store and reports what
+// recovery found. Quarantined files are logged, not fatal: one
+// corrupt model must not keep the whole service down.
+func openStateDir(dir string, logger *slog.Logger) (*store.Store, store.Report, error) {
+	st, rep, err := store.Open(dir)
+	if err != nil {
+		return nil, store.Report{}, fmt.Errorf("opening state dir %s: %w", dir, err)
+	}
+	for file, why := range rep.Quarantined {
+		logger.Warn("quarantined corrupt model file", "dir", dir, "file", file, "reason", why)
+	}
+	if rep.Adopted > 0 {
+		logger.Info("adopted orphaned model files", "dir", dir, "count", rep.Adopted)
+	}
+	return st, rep, nil
+}
+
+func run(addr, pprofAddr, stateDir string, models modelFlags, cfg server.Config, drain time.Duration, logger *slog.Logger) error {
 	b := obs.Build()
 	logger.Info("starting", "binary", "hidod",
 		"version", b.Version, "go", b.GoVersion, "revision", b.Revision)
+	var st *store.Store
+	var rep store.Report
+	if stateDir != "" {
+		var err error
+		st, rep, err = openStateDir(stateDir, logger)
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+	}
 	s := server.New(cfg)
-	if err := loadModels(s, models); err != nil {
+	// Recovery first, then -load: explicit command-line models override
+	// recovered ones of the same name.
+	for _, m := range rep.Models {
+		if err := s.Registry().Set(m.Name, server.Entry{
+			Monitor: m.Monitor, FittedAt: m.FittedAt, Source: m.Source,
+		}); err != nil {
+			return fmt.Errorf("installing recovered model %s: %w", m.Name, err)
+		}
+	}
+	if st != nil {
+		logger.Info("recovered models", "dir", stateDir, "models", st.Names())
+	}
+	if err := loadModels(s, models, st); err != nil {
 		return err
 	}
 

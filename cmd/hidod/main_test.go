@@ -70,14 +70,14 @@ func TestLoadModels(t *testing.T) {
 	if err := m.Set("default=" + path); err != nil {
 		t.Fatal(err)
 	}
-	if err := loadModels(s, m); err != nil {
+	if err := loadModels(s, m, nil); err != nil {
 		t.Fatal(err)
 	}
 	e, ok := s.Registry().Get("default")
 	if !ok || e.Monitor.D() != 6 {
 		t.Fatalf("model not installed: ok=%v", ok)
 	}
-	if err := loadModels(s, modelFlags{{"x", filepath.Join(t.TempDir(), "absent.json")}}); err == nil {
+	if err := loadModels(s, modelFlags{{"x", filepath.Join(t.TempDir(), "absent.json")}}, nil); err == nil {
 		t.Error("missing model file accepted")
 	}
 }
@@ -98,7 +98,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- run(addr, "", modelFlags{{"default", path}}, server.Config{}, 10*time.Second, discardLogger())
+		done <- run(addr, "", "", modelFlags{{"default", path}}, server.Config{}, 10*time.Second, discardLogger())
 	}()
 
 	base := "http://" + addr
@@ -125,6 +125,134 @@ func TestRunGracefulShutdown(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not shut down")
 	}
+}
+
+// TestStateDirSurvivesRestart is the crash/restart e2e for the
+// durable store: boot with -state-dir, upload a model over HTTP, stop
+// the daemon, boot a fresh one on the same directory with no -load
+// flags, and require the recovered model to score a fixed batch
+// byte-identically. Durability is commit-at-mutation-time (not at
+// shutdown), so a graceful stop and a kill exercise the same recovery
+// path; torn-write atomicity is covered by internal/store's faultfs
+// tests and the SIGKILL job in CI.
+func TestStateDirSurvivesRestart(t *testing.T) {
+	modelPath := fixtureModel(t)
+	stateDir := t.TempDir()
+	batch := "[0.02,0.98,0.5,0.5,0.5,0.5]\n[0.5,0.5,0.5,0.5,0.5,0.5]\n"
+
+	// boot starts run() on a fresh loopback port and returns the base
+	// URL plus a stop function that SIGTERMs and waits for exit.
+	boot := func(models modelFlags) (string, func()) {
+		t.Helper()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := l.Addr().String()
+		l.Close()
+		done := make(chan error, 1)
+		go func() {
+			done <- run(addr, "", stateDir, models, server.Config{}, 10*time.Second, discardLogger())
+		}()
+		base := "http://" + addr
+		waitReady(t, base)
+		return base, func() {
+			if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("run returned %v", err)
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("daemon did not shut down")
+			}
+		}
+	}
+
+	score := func(base, model string) string {
+		t.Helper()
+		resp, err := http.Post(base+"/api/v1/score?model="+model+"&all=1",
+			"application/x-ndjson", strings.NewReader(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("score %s: %d", model, resp.StatusCode)
+		}
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+
+	// First life: one model from -load, a second uploaded over HTTP.
+	// Both mutations must hit the state dir at commit time.
+	base, stop := boot(modelFlags{{"default", modelPath}})
+	raw, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/api/v1/models/uploaded",
+		strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	}
+	want := map[string]string{
+		"default":  score(base, "default"),
+		"uploaded": score(base, "uploaded"),
+	}
+	stop()
+
+	// Second life: no -load flags at all. Both models must come back
+	// from the state dir and score identically.
+	base, stop = boot(nil)
+	for name, w := range want {
+		if got := score(base, name); got != w {
+			t.Errorf("model %q scores differently after restart:\nbefore: %s\nafter:  %s", name, w, got)
+		}
+	}
+
+	// Delete one model; the deletion must be durable too.
+	req, err = http.NewRequest(http.MethodDelete, base+"/api/v1/models/uploaded", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	stop()
+
+	base, stop = boot(nil)
+	resp, err = http.Post(base+"/api/v1/score?model=uploaded&all=1",
+		"application/x-ndjson", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("deleted model resurrected after restart: %d", resp.StatusCode)
+	}
+	if got := score(base, "default"); got != want["default"] {
+		t.Error("surviving model perturbed by restart")
+	}
+	stop()
 }
 
 func waitReady(t *testing.T, base string) {

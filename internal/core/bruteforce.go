@@ -70,6 +70,13 @@ type BruteForceOptions struct {
 	ProgressInterval time.Duration
 	// RunID labels observer events and trace lines (default "brute").
 	RunID string
+	// Checkpoint, when non-nil with a Path, periodically persists
+	// completed subtree tasks so a killed run can be resumed (see
+	// CheckpointOptions). A resumed run skips the checkpointed tasks
+	// and its Result — projections, outliers, Evaluations, Pruned —
+	// is bit-for-bit what the uninterrupted run would have produced,
+	// at any worker count.
+	Checkpoint *CheckpointOptions
 }
 
 // bfTask is one top-level (dimension, range) prefix of the enumeration
@@ -95,6 +102,10 @@ type bfShared struct {
 	// results[t] is task t's best set, filled by whichever worker
 	// claimed it; nil marks a task skipped after the budget was hit.
 	results []*evo.BestSet
+	// done[t] marks tasks restored from a checkpoint (nil without a
+	// resume); workers skip them. cp records newly completed tasks.
+	done []bool
+	cp   *bruteCheckpointer
 
 	// evaluated is the atomic candidate-budget reservation counter
 	// (only advanced when MaxCandidates > 0); evals and pruned
@@ -209,6 +220,15 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 	}
 	sh.results = make([]*evo.BestSet, len(sh.tasks))
 
+	if copt := opt.Checkpoint; copt != nil && copt.Path != "" {
+		sh.cp = newBruteCheckpointer(*copt, bruteFingerprint(d, opt))
+		if copt.Resume {
+			if err := sh.cp.restore(sh); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	workers := resolveWorkers(opt.Workers)
 	if workers > len(sh.tasks) {
 		workers = len(sh.tasks)
@@ -248,8 +268,18 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	sh.notifyProgress(start)
 	notifySummary(opt.Observer, opt.RunID, "brute", res, sh.budgetHit.Load(), opt.Cache)
+	// The final snapshot makes a budget-stopped run resumable; a failed
+	// snapshot surfaces unless the budget error takes precedence (the
+	// partial Result is valid either way).
+	var cpErr error
+	if sh.cp != nil {
+		cpErr = sh.cp.flush()
+	}
 	if sh.budgetHit.Load() {
 		return res, ErrBudgetExceeded
+	}
+	if cpErr != nil {
+		return res, cpErr
 	}
 	return res, nil
 }
@@ -270,10 +300,17 @@ func (sh *bfShared) runWorker() {
 		if t >= len(sh.tasks) {
 			break
 		}
+		if sh.done != nil && sh.done[t] {
+			continue // restored from a checkpoint
+		}
 		if sh.budgetHit.Load() {
 			continue // drain the remaining task indices
 		}
-		w.runTask(t)
+		ev0, pr0 := w.evals, w.pruned
+		completed := w.runTask(t)
+		if completed && sh.cp != nil {
+			sh.cp.taskDone(t, w.bs, w.evals-ev0, w.pruned-pr0)
+		}
 		if sh.opt.Observer != nil {
 			sh.tasksDone.Add(1)
 		}
@@ -282,26 +319,28 @@ func (sh *bfShared) runWorker() {
 }
 
 // runTask mines the subtree under one top-level prefix into a fresh
-// per-task best set.
-func (w *bfWorker) runTask(t int) {
+// per-task best set. It reports whether the subtree was enumerated to
+// completion — a budget or deadline stop returns false, and the task
+// is then excluded from checkpoints so a resume re-runs it whole.
+func (w *bfWorker) runTask(t int) bool {
 	sh := w.sh
 	w.bs = evo.NewBestSet(sh.opt.M)
 	sh.results[t] = w.bs
 	tk := sh.tasks[t]
 	if sh.k == 1 {
 		// The prefix is the leaf: the range bitmap itself is the cube.
-		w.leaf(tk.dim, tk.rng, nil)
-		return
+		return w.leaf(tk.dim, tk.rng, nil)
 	}
 	root := w.partials[0]
 	root.CopyFrom(sh.d.Index.RangeSet(tk.dim, tk.rng))
 	if sh.prune && root.Count() < sh.minCov {
 		w.pruned++
-		return
+		return true
 	}
 	w.c[tk.dim] = tk.rng
-	w.rec(1, tk.dim+1, root)
+	ok := w.rec(1, tk.dim+1, root)
 	w.c[tk.dim] = cube.DontCare
+	return ok
 }
 
 // rec enumerates the cubes extending the partial record set parent

@@ -101,6 +101,14 @@ type EvoOptions struct {
 	// "evo"). Restarts and islands derive per-run IDs from it
 	// ("evo.r0", "evo.i2").
 	RunID string
+	// Checkpoint, when non-nil with a Path, persists the search state
+	// at generation boundaries so a killed run can be resumed (see
+	// CheckpointOptions). The snapshot carries the population, the
+	// fitness memo, the best set, and the master RNG stream state, so
+	// a resumed run follows the exact trajectory the dead process
+	// would have — bit-for-bit, at any worker count. Not supported
+	// under restarts or islands, which interleave several searches.
+	Checkpoint *CheckpointOptions
 }
 
 func (o EvoOptions) withDefaults() EvoOptions {
@@ -209,14 +217,27 @@ func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
 	}
 
 	pop := evo.NewPopulation(opt.PopSize, d.D())
-	for i := range pop.Members {
-		s.randomGenome(pop.Members[i])
+	var cp *evoCheckpointer
+	startGen, stall := 0, 0
+	restored := false
+	if copt := opt.Checkpoint; copt != nil && copt.Path != "" {
+		cp = newEvoCheckpointer(*copt, evoFingerprint(d, opt))
+		if copt.Resume {
+			startGen, stall, restored, err = cp.restore(s, pop)
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
-	s.evaluateAll(pop)
+	if !restored {
+		for i := range pop.Members {
+			s.randomGenome(pop.Members[i])
+		}
+		s.evaluateAll(pop)
+	}
 
 	res := &Result{}
-	stall := 0
-	gen := 0
+	gen := startGen
 	for ; gen < opt.MaxGenerations; gen++ {
 		pop.Select(opt.Selection, s.rng)
 		s.crossoverAll(pop)
@@ -231,6 +252,9 @@ func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
 			stall = 0
 		} else {
 			stall++
+		}
+		if cp != nil {
+			cp.snapshot(s, pop, gen+1, stall, false)
 		}
 		if frac >= 1 {
 			res.ConvergedDeJong = true
@@ -248,6 +272,11 @@ func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
 	d.finalize(s.bs, res)
 	res.Elapsed = time.Since(start)
 	notifySummary(opt.Observer, opt.RunID, "evo", res, false, opt.Cache)
+	if cp != nil {
+		if err := cp.flush(s, pop, gen, stall); err != nil {
+			return res, err
+		}
+	}
 	return res, nil
 }
 

@@ -68,6 +68,9 @@ func (d *Detector) EvolutionaryIslands(opt IslandOptions) (*Result, error) {
 	if err := validateEvoOptions(d, eo); err != nil {
 		return nil, err
 	}
+	if eo.Checkpoint != nil {
+		return nil, fmt.Errorf("core: checkpointing is not supported with islands")
+	}
 	eo = eo.withDefaults()
 	if opt.Migrants >= eo.PopSize {
 		return nil, fmt.Errorf("core: %d migrants with island size %d", opt.Migrants, eo.PopSize)

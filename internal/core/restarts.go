@@ -41,6 +41,9 @@ func (d *Detector) EvolutionaryRestarts(opt EvoOptions, restarts int) (*Result, 
 	if err := validateEvoOptions(d, opt); err != nil {
 		return nil, err
 	}
+	if opt.Checkpoint != nil {
+		return nil, fmt.Errorf("core: checkpointing is not supported with restarts")
+	}
 	if opt.Cache != nil && opt.Cache.Index() != d.Index {
 		return nil, fmt.Errorf("core: count cache was built over a different index")
 	}

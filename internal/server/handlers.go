@@ -175,16 +175,33 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	opt.Observer = obs.NewSlogObserver(jobLog)
 	go func() {
 		jobLog.Info("fit job started", "records", ds.N(), "phi", opt.Phi, "s", opt.TargetS)
-		mon, err := stream.NewMonitor(ds, opt)
-		if err == nil {
-			err = s.registry.Set(name, Entry{Monitor: mon, FittedAt: s.cfg.Now(), Source: "fit:" + id})
-		}
+		// The fit runs inside a recovered closure: a panicking fit must
+		// still finish its job, or the WaitGroup leaks, graceful drain
+		// hangs forever, and the running counter permanently consumes a
+		// fit slot.
+		var mon *stream.Monitor
+		err := func() (err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("fit panicked: %v", p)
+				}
+			}()
+			if s.testHookFitting != nil {
+				s.testHookFitting()
+			}
+			mon, err = stream.NewMonitor(ds, opt)
+			if err != nil {
+				return err
+			}
+			return s.registry.Set(name, Entry{Monitor: mon, FittedAt: s.cfg.Now(), Source: "fit:" + id})
+		}()
 		state, msg := "done", ""
 		if err != nil {
 			state, msg = "failed", err.Error()
 			jobLog.Error("fit job failed", "error", msg)
 		} else {
 			jobLog.Info("fit job done", "projections", len(mon.Projections()))
+			s.persist(name, jobLog)
 		}
 		s.jobs.finish(id, msg, s.cfg.Now())
 		s.mJobsRunning.Set(float64(s.jobs.inFlight()))
@@ -260,6 +277,7 @@ func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.persist(name, s.cfg.Logger)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model": name, "d": mon.D(), "k": mon.K(), "projections": len(mon.Projections()),
 	})
@@ -272,6 +290,7 @@ func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not loaded", name))
 		return
 	}
+	s.unpersist(name, s.cfg.Logger)
 	w.WriteHeader(http.StatusNoContent)
 }
 

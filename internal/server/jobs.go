@@ -27,12 +27,19 @@ type JobStatus struct {
 	finished time.Time
 }
 
+// jobHistoryLimit bounds how many finished jobs are kept queryable.
+// Under sustained fit traffic byID would otherwise grow without bound;
+// beyond the cap the oldest finished jobs are evicted (running jobs
+// are never evicted — they still own a WaitGroup slot).
+const jobHistoryLimit = 100
+
 // jobs tracks asynchronous fit work. The WaitGroup lets graceful
 // shutdown drain running fits before the process exits.
 type jobs struct {
 	mu      sync.Mutex
 	seq     int
 	byID    map[string]*jobEntry
+	done    []string // finished job ids, oldest first, for eviction
 	wg      sync.WaitGroup
 	running int
 }
@@ -66,10 +73,17 @@ func (js *jobs) start(model string, records, max int, now time.Time) (string, er
 	return id, nil
 }
 
-// finish terminates a job; errMsg empty means success.
+// finish terminates a job; errMsg empty means success. An unknown or
+// already-finished id is ignored: it must not dereference a missing
+// entry, and it must not unbalance the running counter or the
+// WaitGroup.
 func (js *jobs) finish(id, errMsg string, now time.Time) {
 	js.mu.Lock()
-	e := js.byID[id]
+	e, ok := js.byID[id]
+	if !ok || e.status.State != JobRunning {
+		js.mu.Unlock()
+		return
+	}
 	if errMsg == "" {
 		e.status.State = JobDone
 	} else {
@@ -78,6 +92,11 @@ func (js *jobs) finish(id, errMsg string, now time.Time) {
 	}
 	e.status.finished = now
 	js.running--
+	js.done = append(js.done, id)
+	for len(js.done) > jobHistoryLimit {
+		delete(js.byID, js.done[0])
+		js.done = js.done[1:]
+	}
 	js.mu.Unlock()
 	js.wg.Done()
 }

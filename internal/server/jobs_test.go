@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// finish on an unknown id, or on an id that already finished, must be
+// a no-op: no nil dereference, no double wg.Done, no running-counter
+// underflow eating a fit slot.
+func TestJobsFinishUnknownAndDouble(t *testing.T) {
+	js := newJobs()
+	now := time.Unix(0, 0)
+
+	js.finish("never-started", "", now) // must not panic
+
+	id, err := js.start("m", 10, 1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js.finish(id, "boom", now)
+	js.finish(id, "", now)            // double finish: ignored
+	js.finish("job-999", "late", now) // unknown id after traffic: ignored
+
+	if got := js.inFlight(); got != 0 {
+		t.Fatalf("running = %d after finish, want 0", got)
+	}
+	st, ok := js.get(id, now)
+	if !ok || st.State != JobFailed || st.Error != "boom" {
+		t.Fatalf("first finish result overwritten: %+v", st)
+	}
+	// The WaitGroup is balanced: wait returns immediately.
+	done := make(chan struct{})
+	go func() { js.wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitGroup unbalanced after duplicate finishes")
+	}
+	// The slot freed exactly once: a new job starts under max=1.
+	if _, err := js.start("m", 10, 1, now); err != nil {
+		t.Fatalf("fit slot lost: %v", err)
+	}
+}
+
+// Finished jobs beyond jobHistoryLimit are evicted oldest-first, so
+// byID stays bounded under sustained fit traffic. Running jobs are
+// never evicted.
+func TestJobsHistoryEviction(t *testing.T) {
+	js := newJobs()
+	now := time.Unix(0, 0)
+
+	longRunner, err := js.start("keep", 1, 1000, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last string
+	const extra = 50
+	for i := 0; i < jobHistoryLimit+extra; i++ {
+		id, err := js.start("m", 1, 1000, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == "" {
+			first = id
+		}
+		last = id
+		js.finish(id, "", now)
+	}
+
+	if len(js.byID) != jobHistoryLimit+1 { // cap + the running job
+		t.Errorf("byID holds %d entries, want %d", len(js.byID), jobHistoryLimit+1)
+	}
+	if _, ok := js.get(first, now); ok {
+		t.Errorf("oldest finished job %s not evicted", first)
+	}
+	if st, ok := js.get(last, now); !ok || st.State != JobDone {
+		t.Errorf("newest finished job lost: %+v", st)
+	}
+	if st, ok := js.get(longRunner, now); !ok || st.State != JobRunning {
+		t.Errorf("running job evicted: %+v", st)
+	}
+	js.finish(longRunner, "", now)
+	js.wait()
+}
+
+// A panicking fit must still finish its job as failed, free the fit
+// slot, and let graceful drain return — the original bug leaked the
+// WaitGroup and hung shutdown forever.
+func TestFitPanicStillDrains(t *testing.T) {
+	s := newTestServer(t, Config{MaxFitJobs: 1})
+	s.testHookFitting = func() { panic("synthetic fit crash") }
+	h := s.Handler()
+
+	var fit fitResponse
+	rec := doJSON(t, h, "POST", "/api/v1/fit?model=crashy", "text/csv",
+		csvBody(t, refWindow(t, 100, 130)), &fit)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("fit not accepted: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// The job must terminate as failed with the panic surfaced.
+	deadline := time.Now().Add(10 * time.Second)
+	var st JobStatus
+	for {
+		rec = doJSON(t, h, "GET", fit.StatusURL, "", nil, &st)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("job status: %d", rec.Code)
+		}
+		if st.State != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("panicked fit job never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.State != JobFailed || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("job after panic: %+v", st)
+	}
+	if _, ok := s.registry.Get("crashy"); ok {
+		t.Error("panicked fit installed a model")
+	}
+
+	// Drain returns: the WaitGroup was balanced.
+	done := make(chan struct{})
+	go func() { s.jobs.wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain hung after fit panic")
+	}
+
+	// The fit slot is free again: with MaxFitJobs=1 a fresh fit must
+	// not be rejected as saturated.
+	s.testHookFitting = nil
+	rec = doJSON(t, h, "POST", "/api/v1/fit?model=ok&seed=7", "text/csv",
+		csvBody(t, refWindow(t, 300, 140)), &fit)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("fit slot leaked by panic: %d %s", rec.Code, rec.Body.String())
+	}
+	waitForJob(t, h, fit.StatusURL, JobDone)
+}
+
+// waitForJob polls a job URL until it reaches want (or fails the test).
+func waitForJob(t testing.TB, h http.Handler, url, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st JobStatus
+		rec := doJSON(t, h, "GET", url, "", nil, &st)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("job status: %d %s", rec.Code, rec.Body.String())
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State != JobRunning {
+			t.Fatalf("job reached %q (error %q), want %q", st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(fmt.Sprintf("job stuck running, want %q", want))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

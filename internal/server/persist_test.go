@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hido/internal/stream"
+)
+
+// fakeStore records persistence calls and optionally fails them, so
+// the tests can assert both the wiring and the failure policy without
+// a real filesystem.
+type fakeStore struct {
+	mu       sync.Mutex
+	saves    map[string]string // name → source
+	deletes  []string
+	failSave bool
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{saves: map[string]string{}} }
+
+func (f *fakeStore) Save(name string, mon *stream.Monitor, fittedAt time.Time, source string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failSave {
+		return &testErr{"disk full"}
+	}
+	f.saves[name] = source
+	return nil
+}
+
+func (f *fakeStore) Delete(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.deletes = append(f.deletes, name)
+	return nil
+}
+
+func (f *fakeStore) savedSource(name string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	src, ok := f.saves[name]
+	return src, ok
+}
+
+type testErr struct{ msg string }
+
+func (e *testErr) Error() string { return e.msg }
+
+// Every registry mutation that reaches the API — model upload, async
+// fit completion, delete — must be mirrored into the configured
+// store.
+func TestRegistryMutationsPersist(t *testing.T) {
+	fs := newFakeStore()
+	s := newTestServer(t, Config{Store: fs})
+	h := s.Handler()
+
+	// PUT persists with source "put".
+	var buf bytes.Buffer
+	if e, _ := s.registry.Get("default"); e.Monitor.Save(&buf) != nil {
+		t.Fatal("save failed")
+	}
+	rec := doJSON(t, h, "PUT", "/api/v1/models/uploaded", "application/json", &buf, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("put: %d %s", rec.Code, rec.Body.String())
+	}
+	if src, ok := fs.savedSource("uploaded"); !ok || src != "put" {
+		t.Fatalf("upload not persisted: %q %v", src, ok)
+	}
+
+	// A completed fit persists with its job id as source.
+	var fit fitResponse
+	rec = doJSON(t, h, "POST", "/api/v1/fit?model=fitted", "text/csv",
+		csvBody(t, refWindow(t, 300, 150)), &fit)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("fit: %d %s", rec.Code, rec.Body.String())
+	}
+	waitForJob(t, h, fit.StatusURL, JobDone)
+	if src, ok := fs.savedSource("fitted"); !ok || !strings.HasPrefix(src, "fit:") {
+		t.Fatalf("fit not persisted: %q %v", src, ok)
+	}
+
+	// DELETE unpersists.
+	if rec = doJSON(t, h, "DELETE", "/api/v1/models/uploaded", "", nil, nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	fs.mu.Lock()
+	deleted := len(fs.deletes) == 1 && fs.deletes[0] == "uploaded"
+	fs.mu.Unlock()
+	if !deleted {
+		t.Fatalf("delete not persisted: %v", fs.deletes)
+	}
+}
+
+// Persistence is best-effort: a failing store must not fail the
+// request — the in-memory model still serves — but the failure must
+// be visible in the metrics.
+func TestStoreFailureDoesNotFailRequests(t *testing.T) {
+	fs := newFakeStore()
+	fs.failSave = true
+	s := newTestServer(t, Config{Store: fs})
+	h := s.Handler()
+
+	var buf bytes.Buffer
+	if e, _ := s.registry.Get("default"); e.Monitor.Save(&buf) != nil {
+		t.Fatal("save failed")
+	}
+	rec := doJSON(t, h, "PUT", "/api/v1/models/copy", "application/json", &buf, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("put with failing store: %d %s", rec.Code, rec.Body.String())
+	}
+	if _, ok := s.registry.Get("copy"); !ok {
+		t.Fatal("model lost because persistence failed")
+	}
+	rec = doJSON(t, h, "GET", "/metrics", "", nil, nil)
+	if out := rec.Body.String(); !strings.Contains(out, `hidod_store_errors_total{op="save"} 1`) {
+		t.Errorf("store error not counted:\n%s", out)
+	}
+}

@@ -48,6 +48,7 @@ import (
 
 	"hido/internal/metrics"
 	"hido/internal/obs"
+	"hido/internal/stream"
 )
 
 // Config tunes the server. The zero value serves with sane defaults.
@@ -72,6 +73,22 @@ type Config struct {
 	Logger *slog.Logger
 	// Now is the clock (test seam). Default time.Now.
 	Now func() time.Time
+	// Store, when set, receives every registry mutation — fit
+	// completion, model upload, delete — so the model set survives a
+	// process crash; nil keeps the registry memory-only. Persistence is
+	// best-effort: a store failure is logged and counted
+	// (hidod_store_errors_total) but never fails the request, so a full
+	// disk degrades durability, not serving. cmd/hidod wires
+	// internal/store behind -state-dir.
+	Store ModelStore
+}
+
+// ModelStore persists registry mutations. Implementations must be safe
+// for concurrent use: fit jobs commit from their own goroutines while
+// uploads and deletes arrive on request handlers.
+type ModelStore interface {
+	Save(name string, mon *stream.Monitor, fittedAt time.Time, source string) error
+	Delete(name string) error
 }
 
 func (c Config) withDefaults() Config {
@@ -133,9 +150,15 @@ type Server struct {
 	mFitCacheMisses *metrics.Gauge
 	mFitCacheSize   *metrics.Gauge
 
+	mStoreSaves  *metrics.Counter
+	mStoreErrors *metrics.Counter
+
 	// testHookScoring, when set, runs while a score request holds its
 	// in-flight slot, letting tests park requests deterministically.
 	testHookScoring func()
+	// testHookFitting, when set, runs inside the async fit goroutine
+	// before the fit starts; tests use it to inject panics and stalls.
+	testHookFitting func()
 }
 
 // New builds a Server with an empty model registry.
@@ -191,6 +214,13 @@ func New(cfg Config) *Server {
 			"Projection-count cache misses during each model's last in-process fit.", "model"),
 		mFitCacheSize: reg.Gauge("hidod_fit_cache_size",
 			"Distinct cube counts memoized during each model's last in-process fit.", "model"),
+
+		mStoreSaves: reg.Counter("hidod_store_saves_total",
+			"Registry mutations committed to the on-disk model store, by operation.",
+			"op"),
+		mStoreErrors: reg.Counter("hidod_store_errors_total",
+			"Model-store operations that failed (durability degraded, serving unaffected), by operation.",
+			"op"),
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /api/v1/score", "/api/v1/score", true, s.handleScore)
@@ -305,6 +335,40 @@ func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc)
 		}
 		h(sw, r)
 	})
+}
+
+// persist commits the named registry entry to the configured model
+// store, if any. Best-effort: failures are logged and counted, never
+// surfaced to the serving path — a broken disk degrades durability,
+// not availability.
+func (s *Server) persist(name string, log *slog.Logger) {
+	if s.cfg.Store == nil {
+		return
+	}
+	e, ok := s.registry.Get(name)
+	if !ok {
+		return
+	}
+	if err := s.cfg.Store.Save(name, e.Monitor, e.FittedAt, e.Source); err != nil {
+		s.mStoreErrors.Inc("save")
+		log.Error("model persist failed", "model", name, "error", err)
+		return
+	}
+	s.mStoreSaves.Inc("save")
+}
+
+// unpersist removes the named model from the configured store, if any,
+// with the same best-effort semantics as persist.
+func (s *Server) unpersist(name string, log *slog.Logger) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.Delete(name); err != nil {
+		s.mStoreErrors.Inc("delete")
+		log.Error("model unpersist failed", "model", name, "error", err)
+		return
+	}
+	s.mStoreSaves.Inc("delete")
 }
 
 // phase times one stage of a request (decode, score, encode) into the

@@ -1,0 +1,150 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"hido/internal/store"
+	"hido/internal/store/faultfs"
+)
+
+// commitOne opens a store over a fault-capable fs and commits one
+// healthy model, so each fault scenario starts from durable state.
+func commitOne(t *testing.T, dir string, fs *faultfs.FS) *store.Store {
+	t.Helper()
+	s, _, err := store.OpenFS(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("committed", loadMonitor(t, modelJSON(t, 0)), time.Now(), "put"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// recoverClean re-opens the directory on the real filesystem and
+// asserts the originally committed model survived intact. Extra
+// adopted models (a fault that fired after the model-file commit but
+// before the manifest commit) are tolerated; quarantines are not.
+func recoverClean(t *testing.T, label, dir string) {
+	t.Helper()
+	_, rep, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("%s: fault corrupted committed state: %+v", label, rep.Quarantined)
+	}
+	want := saveBytes(t, loadMonitor(t, modelJSON(t, 0)))
+	for _, m := range rep.Models {
+		if m.Name == "committed" {
+			if !bytes.Equal(saveBytes(t, m.Monitor), want) {
+				t.Fatalf("%s: committed model bytes changed", label)
+			}
+			return
+		}
+	}
+	t.Fatalf("%s: committed model lost: %+v", label, rep)
+}
+
+// Every step of the Save commit sequence — the data write, the file
+// fsync, the rename, the directory fsync, for both the model file and
+// the manifest — is failed in turn. The Save must surface an error
+// (except for the advisory post-rename dir syncs, where the commit
+// already happened) and the previously committed state must recover
+// byte-identically, with nothing quarantined.
+func TestSaveFaultAtEveryStep(t *testing.T) {
+	type arm func(fs *faultfs.FS, n int)
+	steps := []struct {
+		name    string
+		arm     arm
+		points  int  // Save performs this many of the op (model file, then manifest)
+		mustErr bool // whether Save must report the fault
+	}{
+		{"short-write", func(fs *faultfs.FS, n int) { fs.FailWrite(n) }, 2, true},
+		{"fsync", func(fs *faultfs.FS, n int) { fs.FailSync(n) }, 2, true},
+		{"rename", func(fs *faultfs.FS, n int) { fs.FailRename(n) }, 2, true},
+		{"dir-fsync", func(fs *faultfs.FS, n int) { fs.FailSyncDir(n) }, 2, true},
+	}
+	for _, step := range steps {
+		for point := 1; point <= step.points; point++ {
+			label := step.name
+			if point == 2 {
+				label += "/manifest"
+			} else {
+				label += "/model"
+			}
+			t.Run(label, func(t *testing.T) {
+				dir := t.TempDir()
+				fs := faultfs.New(store.OSFS{})
+				s := commitOne(t, dir, fs)
+				step.arm(fs, point)
+				err := s.Save("victim", loadMonitor(t, modelJSON(t, 5)), time.Now(), "put")
+				if step.mustErr && err == nil {
+					t.Fatal("Save swallowed the injected fault")
+				}
+				if err != nil && !errors.Is(err, faultfs.ErrInjected) {
+					t.Fatalf("unexpected error source: %v", err)
+				}
+				if fs.Injected() != 1 {
+					t.Fatalf("fault fired %d times, want 1", fs.Injected())
+				}
+				recoverClean(t, label, dir)
+			})
+		}
+	}
+}
+
+// A failed Save must not poison the store handle: after the fault
+// clears, the same store commits the same model durably.
+func TestStoreUsableAfterFault(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(store.OSFS{})
+	s := commitOne(t, dir, fs)
+	fs.FailSync(1)
+	if err := s.Save("victim", loadMonitor(t, modelJSON(t, 5)), time.Now(), "put"); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	if err := s.Save("victim", loadMonitor(t, modelJSON(t, 5)), time.Now(), "put"); err != nil {
+		t.Fatalf("store unusable after fault: %v", err)
+	}
+	_, rep, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, m := range rep.Models {
+		names[m.Name] = true
+	}
+	if !names["committed"] || !names["victim"] {
+		t.Fatalf("models after retry: %+v", rep)
+	}
+}
+
+// Delete with a failing manifest commit must keep the deletion
+// un-committed in memory too — the store's view must always describe
+// the last durable state. (The model file itself may already be gone;
+// recovery then drops the dangling manifest entry.)
+func TestDeleteFaultRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(store.OSFS{})
+	s := commitOne(t, dir, fs)
+	fs.FailSync(1)
+	if err := s.Delete("committed"); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	if got := s.Names(); len(got) != 1 || got[0] != "committed" {
+		t.Fatalf("in-memory manifest diverged from durable state: %v", got)
+	}
+	// The durable manifest still names the model; its file is gone, so
+	// recovery drops it without quarantining anything.
+	_, rep, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("dangling entry quarantined: %+v", rep.Quarantined)
+	}
+}

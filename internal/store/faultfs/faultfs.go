@@ -1,0 +1,133 @@
+// Package faultfs wraps the store's filesystem interface with
+// injectable faults — short writes, fsync errors, rename failures — so
+// tests can prove the store's crash-consistency claims: an injected
+// failure at any point of the commit sequence must leave the
+// previously committed state fully recoverable.
+//
+// Faults are armed as countdowns: FailSync(3) makes the third Sync
+// call fail and every later one succeed, which lets one test walk a
+// fault through every step of a commit. All methods are safe for
+// concurrent use.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"sync"
+
+	"hido/internal/store"
+)
+
+// ErrInjected is the error every injected fault returns (wrapped), so
+// tests can assert a failure came from the harness and not the real
+// filesystem.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS wraps an inner store.FS with fault injection.
+type FS struct {
+	inner store.FS
+
+	mu          sync.Mutex
+	writeAt     int // countdown to a short write (0 = disarmed)
+	syncAt      int // countdown to a failing Sync
+	renameAt    int // countdown to a failing Rename
+	dirSyncAt   int // countdown to a failing SyncDir
+	writes      int
+	syncs       int
+	renames     int
+	dirSyncs    int
+	injected    int
+	dropOnWrite bool // short writes persist half the data, mimicking a torn page
+}
+
+// New wraps inner (pass store.OSFS{} for the real filesystem).
+func New(inner store.FS) *FS { return &FS{inner: inner, dropOnWrite: true} }
+
+// FailWrite arms the nth Write call from now (1-based, counted across
+// all files) to write only half its buffer and return ErrInjected — a
+// short write.
+func (f *FS) FailWrite(n int) { f.mu.Lock(); f.writeAt = f.writes + n; f.mu.Unlock() }
+
+// FailSync arms the nth file Sync call from now to fail.
+func (f *FS) FailSync(n int) { f.mu.Lock(); f.syncAt = f.syncs + n; f.mu.Unlock() }
+
+// FailRename arms the nth Rename call from now to fail.
+func (f *FS) FailRename(n int) { f.mu.Lock(); f.renameAt = f.renames + n; f.mu.Unlock() }
+
+// FailSyncDir arms the nth SyncDir call from now to fail.
+func (f *FS) FailSyncDir(n int) { f.mu.Lock(); f.dirSyncAt = f.dirSyncs + n; f.mu.Unlock() }
+
+// Injected reports how many faults actually fired.
+func (f *FS) Injected() int { f.mu.Lock(); defer f.mu.Unlock(); return f.injected }
+
+// trip advances a counter and reports whether the armed fault fires.
+func (f *FS) trip(count *int, at *int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	*count++
+	if *at != 0 && *count == *at {
+		f.injected++
+		return true
+	}
+	return false
+}
+
+func (f *FS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+func (f *FS) CreateTemp(dir, pattern string) (store.File, error) {
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if f.trip(&f.renames, &f.renameAt) {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: ErrInjected}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error { return f.inner.Remove(name) }
+
+func (f *FS) Open(name string) (io.ReadCloser, error) { return f.inner.Open(name) }
+
+func (f *FS) ReadDir(dir string) ([]fs.DirEntry, error) { return f.inner.ReadDir(dir) }
+
+func (f *FS) SyncDir(dir string) error {
+	if f.trip(&f.dirSyncs, &f.dirSyncAt) {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: ErrInjected}
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// file intercepts Write and Sync on one handle.
+type file struct {
+	fs    *FS
+	inner store.File
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	if w.fs.trip(&w.fs.writes, &w.fs.writeAt) {
+		// A short write: half the payload lands, then the "device"
+		// errors — the torn-page shape recovery must survive.
+		n := 0
+		if w.fs.dropOnWrite && len(p) > 0 {
+			n, _ = w.inner.Write(p[:len(p)/2])
+		}
+		return n, &fs.PathError{Op: "write", Path: w.inner.Name(), Err: ErrInjected}
+	}
+	return w.inner.Write(p)
+}
+
+func (w *file) Sync() error {
+	if w.fs.trip(&w.fs.syncs, &w.fs.syncAt) {
+		return &fs.PathError{Op: "sync", Path: w.inner.Name(), Err: ErrInjected}
+	}
+	return w.inner.Sync()
+}
+
+func (w *file) Close() error { return w.inner.Close() }
+func (w *file) Name() string { return w.inner.Name() }

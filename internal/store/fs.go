@@ -1,0 +1,106 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts the handful of filesystem operations the store
+// performs, so tests can substitute a fault-injecting implementation
+// (see the faultfs subpackage) and prove the crash-consistency
+// guarantees instead of asserting them.
+type FS interface {
+	MkdirAll(dir string) error
+	// CreateTemp creates a new temp file in dir whose name starts with
+	// the pattern's prefix (os.CreateTemp semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Open(name string) (io.ReadCloser, error)
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory so a preceding rename is durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle CreateTemp returns.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (OSFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeFileAtomic commits data to path with the classic
+// write-temp → fsync → rename → fsync-dir sequence: after it returns
+// nil the file is durably in place under its final name, and a crash
+// at any earlier point leaves the previous version of path (or its
+// absence) intact — readers never observe a torn file. The temp file
+// is created in path's directory so the rename never crosses a
+// filesystem, and is removed on any failure.
+func writeFileAtomic(fsys FS, path string, data []byte) (err error) {
+	dir := filepath.Dir(path)
+	f, err := fsys.CreateTemp(dir, tempPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			fsys.Remove(tmp)
+		}
+	}()
+	if n, werr := f.Write(data); werr != nil {
+		return fmt.Errorf("store: writing %s: %w", tmp, werr)
+	} else if n < len(data) {
+		return fmt.Errorf("store: short write to %s: %d of %d bytes", tmp, n, len(data))
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: renaming %s into place: %w", tmp, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// tempPrefix marks in-flight temp files; recovery sweeps leftovers
+// from crashes mid-write.
+const tempPrefix = ".tmp-"

@@ -1,0 +1,36 @@
+package store
+
+import "testing"
+
+// Model names arrive from URL paths, so the filename encoding must be
+// reversible on anything — slashes, spaces, percent signs, UTF-8 —
+// and must never emit a byte the filesystem could reinterpret.
+func TestEncodeDecodeNameRoundTrip(t *testing.T) {
+	names := []string{
+		"default", "fraud-v2", "a.b_c-d", "has space", "slash/name",
+		"dot..dots", "per%cent", "ünïcode-модель", "..", "%2F", "x",
+	}
+	for _, name := range names {
+		enc := encodeName(name)
+		for i := 0; i < len(enc); i++ {
+			if enc[i] != '%' && !isSafeFilenameByte(enc[i]) {
+				t.Errorf("encodeName(%q) = %q contains unsafe byte %q", name, enc, enc[i])
+			}
+		}
+		got, ok := decodeName(enc + modelSuffix)
+		if !ok || got != name {
+			t.Errorf("decodeName(encodeName(%q)) = %q, %v", name, got, ok)
+		}
+	}
+}
+
+func TestDecodeNameRejectsMalformed(t *testing.T) {
+	for _, file := range []string{
+		"noext", ".model.json", "bad%" + modelSuffix, "bad%2" + modelSuffix,
+		"bad%ZZ" + modelSuffix, "un safe" + modelSuffix,
+	} {
+		if name, ok := decodeName(file); ok {
+			t.Errorf("decodeName(%q) accepted as %q", file, name)
+		}
+	}
+}

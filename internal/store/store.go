@@ -1,0 +1,364 @@
+// Package store persists hidod's model registry on disk so a crashed
+// or restarted server recovers its full model set. Durability is the
+// missing half of the paper's deployment story: the fraud/intrusion
+// services it motivates fit models over hours of reference traffic,
+// and a registry that lives only in memory re-pays that cost on every
+// restart.
+//
+// Layout: one JSON model file per registered model (the hidomon wire
+// format, so files are interchangeable with the CLI) plus a versioned
+// manifest mapping model names to files and serving metadata. Every
+// mutation is committed with write-temp → fsync → rename → fsync-dir,
+// so a crash at any instant leaves the previously committed state
+// readable: a torn write is confined to an anonymous temp file and a
+// half-finished Save simply never entered the manifest.
+//
+// Recovery (Open) is deliberately forgiving: a corrupt model file —
+// truncated JSON, non-monotonic cuts, NaN sparsity, any failure of
+// stream.Load's validation — is quarantined (renamed aside with a
+// .corrupt suffix) and reported, never fatal, so one bad file cannot
+// keep a fleet member from serving its remaining models. Model files
+// present on disk but missing from the manifest (a crash between the
+// two commit steps, or a lost manifest) are adopted back under the
+// name encoded in their filename.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hido/internal/stream"
+)
+
+// manifestVersion guards the on-disk manifest format.
+const manifestVersion = 1
+
+const (
+	manifestName = "manifest.json"
+	modelSuffix  = ".model.json"
+	// corruptSuffix marks quarantined files; recovery skips them.
+	corruptSuffix = ".corrupt"
+)
+
+// manifest is the on-disk commit record: a model exists iff its entry
+// is here (orphan adoption aside).
+type manifest struct {
+	Version int                      `json:"version"`
+	Models  map[string]manifestEntry `json:"models"`
+}
+
+type manifestEntry struct {
+	File     string    `json:"file"`
+	FittedAt time.Time `json:"fitted_at"`
+	Source   string    `json:"source"`
+}
+
+// Store is an atomic on-disk model store. All methods are safe for
+// concurrent use; mutations serialize on an internal lock.
+type Store struct {
+	dir string
+	fs  FS
+
+	mu sync.Mutex
+	m  manifest
+}
+
+// RecoveredModel is one model read back during Open.
+type RecoveredModel struct {
+	Name     string
+	Monitor  *stream.Monitor
+	FittedAt time.Time
+	Source   string
+}
+
+// Report summarizes what Open found on disk.
+type Report struct {
+	// Models are the successfully recovered models, sorted by name.
+	Models []RecoveredModel
+	// Quarantined lists files renamed aside because they failed to
+	// load (with the reason), keyed by the original file name.
+	Quarantined map[string]string
+	// Adopted counts model files recovered despite missing from the
+	// manifest (a crash between the model and manifest commits).
+	Adopted int
+}
+
+// Open opens (creating if needed) a model store rooted at dir on the
+// real filesystem and recovers its contents.
+func Open(dir string) (*Store, Report, error) {
+	return OpenFS(dir, OSFS{})
+}
+
+// OpenFS is Open over an explicit filesystem (test and fault-injection
+// seam). Corrupt model files are quarantined, never fatal; only an
+// unusable directory fails.
+func OpenFS(dir string, fsys FS) (*Store, Report, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, Report{}, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, fs: fsys, m: manifest{Version: manifestVersion, Models: map[string]manifestEntry{}}}
+	rep := Report{Quarantined: map[string]string{}}
+
+	onDisk, err := s.loadManifest(&rep)
+	if err != nil {
+		return nil, Report{}, err
+	}
+
+	// Sweep the directory once: leftover temp files are deleted, model
+	// files are noted so orphans (present on disk, absent from the
+	// manifest) can be adopted.
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, Report{}, fmt.Errorf("store: reading %s: %w", dir, err)
+	}
+	present := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case e.IsDir():
+		case strings.HasPrefix(name, tempPrefix):
+			_ = fsys.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, modelSuffix):
+			present[name] = true
+		}
+	}
+
+	// Manifest entries first: the committed state.
+	for name, me := range onDisk.Models {
+		if !present[me.File] {
+			// Model file lost (crash between a delete's file removal and
+			// its manifest commit): drop the entry.
+			continue
+		}
+		delete(present, me.File)
+		mon, why := s.loadModel(me.File)
+		if mon == nil {
+			s.quarantine(me.File, why, &rep)
+			continue
+		}
+		s.m.Models[name] = me
+		rep.Models = append(rep.Models, RecoveredModel{
+			Name: name, Monitor: mon, FittedAt: me.FittedAt, Source: me.Source,
+		})
+	}
+
+	// Orphans: model files with no manifest entry. Adopt the loadable
+	// ones under the name their filename encodes, quarantine the rest.
+	for file := range present {
+		name, ok := decodeName(file)
+		if !ok {
+			s.quarantine(file, "unparseable file name", &rep)
+			continue
+		}
+		if _, taken := s.m.Models[name]; taken {
+			s.quarantine(file, "duplicate of manifest entry", &rep)
+			continue
+		}
+		mon, why := s.loadModel(file)
+		if mon == nil {
+			s.quarantine(file, why, &rep)
+			continue
+		}
+		me := manifestEntry{File: file, Source: "recovered"}
+		s.m.Models[name] = me
+		rep.Adopted++
+		rep.Models = append(rep.Models, RecoveredModel{Name: name, Monitor: mon, Source: me.Source})
+	}
+	sort.Slice(rep.Models, func(i, j int) bool { return rep.Models[i].Name < rep.Models[j].Name })
+
+	// Re-commit the reconciled manifest so the next recovery starts
+	// from a clean record. Failure here is not fatal: the in-memory
+	// manifest is correct and the next successful mutation rewrites it.
+	_ = s.writeManifest()
+	return s, rep, nil
+}
+
+// loadManifest reads the manifest if present; a corrupt manifest is
+// quarantined and recovery proceeds from the model files alone.
+func (s *Store) loadManifest(rep *Report) (manifest, error) {
+	empty := manifest{Models: map[string]manifestEntry{}}
+	path := filepath.Join(s.dir, manifestName)
+	f, err := s.fs.Open(path)
+	if err != nil {
+		return empty, nil // no manifest yet: a fresh (or pre-manifest) dir
+	}
+	var m manifest
+	derr := json.NewDecoder(f).Decode(&m)
+	f.Close()
+	if derr != nil || m.Version != manifestVersion || m.Models == nil {
+		why := "unsupported version"
+		if derr != nil {
+			why = derr.Error()
+		}
+		s.quarantine(manifestName, why, rep)
+		return empty, nil
+	}
+	return m, nil
+}
+
+// loadModel reads and validates one model file, returning nil and the
+// reason on failure.
+func (s *Store) loadModel(file string) (*stream.Monitor, string) {
+	f, err := s.fs.Open(filepath.Join(s.dir, file))
+	if err != nil {
+		return nil, err.Error()
+	}
+	mon, err := stream.Load(f)
+	f.Close()
+	if err != nil {
+		return nil, err.Error()
+	}
+	return mon, ""
+}
+
+// quarantine renames a bad file aside so startup never fails on it and
+// an operator can inspect it later. A file that cannot even be renamed
+// is left in place and still skipped.
+func (s *Store) quarantine(file, why string, rep *Report) {
+	full := filepath.Join(s.dir, file)
+	_ = s.fs.Remove(full + corruptSuffix) // make room for re-quarantine
+	_ = s.fs.Rename(full, full+corruptSuffix)
+	rep.Quarantined[file] = why
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Save durably commits one model under the given name, overwriting any
+// previous version. The model file is committed before the manifest,
+// so a crash between the two leaves an adoptable orphan, never a
+// manifest entry pointing at a torn file.
+func (s *Store) Save(name string, mon *stream.Monitor, fittedAt time.Time, source string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty model name")
+	}
+	if mon == nil {
+		return fmt.Errorf("store: nil monitor for model %q", name)
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	file := encodeName(name) + modelSuffix
+	if err := writeFileAtomic(s.fs, filepath.Join(s.dir, file), buf.Bytes()); err != nil {
+		return err
+	}
+	prev, had := s.m.Models[name]
+	s.m.Models[name] = manifestEntry{File: file, FittedAt: fittedAt, Source: source}
+	if err := s.writeManifest(); err != nil {
+		// Roll the in-memory manifest back so it keeps describing the
+		// last durable commit.
+		if had {
+			s.m.Models[name] = prev
+		} else {
+			delete(s.m.Models, name)
+		}
+		return err
+	}
+	return nil
+}
+
+// Delete durably removes the named model. Removing an unknown name is
+// a no-op. The model file goes first: a crash before the manifest
+// commit leaves a dangling manifest entry, which recovery drops.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	me, ok := s.m.Models[name]
+	if !ok {
+		return nil
+	}
+	_ = s.fs.Remove(filepath.Join(s.dir, me.File))
+	delete(s.m.Models, name)
+	if err := s.writeManifest(); err != nil {
+		s.m.Models[name] = me
+		return err
+	}
+	return nil
+}
+
+// Names returns the names of the durably committed models, sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.m.Models))
+	for n := range s.m.Models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeManifest commits the manifest; the caller holds s.mu.
+func (s *Store) writeManifest() error {
+	data, err := json.MarshalIndent(s.m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	return writeFileAtomic(s.fs, filepath.Join(s.dir, manifestName), append(data, '\n'))
+}
+
+// encodeName maps an arbitrary model name to a safe, reversible file
+// stem: alphanumerics, '.', '_' and '-' pass through, every other byte
+// becomes %XX. The encoding keeps names readable in a directory
+// listing while making orphan adoption exact.
+func encodeName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '%' || !isSafeFilenameByte(c) {
+			fmt.Fprintf(&b, "%%%02X", c)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// decodeName inverts encodeName on a model file name (with its
+// modelSuffix still attached), reporting failure on malformed input.
+func decodeName(file string) (string, bool) {
+	stem, ok := strings.CutSuffix(file, modelSuffix)
+	if !ok || stem == "" {
+		return "", false
+	}
+	var b strings.Builder
+	for i := 0; i < len(stem); i++ {
+		c := stem[i]
+		if c == '%' {
+			if i+2 >= len(stem) {
+				return "", false
+			}
+			var v byte
+			if _, err := fmt.Sscanf(stem[i+1:i+3], "%02X", &v); err != nil {
+				return "", false
+			}
+			b.WriteByte(v)
+			i += 2
+			continue
+		}
+		if !isSafeFilenameByte(c) {
+			return "", false
+		}
+		b.WriteByte(c)
+	}
+	return b.String(), true
+}
+
+func isSafeFilenameByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '.' || c == '_' || c == '-':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,288 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hido/internal/store"
+	"hido/internal/stream"
+)
+
+// modelJSON hand-builds a valid hidomon-format model so tests get a
+// Monitor without paying for a fit. The seed varies the cut points so
+// two models are distinguishable byte-for-byte.
+func modelJSON(t *testing.T, seed int) []byte {
+	t.Helper()
+	phi := 3
+	m := map[string]any{
+		"version": 1,
+		"phi":     phi,
+		"k":       2,
+		"options": map[string]any{"Phi": phi, "TargetS": -3, "M": 10, "Restarts": 1, "Seed": 1},
+		"names":   []string{"a", "b", "c", "d"},
+		"cuts": [][]float64{
+			{0.1 + float64(seed), 0.5 + float64(seed)},
+			{1, 2}, {3, 4}, {5, 6},
+		},
+		"projections": []map[string]any{
+			{"cube": []int{1, 0, 2, 0}, "sparsity": -3.5, "count": 1},
+			{"cube": []int{0, 3, 0, 1}, "sparsity": -3.1, "count": 2},
+		},
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func loadMonitor(t *testing.T, data []byte) *stream.Monitor {
+	t.Helper()
+	mon, err := stream.Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mon
+}
+
+// saveBytes renders a monitor back to its wire form for comparison.
+func saveBytes(t *testing.T, mon *stream.Monitor) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func mustOpen(t *testing.T, dir string) (*store.Store, store.Report) {
+	t.Helper()
+	s, rep, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rep
+}
+
+func TestSaveRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rep := mustOpen(t, dir)
+	if len(rep.Models) != 0 || len(rep.Quarantined) != 0 {
+		t.Fatalf("fresh dir not empty: %+v", rep)
+	}
+	monA := loadMonitor(t, modelJSON(t, 0))
+	monB := loadMonitor(t, modelJSON(t, 7))
+	at := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if err := s.Save("default", monA, at, "fit:job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("fraud/eu", monB, at.Add(time.Hour), "put"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh Open over the same dir — the crash/restart path — must
+	// recover both models bit-identically, with metadata intact.
+	_, rep2 := mustOpen(t, dir)
+	if len(rep2.Models) != 2 || len(rep2.Quarantined) != 0 || rep2.Adopted != 0 {
+		t.Fatalf("recovery: %+v", rep2)
+	}
+	byName := map[string]store.RecoveredModel{}
+	for _, m := range rep2.Models {
+		byName[m.Name] = m
+	}
+	got := byName["default"]
+	if !bytes.Equal(saveBytes(t, got.Monitor), saveBytes(t, monA)) {
+		t.Error("recovered model differs from saved model")
+	}
+	if !got.FittedAt.Equal(at) || got.Source != "fit:job-1" {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	if b := byName["fraud/eu"]; !bytes.Equal(saveBytes(t, b.Monitor), saveBytes(t, monB)) {
+		t.Error("second model differs after recovery")
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	now := time.Now()
+	if err := s.Save("m", loadMonitor(t, modelJSON(t, 0)), now, "put"); err != nil {
+		t.Fatal(err)
+	}
+	v2 := loadMonitor(t, modelJSON(t, 3))
+	if err := s.Save("m", v2, now, "put"); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := mustOpen(t, dir)
+	if len(rep.Models) != 1 || !bytes.Equal(saveBytes(t, rep.Models[0].Monitor), saveBytes(t, v2)) {
+		t.Fatalf("overwrite not durable: %+v", rep)
+	}
+
+	if err := s.Delete("m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("never-existed"); err != nil {
+		t.Fatal(err)
+	}
+	_, rep = mustOpen(t, dir)
+	if len(rep.Models) != 0 {
+		t.Fatalf("delete not durable: %+v", rep)
+	}
+}
+
+// A corrupt model file must be quarantined at startup — renamed aside,
+// reported, and excluded — while every healthy model still loads.
+func TestCorruptModelQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	now := time.Now()
+	if err := s.Save("good", loadMonitor(t, modelJSON(t, 0)), now, "put"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("bad", loadMonitor(t, modelJSON(t, 1)), now, "put"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corruptions: torn JSON, and valid JSON that fails validation
+	// (NaN-free decode but non-monotonic cuts).
+	badPath := filepath.Join(dir, "bad.model.json")
+	for name, corrupt := range map[string][]byte{
+		"torn":       []byte(`{"version":1,"phi":3,"k":2,"names":["a"`),
+		"descending": []byte(`{"version":1,"phi":3,"k":1,"names":["a"],"cuts":[[2,1]],"projections":[]}`),
+	} {
+		if err := os.WriteFile(badPath, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, rep := mustOpen(t, dir)
+		if len(rep.Models) != 1 || rep.Models[0].Name != "good" {
+			t.Fatalf("%s: healthy model lost: %+v", name, rep)
+		}
+		why, ok := rep.Quarantined["bad.model.json"]
+		if !ok {
+			t.Fatalf("%s: corrupt file not quarantined: %+v", name, rep)
+		}
+		if why == "" {
+			t.Errorf("%s: quarantine reason empty", name)
+		}
+		if _, err := os.Stat(badPath + ".corrupt"); err != nil {
+			t.Errorf("%s: quarantined file not renamed aside: %v", name, err)
+		}
+		if _, err := os.Stat(badPath); !os.IsNotExist(err) {
+			t.Errorf("%s: corrupt file still in place: %v", name, err)
+		}
+		// Re-arm for the next corruption round: re-save the model.
+		s2, _ := mustOpen(t, dir)
+		if err := s2.Save("bad", loadMonitor(t, modelJSON(t, 1)), now, "put"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A lost or corrupt manifest must not lose the committed models: the
+// model files are self-describing enough (name-encoding filenames) to
+// be adopted back.
+func TestManifestLossAdoptsModels(t *testing.T) {
+	for name, damage := range map[string]func(t *testing.T, path string){
+		"deleted": func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"corrupt": func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, _ := mustOpen(t, dir)
+			mon := loadMonitor(t, modelJSON(t, 2))
+			if err := s.Save("weird name/v2", mon, time.Now(), "put"); err != nil {
+				t.Fatal(err)
+			}
+			damage(t, filepath.Join(dir, "manifest.json"))
+			_, rep := mustOpen(t, dir)
+			if len(rep.Models) != 1 || rep.Models[0].Name != "weird name/v2" || rep.Adopted != 1 {
+				t.Fatalf("adoption failed: %+v", rep)
+			}
+			if !bytes.Equal(saveBytes(t, rep.Models[0].Monitor), saveBytes(t, mon)) {
+				t.Error("adopted model differs")
+			}
+			// The reconciled manifest is rewritten, so the next open is a
+			// plain manifest recovery again.
+			_, rep = mustOpen(t, dir)
+			if len(rep.Models) != 1 || rep.Adopted != 0 {
+				t.Fatalf("manifest not reconciled: %+v", rep)
+			}
+		})
+	}
+}
+
+// Leftover temp files from a crash mid-write are swept at startup and
+// never surface as models.
+func TestTempFilesSwept(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	if err := s.Save("m", loadMonitor(t, modelJSON(t, 0)), time.Now(), "put"); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, ".tmp-123456")
+	if err := os.WriteFile(tmp, []byte("half a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := mustOpen(t, dir)
+	if len(rep.Models) != 1 || len(rep.Quarantined) != 0 {
+		t.Fatalf("temp file disturbed recovery: %+v", rep)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("temp file not swept: %v", err)
+	}
+}
+
+// Concurrent saves and deletes must serialize cleanly (run with -race)
+// and leave a consistent, recoverable store.
+func TestConcurrentMutations(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	mon := loadMonitor(t, modelJSON(t, 0))
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			name := fmt.Sprintf("m%d", g%4)
+			for i := 0; i < 10; i++ {
+				if err := s.Save(name, mon, time.Now(), "put"); err != nil {
+					done <- err
+					return
+				}
+				if g%2 == 0 {
+					if err := s.Delete(name); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rep := mustOpen(t, dir)
+	for _, m := range rep.Models {
+		if !strings.HasPrefix(m.Name, "m") {
+			t.Errorf("unexpected model %q", m.Name)
+		}
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Errorf("quarantines after concurrent mutations: %+v", rep.Quarantined)
+	}
+}

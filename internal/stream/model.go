@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"hido/internal/core"
 	"hido/internal/cube"
@@ -58,7 +59,67 @@ func (m *Monitor) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reconstructs a Monitor from a persisted model. The loaded
+// Validate checks the structural integrity of a decoded model: the
+// version and grid shape, strictly finite and non-decreasing cut
+// points, a plausible projection dimensionality, and per-projection
+// sanity (in-range cells, non-negative counts, non-NaN sparsity). A
+// model that fails any of these would load into a monitor that scores
+// garbage silently — out-of-order cuts break the binary-search range
+// assignment, NaN sparsity poisons every alert score it touches — so
+// Load rejects it instead. The store's startup recovery relies on the
+// same checks to quarantine corrupt files.
+func (model *Model) Validate() error {
+	if model.Version != modelVersion {
+		return fmt.Errorf("stream: model version %d, want %d", model.Version, modelVersion)
+	}
+	if model.Phi < 2 || model.Phi > math.MaxUint16 {
+		return fmt.Errorf("stream: model phi=%d invalid", model.Phi)
+	}
+	if len(model.Cuts) == 0 || len(model.Names) != len(model.Cuts) {
+		return fmt.Errorf("stream: model has %d name(s) for %d dimension(s)",
+			len(model.Names), len(model.Cuts))
+	}
+	d := len(model.Cuts)
+	if model.K < 1 || model.K > d {
+		return fmt.Errorf("stream: model k=%d outside [1,%d]", model.K, d)
+	}
+	for j, c := range model.Cuts {
+		if len(c) != model.Phi-1 {
+			return fmt.Errorf("stream: dimension %d has %d cuts, want %d",
+				j, len(c), model.Phi-1)
+		}
+		for i, v := range c {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("stream: dimension %d cut %d is %v", j, i, v)
+			}
+			if i > 0 && v < c[i-1] {
+				return fmt.Errorf("stream: dimension %d cuts not non-decreasing at %d (%v < %v)",
+					j, i, v, c[i-1])
+			}
+		}
+	}
+	for pi, p := range model.Projections {
+		if len(p.Cube) != d {
+			return fmt.Errorf("stream: projection %d spans %d dims, model has %d",
+				pi, len(p.Cube), d)
+		}
+		if !cube.Cube(p.Cube).Valid(model.Phi) {
+			return fmt.Errorf("stream: projection %d has out-of-range cells", pi)
+		}
+		if p.Count < 0 {
+			return fmt.Errorf("stream: projection %d has negative count %d", pi, p.Count)
+		}
+		if math.IsNaN(p.Sparsity) {
+			return fmt.Errorf("stream: projection %d has NaN sparsity", pi)
+		}
+	}
+	return nil
+}
+
+// Load reconstructs a Monitor from a persisted model, validating it
+// first: corrupt models — non-monotonic or non-finite cut points,
+// negative counts, NaN sparsity — are rejected with a descriptive
+// error instead of loading silently and poisoning scoring. The loaded
 // monitor scores and explains exactly as the original; Refit works as
 // long as the new window matches the model's dimensionality.
 func Load(r io.Reader) (*Monitor, error) {
@@ -66,23 +127,9 @@ func Load(r io.Reader) (*Monitor, error) {
 	if err := json.NewDecoder(r).Decode(&model); err != nil {
 		return nil, fmt.Errorf("stream: decoding model: %w", err)
 	}
-	if model.Version != modelVersion {
-		return nil, fmt.Errorf("stream: model version %d, want %d", model.Version, modelVersion)
+	if err := model.Validate(); err != nil {
+		return nil, err
 	}
-	if model.Phi < 2 {
-		return nil, fmt.Errorf("stream: model phi=%d invalid", model.Phi)
-	}
-	if len(model.Cuts) == 0 || len(model.Names) != len(model.Cuts) {
-		return nil, fmt.Errorf("stream: model has %d name(s) for %d dimension(s)",
-			len(model.Names), len(model.Cuts))
-	}
-	for j, c := range model.Cuts {
-		if len(c) != model.Phi-1 {
-			return nil, fmt.Errorf("stream: dimension %d has %d cuts, want %d",
-				j, len(c), model.Phi-1)
-		}
-	}
-	d := len(model.Cuts)
 	m := &Monitor{
 		opt:   model.Options.withDefaults(),
 		grid:  discretize.FromCuts(model.Phi, model.Cuts),
@@ -90,17 +137,9 @@ func Load(r io.Reader) (*Monitor, error) {
 		k:     model.K,
 	}
 	m.opt.Phi = model.Phi
-	for pi, p := range model.Projections {
-		if len(p.Cube) != d {
-			return nil, fmt.Errorf("stream: projection %d spans %d dims, model has %d",
-				pi, len(p.Cube), d)
-		}
-		c := cube.Cube(p.Cube)
-		if !c.Valid(model.Phi) {
-			return nil, fmt.Errorf("stream: projection %d has out-of-range cells", pi)
-		}
+	for _, p := range model.Projections {
 		m.projections = append(m.projections, core.Projection{
-			Cube: c, Sparsity: p.Sparsity, Count: p.Count,
+			Cube: cube.Cube(p.Cube), Sparsity: p.Sparsity, Count: p.Count,
 		})
 	}
 	return m, nil

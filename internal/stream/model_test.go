@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
 	"hido/internal/xrand"
@@ -111,4 +112,116 @@ func TestLoadRejectsBadProjections(t *testing.T) {
 	if _, err := Load(strings.NewReader(payload2)); err == nil {
 		t.Error("wrong-width projection accepted")
 	}
+}
+
+// Save must snapshot one coherent model even while Refit hot-swaps it:
+// every serialized payload must Load back cleanly (run under -race).
+func TestSaveLoadUnderConcurrentRefit(t *testing.T) {
+	m, err := NewMonitor(reference(400, 40), Options{Phi: 5, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := m.Save(&buf); err != nil {
+					t.Errorf("save: %v", err)
+					return
+				}
+				loaded, err := Load(&buf)
+				if err != nil {
+					t.Errorf("snapshot %d does not load: %v", i, err)
+					return
+				}
+				if loaded.D() != m.D() {
+					t.Errorf("snapshot %d has D=%d", i, loaded.D())
+					return
+				}
+			}
+		}(uint64(300 + w))
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Refit(reference(400, 50+uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Corrupt numeric content — non-monotonic or non-finite cut points,
+// negative k or counts, NaN sparsity — used to load silently and
+// poison every score computed against the model. Each must now fail
+// with a descriptive error.
+func TestLoadRejectsCorruptNumerics(t *testing.T) {
+	good := `{"version":1,"phi":3,"k":1,"options":{"Phi":3,"TargetS":-3,"M":10,"Restarts":1,"Seed":0},` +
+		`"names":["a","b"],"cuts":[[0.3,0.6],[0.3,0.6]],` +
+		`"projections":[{"cube":[2,0],"sparsity":-3,"count":1}]}`
+	if _, err := Load(strings.NewReader(good)); err != nil {
+		t.Fatalf("baseline model rejected: %v", err)
+	}
+	cases := map[string][2]string{
+		"descending cuts": {`"cuts":[[0.3,0.6],[0.3,0.6]]`, `"cuts":[[0.6,0.3],[0.3,0.6]]`},
+		"NaN cut":         {`"cuts":[[0.3,0.6],[0.3,0.6]]`, `"cuts":[[0.3,"x"],[0.3,0.6]]`},
+		"infinite cut":    {`"cuts":[[0.3,0.6],[0.3,0.6]]`, `"cuts":[[0.3,1e999],[0.3,0.6]]`},
+		"negative k":      {`"k":1`, `"k":-2`},
+		"oversized k":     {`"k":1`, `"k":7`},
+		"negative count":  {`"count":1`, `"count":-4`},
+		"NaN sparsity":    {`"sparsity":-3`, `"sparsity":"NaN"`},
+		"huge phi":        {`"phi":3`, `"phi":70000`},
+		"cut count wrong": {`"cuts":[[0.3,0.6],[0.3,0.6]]`, `"cuts":[[0.3],[0.3,0.6]]`},
+		"no dimensions":   {`"names":["a","b"],"cuts":[[0.3,0.6],[0.3,0.6]]`, `"names":[],"cuts":[]`},
+	}
+	for name, sub := range cases {
+		payload := strings.Replace(good, sub[0], sub[1], 1)
+		if payload == good {
+			t.Fatalf("%s: substitution did not apply", name)
+		}
+		mon, err := Load(strings.NewReader(payload))
+		if err == nil {
+			t.Errorf("%s accepted: %+v", name, mon)
+		}
+	}
+}
+
+// FuzzLoadModel asserts Load never panics on mutated model JSON: it
+// either returns a monitor that can score a record, or a descriptive
+// error. Seeds cover the valid wire shape plus each corruption class
+// the validator guards.
+func FuzzLoadModel(f *testing.F) {
+	orig, err := NewMonitor(reference(200, 31), Options{Phi: 4, Seed: 32})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"phi":3,"k":1,"names":["a"],"cuts":[[0.6,0.3]],"projections":[]}`)
+	f.Add(`{"version":1,"phi":3,"k":1,"names":["a"],"cuts":[[0.3,"NaN"]],"projections":[]}`)
+	f.Add(`{"version":1,"phi":70000,"k":1,"names":["a"],"cuts":[[1,2]],"projections":[]}`)
+	f.Add(`{"version":1,"phi":3,"k":-1,"names":["a"],"cuts":[[1,2]],"projections":[{"cube":[1],"sparsity":"NaN","count":-9}]}`)
+	f.Add(`{"version":1`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, payload string) {
+		mon, err := Load(strings.NewReader(payload))
+		if err != nil {
+			return
+		}
+		// A model that loads must be servable: scoring a well-shaped
+		// record must not panic either.
+		rec := make([]float64, mon.D())
+		_ = mon.Score(rec)
+	})
 }

@@ -48,6 +48,19 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// State returns the generator's internal xoshiro256** state for
+// checkpointing. The cached Gaussian from Norm is not part of the
+// state: checkpoint at points where no paired variate is pending (any
+// point, for streams that never call Norm).
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// FromState reconstructs a generator from a State snapshot; the
+// restored stream continues exactly where the snapshot was taken. The
+// all-zero state is degenerate (xoshiro256** is stuck at zero there)
+// and never produced by New or a real stream — callers restoring
+// untrusted snapshots should reject it.
+func FromState(s [4]uint64) *RNG { return &RNG{s: s} }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.
