@@ -6,7 +6,8 @@
 //	hido -in data.csv [-header] [-label -1] [-phi 8] [-k 0] [-s -3]
 //	     [-m 20] [-algo evo|brute|sampled] [-crossover optimized|twopoint]
 //	     [-restarts 1] [-islands 0] [-workers 1] [-samples 512]
-//	     [-filter 0] [-minimal] [-baseline knn|lof|db]
+//	     [-ensemble] [-members 10] [-bag 0] [-combiner rank|zscore|max]
+//	     [-filter 0] [-minimal] [-baseline knn|lof|db|dod]
 //	     [-checkpoint file] [-resume file] [-json]
 //	     [-seed 1] [-top 10] [-explain]
 //
@@ -15,23 +16,31 @@
 // lists the m sparsest projections and the records they cover (the
 // outliers), optionally with per-record explanations; -algo sampled
 // instead ranks every record by subspace-sampled sparsity scores.
+// With -ensemble, -members independent searches (evo or brute) run
+// over sampled feature bags and every record is ranked by the
+// combined per-member evidence — deterministic per seed at any
+// worker count.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
 	"time"
 
 	"hido/internal/baseline/dbout"
+	"hido/internal/baseline/dod"
 	"hido/internal/baseline/knnout"
 	"hido/internal/baseline/lof"
 	"hido/internal/core"
 	"hido/internal/dataset"
 	"hido/internal/discretize"
+	"hido/internal/ensemble"
 	"hido/internal/obs"
 )
 
@@ -56,7 +65,11 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel workers for brute and evo searches (0 = all CPUs)")
 		minimal   = flag.Bool("minimal", false, "reduce explanations to minimal sub-cubes")
 		filter    = flag.Float64("filter", 0, "keep only projections with sparsity <= this (0 = keep all)")
-		baseline  = flag.String("baseline", "", "also run a baseline for comparison: knn, lof or db")
+		baseline  = flag.String("baseline", "", "also run a baseline for comparison: knn, lof, db or dod")
+		ensFlag   = flag.Bool("ensemble", false, "run a subspace ensemble: -members searches over sampled feature bags, scores combined per record")
+		members   = flag.Int("members", 10, "ensemble: number of member searches")
+		bag       = flag.Int("bag", 0, "ensemble: feature-bag size per member (0 = (D+1)/2)")
+		combiner  = flag.String("combiner", "rank", "ensemble: evidence combiner, rank, zscore or max")
 		samples   = flag.Int("samples", 512, "subspaces for -algo sampled")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
 		ckpt      = flag.String("checkpoint", "", "periodically save search progress to this file")
@@ -81,6 +94,7 @@ func main() {
 		top: *top, explain: *explain, equiwidth: *equiwidth, budget: *budget,
 		restarts: *restarts, islands: *islands, workers: *workers,
 		minimal: *minimal, filter: *filter, baseline: *baseline,
+		ensemble: *ensFlag, members: *members, bag: *bag, combiner: *combiner,
 		samples: *samples, jsonOut: *jsonOut,
 		checkpoint: *ckpt, checkpointEvery: *ckptEvery, resume: *resume,
 		trace: *trace, verbose: *verbose,
@@ -107,6 +121,9 @@ type config struct {
 	minimal            bool
 	filter             float64
 	baseline           string
+	ensemble           bool
+	members, bag       int
+	combiner           string
 	samples            int
 	jsonOut            bool
 	checkpoint         string
@@ -222,12 +239,25 @@ func run(cfg config) error {
 	}
 
 	if algo == "sampled" {
+		if cfg.ensemble {
+			return fmt.Errorf("-ensemble supports -algo evo or brute, not sampled")
+		}
 		return runSampled(cfg, ds, det, k)
 	}
 
 	observer, closeTrace, err := buildObserver(cfg)
 	if err != nil {
 		return err
+	}
+
+	if cfg.ensemble {
+		if ckptOpt != nil {
+			return fmt.Errorf("-checkpoint/-resume are not supported with -ensemble")
+		}
+		if err := runEnsemble(cfg, ds, det, k, observer); err != nil {
+			return err
+		}
+		return closeTrace()
 	}
 
 	var res *core.Result
@@ -333,6 +363,110 @@ func run(cfg config) error {
 	return nil
 }
 
+// runEnsemble fits a subspace ensemble — cfg.members independent
+// searches over sampled feature bags — and prints the per-record
+// combined ranking. Scores are bit-identical per seed at any worker
+// count.
+func runEnsemble(cfg config, ds *dataset.Dataset, det *core.Detector, k int, observer obs.Observer) error {
+	algo, err := ensemble.ParseAlgo(cfg.algo)
+	if err != nil {
+		return err
+	}
+	comb, err := ensemble.ParseCombiner(cfg.combiner)
+	if err != nil {
+		return err
+	}
+	workers := cfg.workers
+	if workers == 0 {
+		workers = -1
+	}
+	res, err := ensemble.Fit(det, ensemble.Options{
+		Members: cfg.members, BagSize: cfg.bag, Algo: algo, K: k, M: cfg.m,
+		Combiner: comb, Workers: workers, Seed: cfg.seed, Observer: observer,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		return writeEnsembleJSON(os.Stdout, res, comb)
+	}
+
+	bagSize := 0
+	if len(res.Members) > 0 {
+		bagSize = len(res.Members[0].Dims)
+	}
+	fmt.Printf("\nensemble: %d members (algo=%s, bag=%d/%d dims, combiner=%s), %d evaluations, %s\n",
+		len(res.Members), algo, bagSize, ds.D(), comb,
+		res.Evaluations, res.Elapsed.Round(time.Millisecond))
+
+	ranked := res.Ranked()
+	fmt.Printf("\ntop records by combined score:\n")
+	for rank, i := range ranked {
+		if rank == cfg.top {
+			break
+		}
+		votes := 0
+		for r := range res.Members {
+			if res.Evidence[r][i] > 0 {
+				votes++
+			}
+		}
+		label := ""
+		if l := ds.Label(i); l != "" {
+			label = "  label=" + l
+		}
+		fmt.Printf("  %2d. record %5d  score=%.3f  members=%d/%d%s\n",
+			rank+1, i, res.Combined[i], votes, len(res.Members), label)
+		if cfg.explain {
+			for r, mem := range res.Members {
+				if res.Evidence[r][i] == 0 {
+					continue
+				}
+				best := -1
+				cells := det.Grid.CellsRow(i)
+				for pi, p := range mem.Projections {
+					if p.Cube.Covers(cells) && (best < 0 || p.Sparsity < mem.Projections[best].Sparsity) {
+						best = pi
+					}
+				}
+				if best >= 0 {
+					fmt.Printf("      member %2d via %s\n", r, mem.Projections[best].Describe(det))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeEnsembleJSON emits the machine-readable ensemble result: the
+// combined scores plus each member's bag, seed and projection count.
+func writeEnsembleJSON(w io.Writer, res *ensemble.Result, comb ensemble.Combiner) error {
+	type memberJSON struct {
+		Dims        []int  `json:"dims"`
+		Seed        uint64 `json:"seed"`
+		Projections int    `json:"projections"`
+		Evaluations int    `json:"evaluations"`
+	}
+	out := struct {
+		Combiner    string       `json:"combiner"`
+		Members     []memberJSON `json:"members"`
+		Combined    []float64    `json:"combined"`
+		Ranked      []int        `json:"ranked"`
+		Evaluations int          `json:"evaluations"`
+	}{
+		Combiner: comb.String(), Combined: res.Combined,
+		Ranked: res.Ranked(), Evaluations: res.Evaluations,
+	}
+	for _, m := range res.Members {
+		out.Members = append(out.Members, memberJSON{
+			Dims: m.Dims, Seed: m.Seed, Projections: len(m.Projections), Evaluations: m.Evaluations,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // runSampled ranks every record by subspace-sampled sparsity and
 // prints the top of the ranking — the continuous-score view of the
 // detector, comparable record-for-record with the distance baselines.
@@ -414,8 +548,19 @@ func runBaseline(name string, ds *dataset.Dataset, res *core.Result, det *core.D
 			return err
 		}
 		fmt.Printf("\nDB(k=5, λ=%.3f [median 5-NN distance])\n", lambda)
+	case "dod":
+		scores, err := dod.Scores(full, dod.Options{K: 10})
+		if err != nil {
+			return err
+		}
+		order := make([]int, len(scores))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+		idx = order[:n]
 	default:
-		return fmt.Errorf("unknown baseline %q (want knn, lof or db)", name)
+		return fmt.Errorf("unknown baseline %q (want knn, lof, db or dod)", name)
 	}
 	inProj := map[int]bool{}
 	for _, i := range res.Outliers {

@@ -62,6 +62,7 @@ func TestRunVariants(t *testing.T) {
 		"base-knn":  func(c *config) { c.baseline = "knn" },
 		"base-lof":  func(c *config) { c.baseline = "lof" },
 		"base-db":   func(c *config) { c.baseline = "db" },
+		"base-dod":  func(c *config) { c.baseline = "dod" },
 	} {
 		t.Run(name, func(t *testing.T) {
 			cfg := baseConfig(writeFixture(t))
@@ -105,6 +106,49 @@ func TestRunJSON(t *testing.T) {
 	cfg.jsonOut = true
 	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunEnsemble(t *testing.T) {
+	for name, mod := range map[string]func(*config){
+		"evo-rank":   func(c *config) { c.algo = "evo"; c.combiner = "rank" },
+		"brute-max":  func(c *config) { c.algo = "brute"; c.combiner = "max"; c.bag = 5 },
+		"zscore":     func(c *config) { c.combiner = "zscore" },
+		"explain":    func(c *config) { c.explain = true },
+		"json":       func(c *config) { c.jsonOut = true },
+		"allworkers": func(c *config) { c.workers = 0 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig(writeFixture(t))
+			cfg.ensemble = true
+			cfg.members = 4
+			cfg.combiner = "rank"
+			mod(&cfg)
+			if err := run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunEnsembleErrors(t *testing.T) {
+	path := writeFixture(t)
+	for name, mod := range map[string]func(*config){
+		"sampled":      func(c *config) { c.algo = "sampled" },
+		"bad combiner": func(c *config) { c.combiner = "median" },
+		"checkpoint":   func(c *config) { c.checkpoint = filepath.Join(t.TempDir(), "x.ckpt") },
+		"bad members":  func(c *config) { c.members = -2 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig(path)
+			cfg.ensemble = true
+			cfg.members = 4
+			cfg.combiner = "rank"
+			mod(&cfg)
+			if err := run(cfg); err == nil {
+				t.Error("no error")
+			}
+		})
 	}
 }
 

@@ -11,6 +11,7 @@
 //	hidobench -exp housing
 //	hidobench -exp scaling
 //	hidobench -exp shell
+//	hidobench -exp ensemble
 //	hidobench -exp ablation
 //	hidobench -exp all
 package main
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|arrhythmia|figure1|housing|scaling|shell|quality|convergence|ablation|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|arrhythmia|figure1|housing|scaling|shell|quality|ensemble|convergence|ablation|all")
 		seed        = flag.Uint64("seed", 1, "random seed (all experiments are deterministic per seed)")
 		bruteBudget = flag.Duration("brute-budget", 30*time.Second, "per-dataset brute-force budget for table1")
 		workers     = flag.Int("workers", 0, "worker-sweep cap for the ablation's parallel table and table1's brute-force column (0 = all CPUs)")
@@ -177,6 +178,17 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.FormatQuality(rows))
+		return nil
+	})
+
+	run("ensemble", func() error {
+		rows, err := bench.RunEnsembleQuality(bench.EnsembleQualityOptions{
+			Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatEnsembleQuality(rows))
 		return nil
 	})
 

@@ -30,6 +30,7 @@ package hido
 
 import (
 	"hido/internal/baseline/dbout"
+	"hido/internal/baseline/dod"
 	"hido/internal/baseline/knnout"
 	"hido/internal/baseline/lof"
 	"hido/internal/baseline/neighbors"
@@ -37,6 +38,7 @@ import (
 	"hido/internal/cube"
 	"hido/internal/dataset"
 	"hido/internal/discretize"
+	"hido/internal/ensemble"
 	"hido/internal/evo"
 	"hido/internal/stats"
 	"hido/internal/stream"
@@ -96,6 +98,41 @@ type (
 	// full-dimensional baselines.
 	ImputeStrategy = dataset.ImputeStrategy
 )
+
+// Subspace ensemble mode.
+type (
+	// EnsembleOptions configures a feature-bagged search ensemble.
+	EnsembleOptions = ensemble.Options
+	// Ensemble holds the fitted members and their combined scores.
+	Ensemble = ensemble.Result
+	// EnsembleMember is one bagged search and its evidence.
+	EnsembleMember = ensemble.Member
+	// Combiner selects how per-member evidence is aggregated.
+	Combiner = ensemble.Combiner
+	// EnsembleAlgo selects the per-member search algorithm.
+	EnsembleAlgo = ensemble.Algo
+)
+
+// Ensemble combiners and member algorithms.
+const (
+	// RankCombiner averages ECDF positions across members (default).
+	RankCombiner = ensemble.RankCombiner
+	// ZScoreCombiner averages standardized evidence.
+	ZScoreCombiner = ensemble.ZScoreCombiner
+	// MaxCombiner keeps the strongest single-member evidence.
+	MaxCombiner = ensemble.MaxCombiner
+	// EvoAlgo and BruteAlgo pick the per-member search.
+	EvoAlgo   = ensemble.EvoAlgo
+	BruteAlgo = ensemble.BruteAlgo
+)
+
+// FitEnsemble runs an ensemble of independent searches over sampled
+// feature bags and aggregates per-record sparsity evidence with the
+// configured combiner. Combined scores are bit-identical per seed at
+// any worker count.
+func FitEnsemble(det *Detector, opt EnsembleOptions) (*Ensemble, error) {
+	return ensemble.Fit(det, opt)
+}
 
 // Baselines.
 type (
@@ -213,6 +250,15 @@ func DBOutliersCellBased(ds *Dataset, opt DBOutlierOptions) ([]int, error) {
 
 // LOF computes Local Outlier Factor scores.
 func LOF(ds *Dataset, opt LOFOptions) (*LOFResult, error) { return lof.Compute(ds, opt) }
+
+// DODOptions configures the distance-of-distances baseline.
+type DODOptions = dod.Options
+
+// DODScores computes distance-of-distances outlier scores: each
+// record's profile is its distance vector to every other record, and
+// the score is the kNN distance between profiles. A full-dimensional
+// comparator; requires complete (imputed) data.
+func DODScores(ds *Dataset, opt DODOptions) ([]float64, error) { return dod.Scores(ds, opt) }
 
 // ParseCube parses the paper's string notation ("*3*9") into a Cube.
 func ParseCube(s string) (Cube, error) { return cube.Parse(s) }

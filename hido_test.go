@@ -120,6 +120,48 @@ func TestFacadeBaselines(t *testing.T) {
 	}
 }
 
+// TestFacadeEnsemble drives the subspace-ensemble mode and the DOD
+// baseline through the public façade.
+func TestFacadeEnsemble(t *testing.T) {
+	csv := strings.NewReader("a,b,c\n" + rows())
+	ds, err := hido.ReadCSV(csv, hido.ReadCSVOptions{Header: true, LabelColumn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := hido.NewDetector(ds, 4)
+	ens, err := hido.FitEnsemble(det, hido.EnsembleOptions{
+		Members: 4, BagSize: 3, K: 2, M: 5, Seed: 1,
+		Combiner: hido.MaxCombiner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Combined) != ds.N() || len(ens.Members) != 4 {
+		t.Fatalf("ensemble shape: %d scores, %d members", len(ens.Combined), len(ens.Members))
+	}
+	if ens.Combined[ds.N()-1] <= 0 {
+		t.Error("planted contrarian carries no ensemble evidence")
+	}
+
+	dodDS := hido.DatasetFromRows([]string{"x", "y"}, [][]float64{
+		{0, 0}, {0.1, 0.1}, {0.2, 0.15}, {0.15, 0.2}, {0.05, 0.12},
+		{0.12, 0.07}, {0.18, 0.02}, {0.03, 0.18}, {9, 9}, {0.11, 0.13},
+	})
+	scores, err := hido.DODScores(dodDS, hido.DODOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := 0
+	for i, s := range scores {
+		if s > scores[top] {
+			top = i
+		}
+	}
+	if top != 8 {
+		t.Errorf("DOD top outlier = %d, want 8", top)
+	}
+}
+
 func TestFacadeHelpers(t *testing.T) {
 	if hido.KStar(10000, 10, -3) != 3 {
 		t.Error("KStar via façade wrong")

@@ -1,0 +1,106 @@
+// Package dod implements the distance-of-distances outlier scorer
+// (Lee & Jeon, PAPERS.md) — the modern full-dimensional comparator the
+// detection-quality harness reports next to the paper's subspace
+// methods.
+//
+// Plain distances concentrate in high dimensions: every point becomes
+// roughly equidistant from every other, which is exactly the failure
+// mode the source paper's §1 argues defeats kNN-style baselines. DOD's
+// observation is that a point's *distance profile* — the vector of its
+// distances to every other point — remains discriminative after the
+// raw distances have concentrated: an outlier's profile is shifted and
+// shaped differently from the profiles of cluster members, even when
+// each individual distance looks unremarkable. Scoring is then kNN
+// distance in profile space, i.e. a distance of distances.
+//
+// The implementation is the direct O(n²·d + n³) form: a full distance
+// matrix, then pairwise profile distances excluding the two
+// self-referential coordinates. That is deliberate — the harness runs
+// at n ≤ a few hundred, and the direct form is trivially deterministic.
+package dod
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hido/internal/baseline/neighbors"
+	"hido/internal/dataset"
+)
+
+// Options configures the scorer. Zero values select the defaults.
+type Options struct {
+	// K is the neighbor rank in profile space (default 10, clamped to
+	// n−2): the score is the distance to the Kth nearest profile.
+	K int
+	// Metric is the base-distance metric building the profiles
+	// (default Euclidean). Profile space itself is always Euclidean.
+	Metric neighbors.Metric
+}
+
+// Scores returns one outlierness score per record, higher = more
+// outlying: the kth-nearest-neighbor distance between distance
+// profiles. The dataset must have no missing values (impute first,
+// like the other full-dimensional baselines) and at least 3 records.
+func Scores(ds *dataset.Dataset, opt Options) ([]float64, error) {
+	n := ds.N()
+	if n < 3 {
+		return nil, fmt.Errorf("dod: need at least 3 records, have %d", n)
+	}
+	if ds.MissingCount() > 0 {
+		return nil, fmt.Errorf("dod: dataset has %d missing values; impute first", ds.MissingCount())
+	}
+	k := opt.K
+	if k == 0 {
+		k = 10
+	}
+	if k > n-2 {
+		k = n - 2
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dod: k=%d must be positive", opt.K)
+	}
+
+	// Base distance matrix: profiles are its rows.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := neighbors.Dist(opt.Metric, ds.RowView(i), ds.RowView(j))
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+
+	scores := make([]float64, n)
+	prof := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		prof = prof[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			prof = append(prof, profileDist(dist, i, j))
+		}
+		sort.Float64s(prof)
+		scores[i] = prof[k-1]
+	}
+	return scores, nil
+}
+
+// profileDist is the Euclidean distance between the distance profiles
+// of records i and j, excluding the two self-referential coordinates
+// (dist[i][i] and dist[j][j] are zero by construction, not evidence,
+// and dist[i][j] appears in both profiles at swapped positions).
+func profileDist(dist [][]float64, i, j int) float64 {
+	s := 0.0
+	for l := range dist {
+		if l == i || l == j {
+			continue
+		}
+		d := dist[i][l] - dist[j][l]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

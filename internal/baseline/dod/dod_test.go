@@ -1,0 +1,150 @@
+package dod
+
+import (
+	"math"
+	"testing"
+
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+func mkDataset(t *testing.T, rows [][]float64) *dataset.Dataset {
+	t.Helper()
+	names := make([]string, len(rows[0]))
+	for j := range names {
+		names[j] = "x"
+	}
+	ds := dataset.New(names, len(rows))
+	for _, r := range rows {
+		ds.AppendRow(r, "")
+	}
+	return ds
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Hand-computed geometry: three collinear points at 0, 1, 2 and a far
+// point at 10. Profiles (excluding self/other coordinates) are
+// dominated by the far point's shifted distances, so it must score
+// highest at k=1.
+func TestIsolatedPoint1D(t *testing.T) {
+	ds := mkDataset(t, [][]float64{{0}, {1}, {2}, {10}})
+	got, err := Scores(ds, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if argmax(got) != 3 {
+		t.Fatalf("isolated point not top-scored: %v", got)
+	}
+	// Exact value for point 0 vs point 1: profiles over {2, 3} are
+	// (2, 10) and (1, 9) → distance sqrt(1+1) = sqrt(2); vs point 2:
+	// profiles over {1, 3} are (1, 10) and (1, 8) → distance 2. The
+	// 1-NN profile distance of point 0 is sqrt(2).
+	if want := math.Sqrt(2); math.Abs(got[0]-want) > 1e-12 {
+		t.Fatalf("score[0] = %v, want %v", got[0], want)
+	}
+}
+
+// A tight cluster plus one point far away in every dimension: the
+// outlier's profile is uniformly shifted and must dominate.
+func TestClusterPlusOutlier(t *testing.T) {
+	rng := xrand.New(5)
+	var rows [][]float64
+	for i := 0; i < 40; i++ {
+		rows = append(rows, []float64{rng.Norm() * 0.1, rng.Norm() * 0.1, rng.Norm() * 0.1})
+	}
+	rows = append(rows, []float64{5, 5, 5})
+	ds := mkDataset(t, rows)
+	got, err := Scores(ds, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if argmax(got) != 40 {
+		t.Fatalf("planted outlier scored %v, max at %d", got[40], argmax(got))
+	}
+}
+
+// The DOD selling point: a point midway between two clusters has
+// ordinary distances (comparable to cross-cluster member distances)
+// but a unique profile — no other point is near-equidistant to both
+// clusters — so profile-space kNN must still flag it.
+func TestBetweenClusters(t *testing.T) {
+	rng := xrand.New(9)
+	var rows [][]float64
+	for i := 0; i < 25; i++ {
+		rows = append(rows, []float64{rng.Norm() * 0.05, rng.Norm() * 0.05})
+	}
+	for i := 0; i < 25; i++ {
+		rows = append(rows, []float64{10 + rng.Norm()*0.05, rng.Norm() * 0.05})
+	}
+	rows = append(rows, []float64{5, 0}) // midway: unique profile
+	ds := mkDataset(t, rows)
+	got, err := Scores(ds, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if argmax(got) != 50 {
+		t.Fatalf("midway point scored %v, max at %d (score %v)",
+			got[50], argmax(got), got[argmax(got)])
+	}
+}
+
+// Symmetric geometries must score symmetrically: the vertices of a
+// square are mutually exchangeable, so all scores are equal.
+func TestSquareSymmetry(t *testing.T) {
+	ds := mkDataset(t, [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	got, err := Scores(ds, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if math.Abs(got[i]-got[0]) > 1e-12 {
+			t.Fatalf("square vertices scored unequally: %v", got)
+		}
+	}
+}
+
+func TestScoresValidation(t *testing.T) {
+	if _, err := Scores(mkDataset(t, [][]float64{{1}, {2}}), Options{}); err == nil {
+		t.Fatal("accepted n < 3")
+	}
+	ds := mkDataset(t, [][]float64{{1}, {2}, {math.NaN()}})
+	if _, err := Scores(ds, Options{}); err == nil {
+		t.Fatal("accepted missing values")
+	}
+	// K clamps to n-2, so a huge K still works on a small set.
+	ds = mkDataset(t, [][]float64{{0}, {1}, {2}, {10}})
+	if _, err := Scores(ds, Options{K: 100}); err != nil {
+		t.Fatalf("clamped K rejected: %v", err)
+	}
+}
+
+func TestScoresDeterministic(t *testing.T) {
+	rng := xrand.New(11)
+	var rows [][]float64
+	for i := 0; i < 30; i++ {
+		rows = append(rows, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+	}
+	ds := mkDataset(t, rows)
+	a, err := Scores(ds, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scores(ds, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("score[%d] not deterministic", i)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hido/internal/baseline/dod"
+	"hido/internal/core"
+	"hido/internal/dataset"
+	"hido/internal/ensemble"
+	"hido/internal/eval"
+	"hido/internal/synth"
+)
+
+// EnsembleQualityRow is one (generator, method) cell of the ensemble
+// detection-quality comparison.
+type EnsembleQualityRow struct {
+	Generator string
+	Method    string
+	// AUC is the ROC area over the full ranking (1 = perfect), AP the
+	// average precision, P10 precision among the 10 highest scores.
+	AUC, AP, P10 float64
+}
+
+// EnsembleQualityOptions configures the comparison.
+type EnsembleQualityOptions struct {
+	Seed uint64
+	// Members sizes the ensemble (default 16).
+	Members int
+	// BagFraction sizes each member's feature bag as a fraction of D,
+	// clamped to at least k+1 (default 0.75 — wide enough that a
+	// 2-dimensional signal subspace lands in most bags even at low D,
+	// narrow enough that members still diversify).
+	BagFraction float64
+	// Workers fans out the searches (0 = all CPUs). Scores are
+	// worker-count-invariant, so this only changes wall clock.
+	Workers int
+}
+
+func (o EnsembleQualityOptions) withDefaults() EnsembleQualityOptions {
+	if o.Members == 0 {
+		o.Members = 16
+	}
+	if o.BagFraction == 0 {
+		o.BagFraction = 0.75
+	}
+	if o.Workers == 0 {
+		o.Workers = -1
+	}
+	return o
+}
+
+// bagSize resolves the bag width for a generator: BagFraction·D,
+// clamped to [k+1, D].
+func (o EnsembleQualityOptions) bagSize(d, k int) int {
+	b := int(o.BagFraction * float64(d))
+	if b < k+1 {
+		b = k + 1
+	}
+	if b > d {
+		b = d
+	}
+	return b
+}
+
+// ensembleGenerator is one ground-truth data source of the comparison.
+type ensembleGenerator struct {
+	name string
+	ds   *dataset.Dataset
+	// phi and k are the grid parameters (profile-tuned for the planted
+	// shapes, §2.4-style for the adversarial set).
+	phi, k int
+}
+
+// ensembleGenerators builds the comparison's data sets: two planted
+// Table 1 shapes (a low-D and a high-D one) plus the adversarial
+// generator (ties, skew, missing values, duplicates).
+func ensembleGenerators(seed uint64) ([]ensembleGenerator, error) {
+	var gens []ensembleGenerator
+	for _, name := range []string{"Machine", "Ionosphere"} {
+		p, err := synth.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := p.Generate(seed)
+		if err != nil {
+			return nil, err
+		}
+		gens = append(gens, ensembleGenerator{
+			name: "planted(" + name + ")", ds: ds, phi: p.Phi, k: p.K,
+		})
+	}
+	// The adversarial outliers violate one correlated pair, so k=2
+	// cubes carry the signal; phi=5 keeps singleton cells sparse at
+	// n≈440.
+	gens = append(gens, ensembleGenerator{
+		name: "adversarial", ds: synth.Adversarial(400, seed), phi: 5, k: 2,
+	})
+	return gens, nil
+}
+
+// RunEnsembleQuality ranks every record of each generator three ways —
+// the single restarted evolutionary search, the subspace ensemble
+// (rank combiner), and the full-dimensional DOD baseline — and scores
+// each ranking against the planted ground truth. This is the
+// EXPERIMENTS.md §full-ranking view extended to the ensemble mode: on
+// data whose anomalies live in low-dimensional combinations the
+// ensemble's aggregated evidence should rank at least as well as any
+// single search, and both should beat the full-dimensional baseline.
+func RunEnsembleQuality(opt EnsembleQualityOptions) ([]EnsembleQualityRow, error) {
+	opt = opt.withDefaults()
+	gens, err := ensembleGenerators(opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []EnsembleQualityRow
+	for _, g := range gens {
+		positive := make([]bool, g.ds.N())
+		for _, i := range synth.OutlierIndices(g.ds) {
+			positive[i] = true
+		}
+		add := func(method string, scores []float64) {
+			rows = append(rows, EnsembleQualityRow{
+				Generator: g.name,
+				Method:    method,
+				AUC:       eval.RocAUC(scores, positive),
+				AP:        eval.AveragePrecision(scores, positive),
+				P10:       eval.PrecisionAtK(scores, positive, 10),
+			})
+		}
+
+		det := core.NewDetector(g.ds, g.phi)
+
+		// Single search: the repo's standard offline path, three
+		// restarts unioned, full feature set.
+		single, err := det.EvolutionaryRestarts(core.EvoOptions{
+			K: g.k, M: 100, Seed: opt.Seed, Workers: opt.Workers,
+		}, 3)
+		if err != nil {
+			return nil, err
+		}
+		singleScores := make([]float64, g.ds.N())
+		for i := range singleScores {
+			singleScores[i] = -single.Score(det, i)
+		}
+		add("single-evo[x3]", singleScores)
+
+		// Subspace ensemble, both averaging (rank) and extreme (max)
+		// aggregation. Max recovers the union-of-searches behavior and
+		// never trails a single search; rank rewards records many
+		// members agree on and shines when any one search is unreliable
+		// (the high-D profile).
+		for _, comb := range []ensemble.Combiner{ensemble.RankCombiner, ensemble.MaxCombiner} {
+			ens, err := ensemble.Fit(det, ensemble.Options{
+				Members: opt.Members, BagSize: opt.bagSize(g.ds.D(), g.k), K: g.k, M: 100,
+				Combiner: comb, Workers: opt.Workers, Seed: opt.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			add(fmt.Sprintf("ensemble-%s[%d]", comb, opt.Members), ens.Combined)
+		}
+
+		// DOD: the modern full-dimensional comparator; needs complete
+		// standardized data like the other distance baselines.
+		full := g.ds.ImputeMissing(dataset.ImputeMean).Standardize()
+		dodScores, err := dod.Scores(full, dod.Options{K: 10})
+		if err != nil {
+			return nil, err
+		}
+		add("dod[10]", dodScores)
+	}
+	return rows, nil
+}
+
+// FormatEnsembleQuality renders the comparison grouped by generator.
+func FormatEnsembleQuality(rows []EnsembleQualityRow) string {
+	var b strings.Builder
+	last := ""
+	for _, r := range rows {
+		if r.Generator != last {
+			if last != "" {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "%s\n", r.Generator)
+			fmt.Fprintf(&b, "  %-20s %8s %8s %8s\n", "method", "AUC", "AP", "P@10")
+			last = r.Generator
+		}
+		fmt.Fprintf(&b, "  %-20s %8.3f %8.3f %8.3f\n", r.Method, r.AUC, r.AP, r.P10)
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Recorded detection-quality floors for the ensemble harness at seed 1
+// (measured 2026-08: planted(Machine) ensemble-max 0.990, planted
+// (Ionosphere) ensemble-rank 0.959 / ensemble-max 0.954, adversarial
+// ensemble-max 0.972). The floors sit below the measurements with
+// margin for benign search drift; a drop below them means an ensemble
+// regression, and this gate fails CI.
+const (
+	plantedLowDAUCFloor  = 0.95 // planted(Machine), best ensemble row
+	plantedHighDAUCFloor = 0.90 // planted(Ionosphere), best ensemble row
+)
+
+// TestEnsembleQualityGate is the CI detection-quality gate for the
+// ensemble mode: on every generator the best ensemble combiner must
+// rank at least as well as the single restarted search, and on the
+// planted generators the ensemble AUC must stay above the recorded
+// floors.
+func TestEnsembleQualityGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality gate runs full searches; skipped in -short")
+	}
+	rows, err := RunEnsembleQuality(EnsembleQualityOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := map[string]float64{}
+	bestEnsemble := map[string]float64{}
+	for _, r := range rows {
+		switch {
+		case strings.HasPrefix(r.Method, "single-"):
+			single[r.Generator] = r.AUC
+		case strings.HasPrefix(r.Method, "ensemble-"):
+			if r.AUC > bestEnsemble[r.Generator] {
+				bestEnsemble[r.Generator] = r.AUC
+			}
+		}
+	}
+	if len(single) == 0 || len(bestEnsemble) != len(single) {
+		t.Fatalf("harness shape changed: single=%v ensemble=%v", single, bestEnsemble)
+	}
+	for gen, s := range single {
+		e := bestEnsemble[gen]
+		if e < s {
+			t.Errorf("%s: best ensemble AUC %.3f below single-search %.3f", gen, e, s)
+		}
+	}
+	if auc := bestEnsemble["planted(Machine)"]; auc < plantedLowDAUCFloor {
+		t.Errorf("planted(Machine): ensemble AUC %.3f below recorded floor %.2f", auc, plantedLowDAUCFloor)
+	}
+	if auc := bestEnsemble["planted(Ionosphere)"]; auc < plantedHighDAUCFloor {
+		t.Errorf("planted(Ionosphere): ensemble AUC %.3f below recorded floor %.2f", auc, plantedHighDAUCFloor)
+	}
+}

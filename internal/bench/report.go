@@ -125,6 +125,16 @@ func QualityCSV(w io.Writer, rows []QualityRow) error {
 	return writeCSV(w, header, out)
 }
 
+// EnsembleQualityCSV writes the ensemble detection-quality comparison.
+func EnsembleQualityCSV(w io.Writer, rows []EnsembleQualityRow) error {
+	header := []string{"generator", "method", "auc", "ap", "p_at_10"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Generator, r.Method, f64(r.AUC), f64(r.AP), f64(r.P10)})
+	}
+	return writeCSV(w, header, out)
+}
+
 // AblationCSV writes every ablation table into one file with a
 // section column.
 func AblationCSV(w io.Writer, r *AblationResult) error {
@@ -242,6 +252,13 @@ func WriteAllCSV(dir string, seed uint64, bruteBudget time.Duration) ([]string, 
 		return nil, err
 	}
 	if err := save("quality.csv", func(w io.Writer) error { return QualityCSV(w, q) }); err != nil {
+		return nil, err
+	}
+	eq, err := RunEnsembleQuality(EnsembleQualityOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := save("ensemble.csv", func(w io.Writer) error { return EnsembleQualityCSV(w, eq) }); err != nil {
 		return nil, err
 	}
 	views := Figure1Views(seed)

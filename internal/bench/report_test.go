@@ -92,6 +92,29 @@ func TestScalingAndShellCSV(t *testing.T) {
 	parseCSV(t, &buf, 2)
 }
 
+func TestEnsembleQualityCSV(t *testing.T) {
+	rows := []EnsembleQualityRow{
+		{Generator: "planted(Machine)", Method: "single-evo[x3]", AUC: 0.99, AP: 0.9, P10: 0.8},
+		{Generator: "planted(Machine)", Method: "ensemble-rank[16]", AUC: 0.95, AP: 0.85, P10: 0.7},
+	}
+	var buf bytes.Buffer
+	if err := EnsembleQualityCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf, 2)
+	if recs[0][0] != "generator" || recs[0][2] != "auc" {
+		t.Errorf("header = %v", recs[0])
+	}
+	if recs[1][1] != "single-evo[x3]" {
+		t.Errorf("method column = %q", recs[1][1])
+	}
+	for _, rec := range recs[1:] {
+		if _, err := strconv.ParseFloat(rec[2], 64); err != nil {
+			t.Errorf("auc %q not numeric", rec[2])
+		}
+	}
+}
+
 func TestAblationCSV(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

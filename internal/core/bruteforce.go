@@ -25,6 +25,13 @@ type BruteForceOptions struct {
 	// K is the projection dimensionality; M the number of projections
 	// to retain.
 	K, M int
+	// Dims, when non-nil, restricts the enumeration to this feature bag
+	// (strictly increasing, unique, at least K dims): only cubes whose
+	// constrained dimensions all lie in the bag are visited. The
+	// ensemble layer samples one bag per member; nil enumerates every
+	// dimension. Enumerating the full bag [0..D) is bit-identical to
+	// Dims == nil.
+	Dims []int
 	// MinCoverage excludes cubes covering fewer records from the result
 	// set. Zero selects the default of 1 — the paper reports the best
 	// "non-empty" projections; a negative value admits empty cubes.
@@ -83,8 +90,10 @@ type BruteForceOptions struct {
 // tree — the unit of work sharding. Each cube is generated under
 // exactly one prefix (dimensions are taken in increasing order), so
 // tasks are independent and their best sets merge without overlap.
+// di indexes into bfShared.dims, not the raw dimension, so the
+// recursion can continue from the next searched dimension.
 type bfTask struct {
-	dim int
+	di  int
 	rng uint16
 }
 
@@ -92,6 +101,7 @@ type bfTask struct {
 type bfShared struct {
 	d        *Detector
 	opt      BruteForceOptions
+	dims     []int // searched dimensions (the bag, or all of them)
 	k        int
 	minCov   int
 	prune    bool
@@ -187,6 +197,9 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 	if err := d.validateKM(opt.K, opt.M); err != nil {
 		return nil, err
 	}
+	if err := validateDims(d, opt.Dims, opt.K); err != nil {
+		return nil, err
+	}
 	if opt.Cache != nil && opt.Cache.Index() != d.Index {
 		return nil, fmt.Errorf("core: count cache was built over a different index")
 	}
@@ -201,9 +214,10 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 	start := time.Now()
 
 	sh := &bfShared{
-		d:   d,
-		opt: opt,
-		k:   opt.K,
+		d:    d,
+		opt:  opt,
+		dims: resolveDims(d, opt.Dims),
+		k:    opt.K,
 		// Pruning cuts subtrees whose partial count is already below
 		// MinCoverage; at MinCoverage 0 no count qualifies (empty cubes
 		// are admissible results), so pruning is a no-op there.
@@ -213,9 +227,9 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 	if opt.MaxDuration > 0 {
 		sh.deadline = start.Add(opt.MaxDuration)
 	}
-	for j := 0; j <= d.D()-opt.K; j++ {
+	for di := 0; di <= len(sh.dims)-opt.K; di++ {
 		for r := 1; r <= d.Phi(); r++ {
-			sh.tasks = append(sh.tasks, bfTask{dim: j, rng: uint16(r)})
+			sh.tasks = append(sh.tasks, bfTask{di: di, rng: uint16(r)})
 		}
 	}
 	sh.results = make([]*evo.BestSet, len(sh.tasks))
@@ -327,32 +341,34 @@ func (w *bfWorker) runTask(t int) bool {
 	w.bs = evo.NewBestSet(sh.opt.M)
 	sh.results[t] = w.bs
 	tk := sh.tasks[t]
+	dim := sh.dims[tk.di]
 	if sh.k == 1 {
 		// The prefix is the leaf: the range bitmap itself is the cube.
-		return w.leaf(tk.dim, tk.rng, nil)
+		return w.leaf(dim, tk.rng, nil)
 	}
 	root := w.partials[0]
-	root.CopyFrom(sh.d.Index.RangeSet(tk.dim, tk.rng))
+	root.CopyFrom(sh.d.Index.RangeSet(dim, tk.rng))
 	if sh.prune && root.Count() < sh.minCov {
 		w.pruned++
 		return true
 	}
-	w.c[tk.dim] = tk.rng
-	ok := w.rec(1, tk.dim+1, root)
-	w.c[tk.dim] = cube.DontCare
+	w.c[dim] = tk.rng
+	ok := w.rec(1, tk.di+1, root)
+	w.c[dim] = cube.DontCare
 	return ok
 }
 
 // rec enumerates the cubes extending the partial record set parent
-// (whose constraints occupy dimensions below startDim), reporting
-// false when a budget stop was hit.
-func (w *bfWorker) rec(depth, startDim int, parent *bitset.Set) bool {
+// (whose constraints occupy searched dimensions below index startIdx
+// into sh.dims), reporting false when a budget stop was hit.
+func (w *bfWorker) rec(depth, startIdx int, parent *bitset.Set) bool {
 	sh := w.sh
 	if sh.budgetHit.Load() {
 		return false
 	}
 	lastLevel := depth == sh.k-1
-	for j := startDim; j <= sh.d.D()-(sh.k-depth); j++ {
+	for idx := startIdx; idx <= len(sh.dims)-(sh.k-depth); idx++ {
+		j := sh.dims[idx]
 		for r := 1; r <= sh.d.Phi(); r++ {
 			if lastLevel {
 				if !w.leaf(j, uint16(r), parent) {
@@ -370,7 +386,7 @@ func (w *bfWorker) rec(depth, startDim int, parent *bitset.Set) bool {
 				continue
 			}
 			w.c[j] = uint16(r)
-			ok := w.rec(depth+1, j+1, next)
+			ok := w.rec(depth+1, idx+1, next)
 			w.c[j] = cube.DontCare
 			if !ok {
 				return false

@@ -100,7 +100,8 @@ type evoState struct {
 // budget-stopped run, possibly on different hardware.
 func bruteFingerprint(d *Detector, opt BruteForceOptions) string {
 	return fmt.Sprintf("brute|n=%d|d=%d|phi=%d|k=%d|m=%d|mincov=%d|prune=%v",
-		d.N(), d.D(), d.Phi(), opt.K, opt.M, opt.MinCoverage, opt.DisablePruning)
+		d.N(), d.D(), d.Phi(), opt.K, opt.M, opt.MinCoverage, opt.DisablePruning) +
+		dimsFingerprint(opt.Dims)
 }
 
 // evoFingerprint pins an evolutionary checkpoint: everything that
@@ -111,7 +112,8 @@ func evoFingerprint(d *Detector, opt EvoOptions) string {
 	return fmt.Sprintf("evo|n=%d|d=%d|phi=%d|k=%d|m=%d|pop=%d|xover=%d|sel=%d|p1=%x|p2=%x|mincov=%d|t2=%d|seed=%d",
 		d.N(), d.D(), d.Phi(), opt.K, opt.M, opt.PopSize, opt.Crossover, opt.Selection,
 		math.Float64bits(opt.MutateP1), math.Float64bits(opt.MutateP2),
-		opt.MinCoverage, opt.TypeIIExhaustiveLimit, opt.Seed)
+		opt.MinCoverage, opt.TypeIIExhaustiveLimit, opt.Seed) +
+		dimsFingerprint(opt.Dims)
 }
 
 // writeCheckpointFile atomically replaces path with the marshalled

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// validateDims checks a feature-bag restriction: strictly increasing,
+// unique dimensions within [0, D), at least k of them. A nil bag is
+// valid and means "all dimensions".
+func validateDims(d *Detector, dims []int, k int) error {
+	if dims == nil {
+		return nil
+	}
+	if len(dims) < k {
+		return fmt.Errorf("core: feature bag has %d dims, need at least k=%d", len(dims), k)
+	}
+	for i, j := range dims {
+		if j < 0 || j >= d.D() {
+			return fmt.Errorf("core: feature bag dim %d outside [0,%d)", j, d.D())
+		}
+		if i > 0 && j <= dims[i-1] {
+			return fmt.Errorf("core: feature bag dims not strictly increasing at position %d", i)
+		}
+	}
+	return nil
+}
+
+// resolveDims returns the search's dimension list: the bag when one is
+// set, every dimension otherwise. Searching the full list [0..D) is
+// bit-identical to a nil bag: index i maps to dimension i, so every
+// RNG draw and enumeration step coincides.
+func resolveDims(d *Detector, dims []int) []int {
+	if dims != nil {
+		return dims
+	}
+	all := make([]int, d.D())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// dimsFingerprint renders a bag for checkpoint fingerprints. The empty
+// string for a nil bag keeps fingerprints of unrestricted searches
+// byte-identical to those written before bags existed.
+func dimsFingerprint(dims []int) string {
+	if dims == nil {
+		return ""
+	}
+	parts := make([]string, len(dims))
+	for i, j := range dims {
+		parts[i] = strconv.Itoa(j)
+	}
+	return "|dims=" + strings.Join(parts, ".")
+}

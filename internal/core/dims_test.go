@@ -1,0 +1,199 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hido/internal/cube"
+)
+
+// fullBag returns the explicit list of every dimension — the bag that
+// must behave bit-identically to no bag at all.
+func fullBag(d int) []int {
+	all := make([]int, d)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// resultsIdentical compares everything a caller can observe: retained
+// projections (cube, sparsity, count), outlier set, and telemetry.
+func resultsIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	projectionsEqual(t, label, a, b)
+	if a.Evaluations != b.Evaluations || a.Pruned != b.Pruned {
+		t.Fatalf("%s: telemetry differs: evals %d vs %d, pruned %d vs %d",
+			label, a.Evaluations, b.Evaluations, a.Pruned, b.Pruned)
+	}
+}
+
+// A full bag [0..D) must be indistinguishable from no bag: same
+// enumeration order, same RNG stream, same telemetry.
+func TestFullBagEquivalence(t *testing.T) {
+	ds := plantedDataset(200, 6, 31)
+	det := NewDetector(ds, 4)
+
+	t.Run("brute", func(t *testing.T) {
+		base, err := det.BruteForce(BruteForceOptions{K: 3, M: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bag, err := det.BruteForce(BruteForceOptions{K: 3, M: 8, Dims: fullBag(det.D())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsIdentical(t, "brute full bag", base, bag)
+	})
+
+	t.Run("evo", func(t *testing.T) {
+		opt := EvoOptions{K: 3, M: 8, Seed: 7, PopSize: 30, MaxGenerations: 40}
+		base, err := det.Evolutionary(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Dims = fullBag(det.D())
+		bag, err := det.Evolutionary(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsIdentical(t, "evo full bag", base, bag)
+	})
+}
+
+// A restricted search must only constrain dimensions in the bag, and a
+// brute-force bag must enumerate exactly the cubes within it.
+func TestBagRestriction(t *testing.T) {
+	ds := plantedDataset(200, 7, 32)
+	det := NewDetector(ds, 3)
+	bag := []int{0, 2, 3, 5}
+
+	inBag := make(map[int]bool)
+	for _, j := range bag {
+		inBag[j] = true
+	}
+	checkCubes := func(t *testing.T, res *Result) {
+		t.Helper()
+		if len(res.Projections) == 0 {
+			t.Fatal("no projections retained")
+		}
+		for _, p := range res.Projections {
+			for j, v := range p.Cube {
+				if v != cube.DontCare && !inBag[j] {
+					t.Fatalf("projection %v constrains dim %d outside bag %v", p.Cube, j, bag)
+				}
+			}
+		}
+	}
+
+	t.Run("brute", func(t *testing.T) {
+		res, err := det.BruteForce(BruteForceOptions{K: 2, M: 6, Dims: bag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCubes(t, res)
+		// The unpruned enumeration over a bag of b dims visits exactly
+		// C(b, k) * phi^k leaves.
+		full, err := det.BruteForce(BruteForceOptions{K: 2, M: 6, Dims: bag, DisablePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 6 * 9 // C(4,2) * 3^2
+		if full.Evaluations != want {
+			t.Fatalf("bag enumeration evaluated %d leaves, want %d", full.Evaluations, want)
+		}
+	})
+
+	t.Run("evo", func(t *testing.T) {
+		res, err := det.Evolutionary(EvoOptions{K: 2, M: 6, Seed: 9, Dims: bag,
+			PopSize: 30, MaxGenerations: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCubes(t, res)
+	})
+}
+
+// Restricted searches stay bit-identical across worker counts, like
+// everything else in the package.
+func TestBagWorkerDeterminism(t *testing.T) {
+	ds := plantedDataset(250, 8, 33)
+	det := NewDetector(ds, 4)
+	bag := []int{1, 2, 4, 6, 7}
+
+	bBase, err := det.BruteForce(BruteForceOptions{K: 3, M: 8, Dims: bag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBase, err := det.Evolutionary(EvoOptions{K: 3, M: 8, Seed: 11, Dims: bag,
+		PopSize: 30, MaxGenerations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		b, err := det.BruteForce(BruteForceOptions{K: 3, M: 8, Dims: bag, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsIdentical(t, "brute workers", bBase, b)
+		e, err := det.Evolutionary(EvoOptions{K: 3, M: 8, Seed: 11, Dims: bag,
+			PopSize: 30, MaxGenerations: 40, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsIdentical(t, "evo workers", eBase, e)
+	}
+}
+
+func TestValidateDims(t *testing.T) {
+	ds := plantedDataset(80, 5, 34)
+	det := NewDetector(ds, 3)
+
+	cases := []struct {
+		name string
+		dims []int
+		want string // substring of the error, "" for ok
+	}{
+		{"nil", nil, ""},
+		{"valid", []int{0, 2, 4}, ""},
+		{"too few", []int{1}, "need at least"},
+		{"out of range", []int{0, 1, 5}, "outside"},
+		{"negative", []int{-1, 0, 1}, "outside"},
+		{"duplicate", []int{0, 1, 1}, "strictly increasing"},
+		{"unsorted", []int{2, 1, 3}, "strictly increasing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateDims(det, tc.dims, 2)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+			// Both entry points must reject the same bags.
+			if _, err := det.BruteForce(BruteForceOptions{K: 2, M: 3, Dims: tc.dims}); err == nil {
+				t.Fatal("BruteForce accepted invalid bag")
+			}
+			if _, err := det.Evolutionary(EvoOptions{K: 2, M: 3, Dims: tc.dims}); err == nil {
+				t.Fatal("Evolutionary accepted invalid bag")
+			}
+		})
+	}
+}
+
+// Bag fingerprints must differ from the unrestricted fingerprint (and
+// from each other), while nil keeps the historical bytes.
+func TestDimsFingerprint(t *testing.T) {
+	if got := dimsFingerprint(nil); got != "" {
+		t.Fatalf("nil bag fingerprint = %q, want empty", got)
+	}
+	a := dimsFingerprint([]int{0, 1, 2})
+	b := dimsFingerprint([]int{0, 1, 3})
+	if a == "" || a == b {
+		t.Fatalf("bag fingerprints not distinct: %q vs %q", a, b)
+	}
+}

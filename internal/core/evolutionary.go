@@ -44,6 +44,12 @@ type EvoOptions struct {
 	// K is the projection dimensionality; M the number of projections
 	// to retain. Required.
 	K, M int
+	// Dims, when non-nil, restricts the search to this feature bag:
+	// genomes constrain only the listed dimensions (strictly increasing,
+	// unique, at least K of them). The ensemble layer samples one bag
+	// per member; nil searches every dimension. Searching the full bag
+	// [0..D) is bit-identical to Dims == nil.
+	Dims []int
 	// PopSize is the population size p (default 100).
 	PopSize int
 	// Crossover selects the recombination operator (default optimized).
@@ -152,6 +158,7 @@ func (o EvoOptions) withDefaults() EvoOptions {
 type search struct {
 	d       *Detector
 	opt     EvoOptions
+	dims    []int      // searched dimensions (the bag, or all of them)
 	rng     *xrand.RNG // master stream: selection, pairing, mutation, per-pair seeds
 	bs      *evo.BestSet
 	cache   map[string]fitEntry // run-local fitness memo; also defines Evaluations
@@ -178,6 +185,7 @@ func newSearch(d *Detector, opt EvoOptions) (*search, error) {
 	return &search{
 		d:       d,
 		opt:     opt,
+		dims:    resolveDims(d, opt.Dims),
 		rng:     xrand.New(opt.Seed),
 		bs:      evo.NewBestSet(opt.M),
 		cache:   make(map[string]fitEntry),
@@ -188,6 +196,9 @@ func newSearch(d *Detector, opt EvoOptions) (*search, error) {
 
 func validateEvoOptions(d *Detector, opt EvoOptions) error {
 	if err := d.validateKM(opt.K, opt.M); err != nil {
+		return err
+	}
+	if err := validateDims(d, opt.Dims, opt.K); err != nil {
 		return err
 	}
 	if opt.PopSize != 0 && opt.PopSize < 2 {
@@ -280,13 +291,14 @@ func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
 	return res, nil
 }
 
-// randomGenome fills g with a uniform random k-dimensional projection.
+// randomGenome fills g with a uniform random k-dimensional projection
+// over the searched dimensions.
 func (s *search) randomGenome(g evo.Genome) {
 	for i := range g {
 		g[i] = cube.DontCare
 	}
-	for _, j := range s.rng.Sample(s.d.D(), s.opt.K) {
-		g[j] = uint16(s.rng.IntRange(1, s.d.Phi()))
+	for _, i := range s.rng.Sample(len(s.dims), s.opt.K) {
+		g[s.dims[i]] = uint16(s.rng.IntRange(1, s.d.Phi()))
 	}
 }
 
@@ -424,8 +436,13 @@ func (s *search) mutateAll(pop *evo.Population) {
 func (s *search) mutate(g evo.Genome) {
 	if s.rng.Bernoulli(s.opt.MutateP1) {
 		var stars, filled []int
-		for j, v := range g {
-			if v == cube.DontCare {
+		// Only searched dimensions participate: a Type I swap must not
+		// leak a constraint outside the feature bag. Genomes constrain
+		// bag dimensions only, so `filled` is unaffected by the
+		// restriction and the full-bag iteration is identical to the
+		// historical all-dimensions loop.
+		for _, j := range s.dims {
+			if g[j] == cube.DontCare {
 				stars = append(stars, j)
 			} else {
 				filled = append(filled, j)

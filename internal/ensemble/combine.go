@@ -1,0 +1,167 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Combiner selects how per-member outlierness evidence is aggregated
+// into one ensemble score per record. All combiners emit scores where
+// higher means more outlying, are invariant under member permutation,
+// and map finite evidence to finite scores.
+type Combiner int
+
+const (
+	// RankCombiner averages each record's normalized ECDF mid-rank
+	// across members. Ranks discard the members' incomparable raw
+	// scales (a sparsity of −4 in a 3-dim bag is not the same evidence
+	// as −4 in a 12-dim bag), which is why rank aggregation is the
+	// default in the subspace-ensemble literature — and the default
+	// here. Scores lie in [0, 1].
+	RankCombiner Combiner = iota
+	// ZScoreCombiner standardizes each member's evidence to zero mean
+	// and unit variance, then averages. A member with zero variance
+	// (e.g. no projection covers anything) contributes 0 — no
+	// information, no vote.
+	ZScoreCombiner
+	// MaxCombiner takes the strongest single-member evidence. Raw
+	// sparsity coefficients are already normalized deviations (Eq. 1),
+	// so the max is meaningful across bags; it is also the combiner
+	// under which a 1-member ensemble reproduces its single search
+	// exactly, which the differential tests exploit.
+	MaxCombiner
+)
+
+func (c Combiner) String() string {
+	switch c {
+	case RankCombiner:
+		return "rank"
+	case ZScoreCombiner:
+		return "zscore"
+	case MaxCombiner:
+		return "max"
+	default:
+		return fmt.Sprintf("Combiner(%d)", int(c))
+	}
+}
+
+// ParseCombiner maps the CLI/API spelling to a Combiner.
+func ParseCombiner(s string) (Combiner, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "rank", "":
+		return RankCombiner, nil
+	case "zscore", "z-score", "z":
+		return ZScoreCombiner, nil
+	case "max":
+		return MaxCombiner, nil
+	default:
+		return 0, fmt.Errorf("ensemble: unknown combiner %q (want rank, zscore, or max)", s)
+	}
+}
+
+// Combine aggregates evidence[member][record] into one score per
+// record, higher = more outlying. Rows must have equal length; an
+// empty evidence set yields an empty score slice.
+func Combine(kind Combiner, evidence [][]float64) ([]float64, error) {
+	if len(evidence) == 0 {
+		return nil, nil
+	}
+	n := len(evidence[0])
+	for r, col := range evidence {
+		if len(col) != n {
+			return nil, fmt.Errorf("ensemble: member %d has %d records, member 0 has %d", r, len(col), n)
+		}
+	}
+	out := make([]float64, n)
+	switch kind {
+	case MaxCombiner:
+		for i := range out {
+			out[i] = math.Inf(-1)
+		}
+		for _, col := range evidence {
+			for i, x := range col {
+				if x > out[i] {
+					out[i] = x
+				}
+			}
+		}
+	case ZScoreCombiner:
+		for _, col := range evidence {
+			mu, sigma := MeanStd(col)
+			for i, x := range col {
+				out[i] += zScore(x, mu, sigma)
+			}
+		}
+		for i := range out {
+			out[i] /= float64(len(evidence))
+		}
+	case RankCombiner:
+		sorted := make([]float64, n)
+		for _, col := range evidence {
+			copy(sorted, col)
+			sort.Float64s(sorted)
+			for i, x := range col {
+				out[i] += RankWithin(sorted, x)
+			}
+		}
+		for i := range out {
+			out[i] /= float64(len(evidence))
+		}
+	default:
+		return nil, fmt.Errorf("ensemble: unknown combiner %v", kind)
+	}
+	return out, nil
+}
+
+// MeanStd returns the mean and population standard deviation of v —
+// the z-score calibration a served ensemble model persists per member.
+func MeanStd(v []float64) (mu, sigma float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	for _, x := range v {
+		mu += x
+	}
+	mu /= float64(len(v))
+	for _, x := range v {
+		d := x - mu
+		sigma += d * d
+	}
+	return mu, math.Sqrt(sigma / float64(len(v)))
+}
+
+// zScore standardizes one value; a degenerate member (sigma == 0)
+// carries no information and contributes 0.
+func zScore(x, mu, sigma float64) float64 {
+	if sigma == 0 {
+		return 0
+	}
+	return (x - mu) / sigma
+}
+
+// RankWithin returns the normalized ECDF mid-rank of x within the
+// ascending-sorted sample v: ties share the average of their rank
+// positions (so heavy tie groups — the norm under rank aggregation —
+// get one deterministic value), and the result is scaled to [0, 1].
+// The same formula serves both fit time (x is an element of v) and
+// serving time (x is a new observation ranked against the stored
+// training sample); out-of-range queries clamp to the bounds.
+func RankWithin(v []float64, x float64) float64 {
+	n := len(v)
+	if n == 0 {
+		return 0.5
+	}
+	less := sort.SearchFloat64s(v, x)
+	equal := sort.Search(n, func(i int) bool { return v[i] > x }) - less
+	// Mid-rank among n samples, 1-based: ranks less+1 .. less+equal
+	// average to less + (equal+1)/2. A new value (equal == 0) sits half
+	// a rank past its insertion point.
+	rank := float64(less) + (float64(equal)+1)/2
+	if n == 1 {
+		return 0.5
+	}
+	u := (rank - 1) / float64(n-1)
+	return math.Max(0, math.Min(1, u))
+}

@@ -1,0 +1,183 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestParseCombiner(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Combiner
+		ok   bool
+	}{
+		{"rank", RankCombiner, true},
+		{"", RankCombiner, true},
+		{"ZSCORE", ZScoreCombiner, true},
+		{"z-score", ZScoreCombiner, true},
+		{"max", MaxCombiner, true},
+		{"median", 0, false},
+	} {
+		got, err := ParseCombiner(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseCombiner(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+// Hand-computed fixtures for each combiner.
+func TestCombineFixtures(t *testing.T) {
+	evidence := [][]float64{
+		{0, 1, 2, 3},
+		{4, 0, 0, 2},
+	}
+
+	t.Run("max", func(t *testing.T) {
+		got, err := Combine(MaxCombiner, evidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{4, 1, 2, 3}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("max[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	})
+
+	t.Run("rank", func(t *testing.T) {
+		got, err := Combine(RankCombiner, evidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Member 0 ranks (n=4, distinct): 0→0, 1→1/3, 2→2/3, 3→1.
+		// Member 1 values {4,0,0,2}: the two zeros mid-rank to 1.5 →
+		// u=1/6; 2 → rank 3 → u=2/3; 4 → rank 4 → u=1.
+		want := []float64{
+			(0 + 1.0) / 2,
+			(1.0/3 + 1.0/6) / 2,
+			(2.0/3 + 1.0/6) / 2,
+			(1.0 + 2.0/3) / 2,
+		}
+		for i := range want {
+			if !almost(got[i], want[i]) {
+				t.Fatalf("rank[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	})
+
+	t.Run("zscore", func(t *testing.T) {
+		got, err := Combine(ZScoreCombiner, evidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := func(x, mu, sd float64) float64 { return (x - mu) / sd }
+		mu0, sd0 := MeanStd(evidence[0])
+		mu1, sd1 := MeanStd(evidence[1])
+		for i := range got {
+			want := (z(evidence[0][i], mu0, sd0) + z(evidence[1][i], mu1, sd1)) / 2
+			if !almost(got[i], want) {
+				t.Fatalf("zscore[%d] = %v, want %v", i, got[i], want)
+			}
+		}
+	})
+}
+
+// A member with constant evidence must contribute nothing under
+// z-score (no information) and a flat mid-rank under rank.
+func TestCombineDegenerateMember(t *testing.T) {
+	evidence := [][]float64{
+		{5, 5, 5},
+		{0, 1, 2},
+	}
+	z, err := Combine(ZScoreCombiner, evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, sd := MeanStd(evidence[1])
+	for i := range z {
+		want := (evidence[1][i] - mu) / sd / 2
+		if !almost(z[i], want) {
+			t.Fatalf("zscore[%d] = %v, want %v (constant member must add 0)", i, z[i], want)
+		}
+	}
+	r, err := Combine(RankCombiner, evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant member: every record mid-ranks to 2 of 3 → u = 0.5.
+	want := []float64{(0.5 + 0) / 2, (0.5 + 0.5) / 2, (0.5 + 1) / 2}
+	for i := range want {
+		if !almost(r[i], want[i]) {
+			t.Fatalf("rank[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+// All-tied evidence — the distribution rank aggregation must survive.
+func TestCombineAllTies(t *testing.T) {
+	evidence := [][]float64{{1, 1, 1, 1}}
+	for _, kind := range []Combiner{RankCombiner, ZScoreCombiner, MaxCombiner} {
+		got, err := Combine(kind, evidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] != got[0] {
+				t.Fatalf("%v: tied inputs got distinct scores %v", kind, got)
+			}
+		}
+	}
+}
+
+func TestCombineRagged(t *testing.T) {
+	if _, err := Combine(RankCombiner, [][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged evidence accepted")
+	}
+}
+
+func TestCombineEmpty(t *testing.T) {
+	got, err := Combine(RankCombiner, nil)
+	if err != nil || got != nil {
+		t.Fatalf("empty evidence: %v, %v", got, err)
+	}
+}
+
+func TestRankWithin(t *testing.T) {
+	v := []float64{1, 2, 2, 4}
+	for _, tc := range []struct {
+		x, want float64
+	}{
+		{1, 0},            // rank 1 → (1-1)/3
+		{2, 0.5},          // mid-rank 2.5 → 1.5/3
+		{4, 1},            // rank 4 → 3/3
+		{3, 2.5 / 3},      // new interior value: rank 3.5
+		{0, 0},            // below the sample: clamps to 0
+		{5, 1},            // above the sample: clamps to 1
+		{math.Inf(1), 1},  // serving-time extreme stays bounded
+		{math.Inf(-1), 0}, // ditto
+	} {
+		if got := RankWithin(v, tc.x); !almost(got, tc.want) {
+			t.Errorf("RankWithin(%v, %v) = %v, want %v", v, tc.x, got, tc.want)
+		}
+	}
+	if got := RankWithin([]float64{7}, 7); got != 0.5 {
+		t.Errorf("single-sample rank = %v, want 0.5", got)
+	}
+	if got := RankWithin(nil, 3); got != 0.5 {
+		t.Errorf("empty-sample rank = %v, want 0.5", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mu, sd := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almost(mu, 5) || !almost(sd, 2) {
+		t.Fatalf("MeanStd = %v, %v, want 5, 2", mu, sd)
+	}
+	mu, sd = MeanStd(nil)
+	if mu != 0 || sd != 0 {
+		t.Fatalf("empty MeanStd = %v, %v", mu, sd)
+	}
+}

@@ -1,0 +1,83 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"hido/internal/xrand"
+)
+
+// FuzzCombine feeds pseudo-random evidence matrices (shaped and filled
+// from the fuzzed seed) to every combiner and asserts the combiner
+// contract: finite evidence maps to finite scores, rank scores stay in
+// [0,1], and permuting the members never changes the combined scores.
+func FuzzCombine(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(8))
+	f.Add(uint64(42), uint8(1), uint8(1))
+	f.Add(uint64(7), uint8(10), uint8(2))
+	f.Add(uint64(0), uint8(4), uint8(50))
+	f.Fuzz(func(t *testing.T, seed uint64, membersRaw, recordsRaw uint8) {
+		members := int(membersRaw%12) + 1
+		records := int(recordsRaw%64) + 1
+		rng := xrand.New(seed)
+		evidence := make([][]float64, members)
+		for r := range evidence {
+			col := make([]float64, records)
+			for i := range col {
+				// Mix scales, exact ties, and zeros — the shapes member
+				// evidence actually takes (0 = uncovered is common).
+				switch rng.Intn(4) {
+				case 0:
+					col[i] = 0
+				case 1:
+					col[i] = float64(rng.Intn(5))
+				default:
+					col[i] = rng.Float64() * math.Exp(float64(rng.Intn(8)))
+				}
+			}
+			evidence[r] = col
+		}
+
+		permuted := make([][]float64, members)
+		copy(permuted, evidence)
+		prm := rng.Perm(members)
+		for i, j := range prm {
+			permuted[i] = evidence[j]
+		}
+
+		for _, kind := range []Combiner{RankCombiner, ZScoreCombiner, MaxCombiner} {
+			got, err := Combine(kind, evidence)
+			if err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+			if len(got) != records {
+				t.Fatalf("%v: %d scores for %d records", kind, len(got), records)
+			}
+			for i, s := range got {
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					t.Fatalf("%v: non-finite score %v at record %d", kind, s, i)
+				}
+				if kind == RankCombiner && (s < 0 || s > 1) {
+					t.Fatalf("rank: score %v outside [0,1] at record %d", s, i)
+				}
+			}
+			again, err := Combine(kind, permuted)
+			if err != nil {
+				t.Fatalf("%v permuted: %v", kind, err)
+			}
+			for i := range got {
+				// Averaging combiners sum member contributions in member
+				// order, so permutation invariance holds up to float
+				// summation order, not bit-exactly (member order is fixed
+				// inside an ensemble, so this never weakens the ensemble's
+				// own determinism contract).
+				diff := math.Abs(got[i] - again[i])
+				scale := math.Max(math.Abs(got[i]), math.Abs(again[i]))
+				if diff > 1e-9*math.Max(scale, 1) {
+					t.Fatalf("%v: member permutation changed score %d: %v vs %v",
+						kind, i, got[i], again[i])
+				}
+			}
+		}
+	})
+}

@@ -87,10 +87,33 @@ func Lift(flagged, positives []int, total int) float64 {
 	return AtBudget(flagged, positives).Precision() / base
 }
 
+// scoreLess orders scores ascending with NaN first: an undefined
+// score ranks as least outlying, deterministically. Plain `<` is not a
+// strict weak ordering once NaN appears (NaN is incomparable to
+// everything), which would make the sort — and every metric built on
+// it — input-order-dependent.
+func scoreLess(a, b float64) bool {
+	aN, bN := math.IsNaN(a), math.IsNaN(b)
+	if aN || bN {
+		return aN && !bN
+	}
+	return a < b
+}
+
+// scoreEq is the tie predicate matching scoreLess: NaNs tie with each
+// other (IEEE `==` would give every NaN its own singleton tie group at
+// whatever position the sort left it).
+func scoreEq(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
 // RocAUC returns the area under the ROC curve for continuous scores
 // where HIGHER scores mean more positive (more outlying). Ties are
-// handled by the rank-sum (Mann-Whitney) formulation. It returns NaN
-// when either class is empty.
+// handled by the rank-sum (Mann-Whitney) formulation — exact tie
+// groups share their average rank, so score distributions that are
+// mostly ties (rank-aggregated ensemble scores) are handled without
+// bias. NaN scores rank below everything and tie with each other. It
+// returns NaN when either class is empty.
 func RocAUC(scores []float64, positive []bool) float64 {
 	if len(scores) != len(positive) {
 		panic("eval: RocAUC length mismatch")
@@ -100,13 +123,13 @@ func RocAUC(scores []float64, positive []bool) float64 {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	sort.SliceStable(idx, func(a, b int) bool { return scoreLess(scores[idx[a]], scores[idx[b]]) })
 
 	// Average ranks over ties.
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j < n && scores[idx[j]] == scores[idx[i]] {
+		for j < n && scoreEq(scores[idx[j]], scores[idx[i]]) {
 			j++
 		}
 		avg := float64(i+j-1)/2 + 1 // 1-based average rank
@@ -135,7 +158,8 @@ func RocAUC(scores []float64, positive []bool) float64 {
 // AveragePrecision returns the area under the precision-recall curve
 // (higher scores = more positive), computed as the mean of precision
 // at each positive hit when records are visited best-score-first.
-// Ties are broken by index for determinism. NaN when no positives.
+// Ties are broken by index for determinism; NaN scores visit last.
+// NaN when no positives.
 func AveragePrecision(scores []float64, positive []bool) float64 {
 	if len(scores) != len(positive) {
 		panic("eval: AveragePrecision length mismatch")
@@ -145,8 +169,9 @@ func AveragePrecision(scores []float64, positive []bool) float64 {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		if scores[idx[a]] != scores[idx[b]] {
-			return scores[idx[a]] > scores[idx[b]]
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if !scoreEq(sa, sb) {
+			return scoreLess(sb, sa)
 		}
 		return idx[a] < idx[b]
 	})
@@ -164,7 +189,8 @@ func AveragePrecision(scores []float64, positive []bool) float64 {
 }
 
 // PrecisionAtK returns precision of the top-k records by score
-// (higher = more positive), ties broken by index.
+// (higher = more positive), ties broken by index; NaN scores rank
+// last.
 func PrecisionAtK(scores []float64, positive []bool, k int) float64 {
 	if len(scores) != len(positive) {
 		panic("eval: PrecisionAtK length mismatch")
@@ -180,8 +206,9 @@ func PrecisionAtK(scores []float64, positive []bool, k int) float64 {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		if scores[idx[a]] != scores[idx[b]] {
-			return scores[idx[a]] > scores[idx[b]]
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if !scoreEq(sa, sb) {
+			return scoreLess(sb, sa)
 		}
 		return idx[a] < idx[b]
 	})

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+// Score distributions from rank-aggregated ensembles are mostly exact
+// ties, and undefined scores (NaN) appear when a member covers
+// nothing. These tests pin the behavior the audit fixed: NaN must
+// order deterministically (least outlying) and tie with other NaNs.
+
+func TestRocAUCMassTies(t *testing.T) {
+	// All scores identical: ranking carries no information → AUC 0.5.
+	scores := []float64{1, 1, 1, 1, 1, 1}
+	positive := []bool{true, false, true, false, false, false}
+	if got := RocAUC(scores, positive); got != 0.5 {
+		t.Fatalf("all-tied AUC = %v, want 0.5", got)
+	}
+	// One tie group above, one below: a positive inside the top group
+	// gets the group's average rank.
+	scores = []float64{2, 2, 2, 1, 1, 1}
+	positive = []bool{true, false, false, false, false, false}
+	// Ranks: top group 5, bottom group 2. AUC = (5 - 1)/ (1*5) = 0.8.
+	if got := RocAUC(scores, positive); got != 0.8 {
+		t.Fatalf("grouped-tie AUC = %v, want 0.8", got)
+	}
+}
+
+func TestRocAUCNaN(t *testing.T) {
+	nan := math.NaN()
+	// NaN ranks below every real score: a positive with a NaN score is
+	// maximally missed, one with the top score maximally found.
+	scores := []float64{nan, 0.2, 0.9}
+	if got := RocAUC(scores, []bool{false, false, true}); got != 1 {
+		t.Fatalf("AUC = %v, want 1 (positive on top, NaN at bottom)", got)
+	}
+	if got := RocAUC(scores, []bool{true, false, false}); got != 0 {
+		t.Fatalf("AUC = %v, want 0 (positive is NaN-scored)", got)
+	}
+	// NaNs tie with each other: two NaN records, one positive, behave
+	// like an exact tie group (average rank), not like two ordered
+	// records.
+	scores = []float64{nan, nan, 1}
+	got := RocAUC(scores, []bool{true, false, false})
+	// Ranks: NaN group average 1.5, real score 3. AUC = (1.5-1)/2 = 0.25.
+	if got != 0.25 {
+		t.Fatalf("NaN tie-group AUC = %v, want 0.25", got)
+	}
+}
+
+// The metric must not depend on where NaNs sit in the input: permuting
+// records never changes the result.
+func TestRocAUCNaNPermutationInvariant(t *testing.T) {
+	nan := math.NaN()
+	scores := []float64{0.3, nan, 0.9, nan, 0.3, 0.1}
+	positive := []bool{false, true, true, false, false, false}
+	want := RocAUC(scores, positive)
+	perm := []int{5, 3, 0, 2, 4, 1}
+	ps := make([]float64, len(scores))
+	pp := make([]bool, len(positive))
+	for to, from := range perm {
+		ps[to] = scores[from]
+		pp[to] = positive[from]
+	}
+	if got := RocAUC(ps, pp); got != want {
+		t.Fatalf("permuted AUC = %v, want %v", got, want)
+	}
+}
+
+func TestAveragePrecisionNaNLast(t *testing.T) {
+	nan := math.NaN()
+	// The NaN-scored positive is visited last: hits at visit 1 (score
+	// 0.9) and visit 4 (NaN) → AP = (1/1 + 2/4)/2 = 0.75.
+	scores := []float64{0.9, 0.5, 0.1, nan}
+	positive := []bool{true, false, false, true}
+	if got := AveragePrecision(scores, positive); got != 0.75 {
+		t.Fatalf("AP = %v, want 0.75", got)
+	}
+}
+
+func TestPrecisionAtKNaNLast(t *testing.T) {
+	nan := math.NaN()
+	scores := []float64{nan, 0.9, nan, 0.8}
+	positive := []bool{true, true, false, true}
+	// Top-2 by score are indices 1 and 3 (both positive); the NaNs sit
+	// below despite holding positives.
+	if got := PrecisionAtK(scores, positive, 2); got != 1 {
+		t.Fatalf("P@2 = %v, want 1", got)
+	}
+	// Within the NaN tie group, index order breaks the tie: top-3 adds
+	// index 0 (positive).
+	if got := PrecisionAtK(scores, positive, 3); got != 1 {
+		t.Fatalf("P@3 = %v, want 1", got)
+	}
+}
+
+func TestPrecisionAtKTieByIndex(t *testing.T) {
+	// Exact ties across the k boundary resolve by ascending index, so
+	// the cut is deterministic.
+	scores := []float64{1, 1, 1, 1}
+	positive := []bool{true, true, false, false}
+	if got := PrecisionAtK(scores, positive, 2); got != 1 {
+		t.Fatalf("P@2 = %v, want 1 (indices 0,1 win the tie)", got)
+	}
+}

@@ -123,6 +123,104 @@ func TestEndToEndFitServeScore(t *testing.T) {
 	checkPrometheusText(t, metricsText)
 }
 
+// TestEndToEndEnsembleFit runs the same lifecycle for the ensemble
+// model kind: fit with kind=ensemble, verify the model listing reports
+// the kind and member count, and check the downloaded model scores
+// offline exactly like the server (the v2 wire format round-trips the
+// per-member calibration).
+func TestEndToEndEnsembleFit(t *testing.T) {
+	s := New(Config{Logger: nil})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ref := csvBody(t, refWindow(t, 400, 131))
+	resp, err := http.Post(
+		ts.URL+"/api/v1/fit?model=fraud&phi=5&seed=7&label=8&kind=ensemble&members=5&combiner=rank",
+		"text/csv", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fitResp fitResponse
+	decodeBody(t, resp, http.StatusAccepted, &fitResp)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + fitResp.StatusURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		decodeBody(t, resp, http.StatusOK, &st)
+		if st.State == JobFailed {
+			t.Fatalf("ensemble fit job failed: %s", st.Error)
+		}
+		if st.State == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ensemble fit job did not finish")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The listing must identify the model kind and member count.
+	resp, err = http.Get(ts.URL + "/api/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Models []modelInfo `json:"models"`
+	}
+	decodeBody(t, resp, http.StatusOK, &list)
+	if len(list.Models) != 1 || list.Models[0].Kind != "ensemble" || list.Models[0].Members != 5 {
+		t.Fatalf("model listing: %+v", list.Models)
+	}
+
+	batch := scoreWindow(t, 40, 141)
+	var scored scoreResponse
+	resp, err = http.Post(ts.URL+"/api/v1/score?model=fraud&label=8&all=1",
+		"text/csv", csvBody(t, batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusOK, &scored)
+	if scored.Records != 40 {
+		t.Fatalf("server scoring: records=%d", scored.Records)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/models/fraud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := stream.Load(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Kind() != "ensemble" || mon.Members() != 5 {
+		t.Fatalf("downloaded model kind=%s members=%d", mon.Kind(), mon.Members())
+	}
+	offline := mon.Results(batch, mon.ScoreBatch(batch), false, false)
+	serverJSON, _ := json.Marshal(scored.Results)
+	offlineJSON, _ := json.Marshal(offline)
+	if !bytes.Equal(serverJSON, offlineJSON) {
+		t.Fatalf("server and offline ensemble results differ:\nserver:  %s\noffline: %s",
+			serverJSON, offlineJSON)
+	}
+
+	// An unknown kind is rejected up front.
+	resp, err = http.Post(ts.URL+"/api/v1/fit?kind=bagging", "text/csv",
+		csvBody(t, refWindow(t, 50, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad kind accepted: %d", resp.StatusCode)
+	}
+}
+
 func getCode(t *testing.T, url string) int {
 	t.Helper()
 	resp, err := http.Get(url)

@@ -32,9 +32,11 @@ type fitResponse struct {
 // modelInfo is one row of GET /api/v1/models.
 type modelInfo struct {
 	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
 	D           int     `json:"d"`
 	K           int     `json:"k"`
 	Projections int     `json:"projections"`
+	Members     int     `json:"members,omitempty"`
 	FittedAt    string  `json:"fitted_at"`
 	AgeSeconds  float64 `json:"age_seconds"`
 	Source      string  `json:"source"`
@@ -145,6 +147,30 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// kind=ensemble selects the subspace-ensemble model; members, bag,
+	// algo, and combiner tune it (zero values pick the ensemble
+	// defaults).
+	switch q.Get("kind") {
+	case "", "single":
+	case "ensemble":
+		eo := &stream.EnsembleOptions{Algo: q.Get("algo"), Combiner: q.Get("combiner")}
+		if v := q.Get("members"); v != "" {
+			if eo.Members, err = strconv.Atoi(v); err != nil {
+				writeError(w, http.StatusBadRequest, "bad members: "+v)
+				return
+			}
+		}
+		if v := q.Get("bag"); v != "" {
+			if eo.BagSize, err = strconv.Atoi(v); err != nil {
+				writeError(w, http.StatusBadRequest, "bad bag: "+v)
+				return
+			}
+		}
+		opt.Ensemble = eo
+	default:
+		writeError(w, http.StatusBadRequest, "bad kind: "+q.Get("kind")+" (want single or ensemble)")
+		return
+	}
 	if opt.Phi < 2 || opt.TargetS >= 0 {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("invalid fit parameters: phi=%d (need >=2), s=%v (need <0)", opt.Phi, opt.TargetS))
@@ -238,9 +264,11 @@ func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
 		}
 		infos = append(infos, modelInfo{
 			Name:        n,
+			Kind:        e.Monitor.Kind(),
 			D:           e.Monitor.D(),
 			K:           e.Monitor.K(),
 			Projections: len(e.Monitor.Projections()),
+			Members:     e.Monitor.Members(),
 			FittedAt:    e.FittedAt.UTC().Format(time.RFC3339),
 			AgeSeconds:  now.Sub(e.FittedAt).Seconds(),
 			Source:      e.Source,
@@ -279,7 +307,8 @@ func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
 	}
 	s.persist(name, s.cfg.Logger)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"model": name, "d": mon.D(), "k": mon.K(), "projections": len(mon.Projections()),
+		"model": name, "kind": mon.Kind(), "d": mon.D(), "k": mon.K(),
+		"projections": len(mon.Projections()),
 	})
 }
 

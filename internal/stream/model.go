@@ -9,6 +9,7 @@ import (
 	"hido/internal/core"
 	"hido/internal/cube"
 	"hido/internal/discretize"
+	"hido/internal/ensemble"
 )
 
 // Model is the JSON-serializable form of a fitted Monitor: the grid's
@@ -23,6 +24,10 @@ type Model struct {
 	Names       []string          `json:"names"`
 	Cuts        [][]float64       `json:"cuts"`
 	Projections []ModelProjection `json:"projections"`
+	// Ensemble carries the per-member state of an ensemble model
+	// (version 2). Projections then holds the deduplicated union the
+	// members reference — the Alert.Matches index space.
+	Ensemble *ModelEnsemble `json:"ensemble,omitempty"`
 }
 
 // ModelProjection is one persisted projection.
@@ -32,8 +37,36 @@ type ModelProjection struct {
 	Count    int      `json:"count"`
 }
 
-// modelVersion guards the wire format.
-const modelVersion = 1
+// ModelEnsemble is the persisted ensemble section: the combiner plus
+// each member's projections and score calibration. Loading it
+// reconstructs serving exactly — scores are bit-identical to the
+// monitor that fitted the model.
+type ModelEnsemble struct {
+	Combiner string        `json:"combiner"`
+	Members  []ModelMember `json:"members"`
+}
+
+// ModelMember is one persisted ensemble member.
+type ModelMember struct {
+	// Dims is the member's feature bag, strictly increasing.
+	Dims []int `json:"dims"`
+	// Projections are the member's retained projections.
+	Projections []ModelProjection `json:"projections"`
+	// Sorted is the member's reference-window evidence, ascending
+	// (rank-combiner calibration).
+	Sorted []float64 `json:"sorted,omitempty"`
+	// Mean and Std are the reference evidence moments (z-score
+	// calibration; population std).
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+}
+
+// Model wire versions: 1 is a single-search model (no ensemble
+// section), 2 an ensemble model (ensemble section required).
+const (
+	modelVersion         = 1
+	modelVersionEnsemble = 2
+)
 
 // Save writes the current model as JSON.
 func (m *Monitor) Save(w io.Writer) error {
@@ -50,6 +83,25 @@ func (m *Monitor) Save(w io.Writer) error {
 		model.Projections = append(model.Projections, ModelProjection{
 			Cube: append([]uint16(nil), p.Cube...), Sparsity: p.Sparsity, Count: p.Count,
 		})
+	}
+	if len(m.members) > 0 {
+		model.Version = modelVersionEnsemble
+		me := &ModelEnsemble{Combiner: m.combiner.String()}
+		for _, mm := range m.members {
+			member := ModelMember{
+				Dims:   append([]int(nil), mm.dims...),
+				Sorted: append([]float64(nil), mm.sorted...),
+				Mean:   mm.mean,
+				Std:    mm.std,
+			}
+			for _, p := range mm.projections {
+				member.Projections = append(member.Projections, ModelProjection{
+					Cube: append([]uint16(nil), p.Cube...), Sparsity: p.Sparsity, Count: p.Count,
+				})
+			}
+			me.Members = append(me.Members, member)
+		}
+		model.Ensemble = me
 	}
 	m.mu.RUnlock()
 	enc := json.NewEncoder(w)
@@ -69,8 +121,18 @@ func (m *Monitor) Save(w io.Writer) error {
 // Load rejects it instead. The store's startup recovery relies on the
 // same checks to quarantine corrupt files.
 func (model *Model) Validate() error {
-	if model.Version != modelVersion {
-		return fmt.Errorf("stream: model version %d, want %d", model.Version, modelVersion)
+	switch model.Version {
+	case modelVersion:
+		if model.Ensemble != nil {
+			return fmt.Errorf("stream: version-1 model carries an ensemble section")
+		}
+	case modelVersionEnsemble:
+		if model.Ensemble == nil {
+			return fmt.Errorf("stream: version-2 model missing its ensemble section")
+		}
+	default:
+		return fmt.Errorf("stream: model version %d, want %d or %d",
+			model.Version, modelVersion, modelVersionEnsemble)
 	}
 	if model.Phi < 2 || model.Phi > math.MaxUint16 {
 		return fmt.Errorf("stream: model phi=%d invalid", model.Phi)
@@ -98,19 +160,88 @@ func (model *Model) Validate() error {
 			}
 		}
 	}
-	for pi, p := range model.Projections {
-		if len(p.Cube) != d {
-			return fmt.Errorf("stream: projection %d spans %d dims, model has %d",
-				pi, len(p.Cube), d)
+	if err := validateProjections(model.Projections, d, model.Phi, "projection"); err != nil {
+		return err
+	}
+	if model.Ensemble != nil {
+		if err := model.Ensemble.validate(d, model.Phi); err != nil {
+			return err
 		}
-		if !cube.Cube(p.Cube).Valid(model.Phi) {
-			return fmt.Errorf("stream: projection %d has out-of-range cells", pi)
+	}
+	return nil
+}
+
+// validateProjections applies the per-projection sanity checks to any
+// persisted projection list (top-level union or a member's).
+func validateProjections(projs []ModelProjection, d, phi int, what string) error {
+	for pi, p := range projs {
+		if len(p.Cube) != d {
+			return fmt.Errorf("stream: %s %d spans %d dims, model has %d",
+				what, pi, len(p.Cube), d)
+		}
+		if !cube.Cube(p.Cube).Valid(phi) {
+			return fmt.Errorf("stream: %s %d has out-of-range cells", what, pi)
 		}
 		if p.Count < 0 {
-			return fmt.Errorf("stream: projection %d has negative count %d", pi, p.Count)
+			return fmt.Errorf("stream: %s %d has negative count %d", what, pi, p.Count)
 		}
 		if math.IsNaN(p.Sparsity) {
-			return fmt.Errorf("stream: projection %d has NaN sparsity", pi)
+			return fmt.Errorf("stream: %s %d has NaN sparsity", what, pi)
+		}
+	}
+	return nil
+}
+
+// validate checks the ensemble section: a parseable combiner and, per
+// member, a strictly increasing in-range feature bag, sane projections
+// constraining only bag dimensions, a finite non-decreasing calibration
+// vector, and finite moments. A member that fails any of these would
+// serve silently wrong combined scores.
+func (me *ModelEnsemble) validate(d, phi int) error {
+	if _, err := ensemble.ParseCombiner(me.Combiner); err != nil {
+		return err
+	}
+	if len(me.Members) == 0 {
+		return fmt.Errorf("stream: ensemble model has no members")
+	}
+	for mi, mem := range me.Members {
+		if len(mem.Dims) == 0 {
+			return fmt.Errorf("stream: ensemble member %d has an empty feature bag", mi)
+		}
+		inBag := make(map[int]bool, len(mem.Dims))
+		for i, dim := range mem.Dims {
+			if dim < 0 || dim >= d {
+				return fmt.Errorf("stream: ensemble member %d bag dim %d outside [0,%d)", mi, dim, d)
+			}
+			if i > 0 && dim <= mem.Dims[i-1] {
+				return fmt.Errorf("stream: ensemble member %d bag not strictly increasing at %d", mi, i)
+			}
+			inBag[dim] = true
+		}
+		if err := validateProjections(mem.Projections, d, phi,
+			fmt.Sprintf("ensemble member %d projection", mi)); err != nil {
+			return err
+		}
+		for pi, p := range mem.Projections {
+			for _, dim := range cube.Cube(p.Cube).Dims() {
+				if !inBag[dim] {
+					return fmt.Errorf("stream: ensemble member %d projection %d constrains dim %d outside its bag",
+						mi, pi, dim)
+				}
+			}
+		}
+		for i, v := range mem.Sorted {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("stream: ensemble member %d calibration value %d is %v", mi, i, v)
+			}
+			if i > 0 && v < mem.Sorted[i-1] {
+				return fmt.Errorf("stream: ensemble member %d calibration not sorted at %d", mi, i)
+			}
+		}
+		if math.IsNaN(mem.Mean) || math.IsInf(mem.Mean, 0) ||
+			math.IsNaN(mem.Std) || math.IsInf(mem.Std, 0) || mem.Std < 0 {
+			return fmt.Errorf("stream: ensemble member %d has invalid moments (mean=%v std=%v)",
+				mi, mem.Mean, mem.Std)
 		}
 	}
 	return nil
@@ -141,6 +272,31 @@ func Load(r io.Reader) (*Monitor, error) {
 		m.projections = append(m.projections, core.Projection{
 			Cube: cube.Cube(p.Cube), Sparsity: p.Sparsity, Count: p.Count,
 		})
+	}
+	if model.Ensemble != nil {
+		// Validate guaranteed the combiner parses.
+		m.combiner, _ = ensemble.ParseCombiner(model.Ensemble.Combiner)
+		members := make([]memberModel, len(model.Ensemble.Members))
+		for mi, mem := range model.Ensemble.Members {
+			mm := memberModel{
+				dims:   mem.Dims,
+				sorted: mem.Sorted,
+				mean:   mem.Mean,
+				std:    mem.Std,
+			}
+			for _, p := range mem.Projections {
+				mm.projections = append(mm.projections, core.Projection{
+					Cube: cube.Cube(p.Cube), Sparsity: p.Sparsity, Count: p.Count,
+				})
+			}
+			members[mi] = mm
+		}
+		// Rebuild the union (and the members' indices into it) from the
+		// members rather than trusting the persisted top-level list —
+		// the construction is deterministic, so it reproduces what Save
+		// wrote.
+		m.projections = buildUnion(members)
+		m.members = members
 	}
 	return m, nil
 }

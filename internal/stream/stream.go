@@ -26,6 +26,7 @@ import (
 	"hido/internal/core"
 	"hido/internal/dataset"
 	"hido/internal/discretize"
+	"hido/internal/ensemble"
 	"hido/internal/grid"
 	"hido/internal/obs"
 )
@@ -33,7 +34,10 @@ import (
 // Alert describes why a scored record was flagged.
 type Alert struct {
 	// Score is the most negative sparsity coefficient among matching
-	// projections (0 when none matched).
+	// projections (0 when none matched). For an ensemble model it is
+	// the negated combined ensemble score — still "lower is more
+	// outlying", though combiners whose scores can go negative (the
+	// z-score combiner) make positive alert scores possible.
 	Score float64
 	// Matches indexes the monitor's Projections that cover the record.
 	Matches []int
@@ -57,6 +61,13 @@ type Options struct {
 	Restarts int
 	// Seed drives the searches.
 	Seed uint64
+	// Ensemble, when non-nil, fits a subspace-ensemble model instead of
+	// the single restarted search: Members searches over sampled
+	// feature bags, aggregated by a pluggable combiner (see
+	// internal/ensemble). The fitted model carries per-member
+	// projections plus score calibration, so serving reproduces the
+	// fit-time combine exactly.
+	Ensemble *EnsembleOptions `json:"ensemble,omitempty"`
 	// Observer, when set, receives the fitting searches' generation
 	// events and run summaries (see internal/obs). Excluded from the
 	// persisted model JSON; never changes the fitted model.
@@ -88,6 +99,11 @@ type Monitor struct {
 	projections []core.Projection
 	k           int
 	fitStats    grid.CacheStats // count-cache counters from the last Refit
+	// members and combiner are set only for ensemble models;
+	// projections then holds the deduplicated union of the member
+	// projections (the index space of Alert.Matches).
+	members  []memberModel
+	combiner ensemble.Combiner
 }
 
 // NewMonitor fits the initial model on the reference window.
@@ -98,6 +114,11 @@ func NewMonitor(reference *dataset.Dataset, opt Options) (*Monitor, error) {
 	}
 	if opt.TargetS >= 0 {
 		return nil, fmt.Errorf("stream: target sparsity %v must be negative", opt.TargetS)
+	}
+	if opt.Ensemble != nil {
+		if err := opt.Ensemble.validate(); err != nil {
+			return nil, err
+		}
 	}
 	m := &Monitor{opt: opt}
 	if err := m.Refit(reference); err != nil {
@@ -110,6 +131,9 @@ func NewMonitor(reference *dataset.Dataset, opt Options) (*Monitor, error) {
 // (same dimensionality).
 func (m *Monitor) Refit(reference *dataset.Dataset) error {
 	det := core.NewDetector(reference, m.opt.Phi)
+	if m.opt.Ensemble != nil {
+		return m.refitEnsemble(reference, det)
+	}
 	advice := det.Advise(m.opt.TargetS)
 	// An explicit count cache (rather than the one EvolutionaryRestarts
 	// auto-creates) lets the monitor retain its hit/miss/size counters
@@ -139,6 +163,7 @@ func (m *Monitor) Refit(reference *dataset.Dataset) error {
 	m.projections = res.Projections
 	m.k = advice.K
 	m.fitStats = cache.Stats()
+	m.members = nil
 	return nil
 }
 
@@ -149,13 +174,16 @@ type view struct {
 	grid        *discretize.Grid
 	names       []string
 	projections []core.Projection
+	members     []memberModel
+	combiner    ensemble.Combiner
 }
 
 // snapshot captures the current model under the read lock.
 func (m *Monitor) snapshot() view {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return view{grid: m.grid, names: m.names, projections: m.projections}
+	return view{grid: m.grid, names: m.names, projections: m.projections,
+		members: m.members, combiner: m.combiner}
 }
 
 // explain renders the matching projections of an alert against the
@@ -179,6 +207,9 @@ func (v view) score(record []float64) Alert {
 		panic(fmt.Sprintf("stream: record has %d values, model has %d dims", len(record), v.grid.D))
 	}
 	cells := v.grid.AssignRow(record)
+	if len(v.members) > 0 {
+		return v.scoreEnsemble(cells)
+	}
 	var a Alert
 	for pi, p := range v.projections {
 		if p.Cube.Covers(cells) {
