@@ -19,10 +19,28 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
 // in-flight requests and background fit jobs drain (bounded by
 // -drain), then the process exits 0.
+//
+// # Cluster mode
+//
+// hidod also runs as a sharded cluster (see internal/cluster): each
+// storage node owns a disjoint slice of the reference rows,
+//
+//	hidod -role storage -addr :9001 -data shard1.csv -data-header
+//
+// and one select node fans score/top-n/fit requests out to them and
+// merges the answers, serving the exact same public API:
+//
+//	hidod -role select -addr :8080 \
+//	    -storage-nodes http://host1:9001,http://host2:9001
+//
+// The select node adds POST /api/v1/cluster/fit (distributed fit over
+// the union of the shards — bit-identical to a single-node fit on the
+// concatenated data) and GET /api/v1/cluster/info.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,10 +50,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"hido/internal/cluster"
+	"hido/internal/dataset"
 	"hido/internal/obs"
 	"hido/internal/server"
 	"hido/internal/store"
@@ -62,6 +83,72 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// clusterOpts carries the role flags from main to the role runners.
+// The zero value is a plain single-node hidod.
+type clusterOpts struct {
+	role       string
+	dataPath   string
+	dataHeader bool
+	labelCol   int
+	peers      []string
+	quorum     int
+	rpcTimeout time.Duration
+	rpcRetries int
+}
+
+// validateRoleFlags rejects flag combinations that contradict the
+// chosen role, with errors that say what to change. Roles split
+// responsibilities: storage nodes own rows and never load models
+// (models replicate from the select node); select nodes own models
+// and never load rows (rows live on the shards).
+func validateRoleFlags(o clusterOpts, loads int, stateDir string) error {
+	switch o.role {
+	case "", "single":
+		if len(o.peers) > 0 {
+			return fmt.Errorf("-storage-nodes is only meaningful with -role select (got role %q)", o.role)
+		}
+	case "storage":
+		if o.dataPath == "" {
+			return fmt.Errorf("-role storage needs -data: a storage node exists to own a row shard")
+		}
+		if loads > 0 {
+			return fmt.Errorf("-role storage cannot take -load: models replicate from the select node on demand")
+		}
+		if len(o.peers) > 0 {
+			return fmt.Errorf("-role storage cannot take -storage-nodes: only the select node fans out")
+		}
+		if stateDir != "" {
+			return fmt.Errorf("-role storage cannot take -state-dir: shards hold rows, not durable models")
+		}
+	case "select":
+		if o.dataPath != "" {
+			return fmt.Errorf("-role select cannot take -data: reference rows live on the storage nodes")
+		}
+		if len(o.peers) == 0 {
+			return fmt.Errorf("-role select needs -storage-nodes (comma-separated base URLs)")
+		}
+		if o.quorum < 1 || o.quorum > len(o.peers) {
+			return fmt.Errorf("-quorum %d outside [1,%d]", o.quorum, len(o.peers))
+		}
+	default:
+		return fmt.Errorf("unknown -role %q (want single, storage or select)", o.role)
+	}
+	return nil
+}
+
+// parsePeers splits the -storage-nodes list and strips trailing
+// slashes so URL joins are uniform.
+func parsePeers(v string) []string {
+	var peers []string
+	for _, p := range strings.Split(v, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
 func main() {
 	var models modelFlags
 	var (
@@ -77,6 +164,15 @@ func main() {
 		logFormat = flag.String("log-format", "json", "log format: json or text")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 		version   = flag.Bool("version", false, "print version and exit")
+
+		role       = flag.String("role", "single", "node role: single, storage (own a row shard, answer cluster RPCs) or select (fan out to -storage-nodes)")
+		dataPath   = flag.String("data", "", "reference data CSV: the row shard for -role storage, or the local top-n reference set for -role single")
+		dataHeader = flag.Bool("data-header", false, "first row of -data carries column names")
+		labelCol   = flag.Int("label", -1, "column of -data holding class labels instead of a feature (-1 = none)")
+		storage    = flag.String("storage-nodes", "", "comma-separated storage node base URLs (select role only)")
+		quorum     = flag.Int("quorum", 1, "minimum storage shards that must answer a top-n fan-out; fewer fails the request, more-but-not-all marks it partial")
+		rpcTimeout = flag.Duration("rpc-timeout", 5*time.Second, "per-attempt deadline for one storage RPC")
+		rpcRetries = flag.Int("rpc-retries", 2, "retries per failed storage RPC (transport errors and 5xx only)")
 	)
 	flag.Var(&models, "load", "preload a model as name=path (repeatable)")
 	flag.Parse()
@@ -85,13 +181,30 @@ func main() {
 		return
 	}
 
+	copts := clusterOpts{
+		role: *role, dataPath: *dataPath, dataHeader: *dataHeader, labelCol: *labelCol,
+		peers: parsePeers(*storage), quorum: *quorum,
+		rpcTimeout: *rpcTimeout, rpcRetries: *rpcRetries,
+	}
+	if err := validateRoleFlags(copts, len(models), *stateDir); err != nil {
+		fmt.Fprintf(os.Stderr, "hidod: %v\n", err)
+		os.Exit(2)
+	}
+
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hidod: %v\n", err)
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logFormat != "text")
-	if err := run(*addr, *pprofAddr, *stateDir, models, server.Config{
+	if copts.role == "storage" {
+		if err := runStorage(*addr, copts, *drain, logger); err != nil {
+			fmt.Fprintf(os.Stderr, "hidod: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*addr, *pprofAddr, *stateDir, models, copts, server.Config{
 		MaxInFlight:    *inflight,
 		MaxFitJobs:     *fitJobs,
 		MaxBodyBytes:   *maxBody,
@@ -151,7 +264,65 @@ func openStateDir(dir string, logger *slog.Logger) (*store.Store, store.Report, 
 	return st, rep, nil
 }
 
-func run(addr, pprofAddr, stateDir string, models modelFlags, cfg server.Config, drain time.Duration, logger *slog.Logger) error {
+// loadData reads a reference CSV for -data: the shard a storage node
+// serves, or the local top-n reference set on a single node.
+func loadData(o clusterOpts) (*dataset.Dataset, error) {
+	ds, err := dataset.ReadCSVFile(o.dataPath, dataset.ReadCSVOptions{
+		Header: o.dataHeader, LabelColumn: o.labelCol,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", o.dataPath, err)
+	}
+	return ds, nil
+}
+
+// runStorage serves one row shard's cluster RPCs until SIGINT/SIGTERM,
+// then drains: http.Server.Shutdown waits for in-flight count/score
+// RPCs before the process exits, so a rolling restart never truncates
+// a fan-out mid-merge.
+func runStorage(addr string, o clusterOpts, drain time.Duration, logger *slog.Logger) error {
+	b := obs.Build()
+	logger.Info("starting", "binary", "hidod", "role", "storage",
+		"version", b.Version, "go", b.GoVersion, "revision", b.Revision)
+	ds, err := loadData(o)
+	if err != nil {
+		return err
+	}
+	st := cluster.NewStorage(ds, logger)
+	logger.Info("shard loaded", "data", o.dataPath, "rows", ds.N(), "dims", ds.D(),
+		"fingerprint", st.Fingerprint())
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           st.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", addr, "role", "storage")
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down", "drain", drain.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("draining rpcs: %w", err)
+	}
+	logger.Info("shutdown complete")
+	return nil
+}
+
+func run(addr, pprofAddr, stateDir string, models modelFlags, copts clusterOpts, cfg server.Config, drain time.Duration, logger *slog.Logger) error {
 	b := obs.Build()
 	logger.Info("starting", "binary", "hidod",
 		"version", b.Version, "go", b.GoVersion, "revision", b.Revision)
@@ -182,9 +353,44 @@ func run(addr, pprofAddr, stateDir string, models modelFlags, cfg server.Config,
 		return err
 	}
 
+	handler := s.Handler()
+	var co *cluster.Coordinator
+	switch copts.role {
+	case "select":
+		var err error
+		co, err = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Peers:   copts.peers,
+			Quorum:  copts.quorum,
+			Client:  cluster.ClientConfig{Timeout: copts.rpcTimeout, Retries: copts.rpcRetries},
+			Logger:  logger,
+			Metrics: cluster.NewMetrics(s.Metrics()),
+		})
+		if err != nil {
+			return err
+		}
+		// The stock server fronts the cluster through its two seams, so
+		// the public API bytes cannot drift from single-node.
+		s.SetBatchScorer(co)
+		s.SetTopNer(co)
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("POST /api/v1/cluster/fit", handleClusterFit(s, co, st, logger))
+		mux.HandleFunc("GET /api/v1/cluster/info", handleClusterInfo(co))
+		handler = mux
+	default:
+		if copts.dataPath != "" {
+			ds, err := loadData(copts)
+			if err != nil {
+				return err
+			}
+			logger.Info("reference data loaded", "data", copts.dataPath, "rows", ds.N(), "dims", ds.D())
+			s.SetTopNer(server.NewDatasetTopN(ds, cfg.ScoreWorkers))
+		}
+	}
+
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -224,8 +430,101 @@ func run(addr, pprofAddr, stateDir string, models modelFlags, cfg server.Config,
 	if err := s.DrainJobs(shutdownCtx); err != nil {
 		return fmt.Errorf("draining fit jobs: %w", err)
 	}
+	if co != nil {
+		if err := co.Drain(shutdownCtx); err != nil {
+			return fmt.Errorf("draining storage rpcs: %w", err)
+		}
+	}
 	logger.Info("shutdown complete")
 	return nil
+}
+
+// handleClusterFit runs a distributed fit over the union of the
+// shards and installs (and, with -state-dir, persists) the resulting
+// model under ?model=. Parameters mirror POST /api/v1/fit; the fit is
+// synchronous because its heavy half runs on the shards.
+func handleClusterFit(s *server.Server, co *cluster.Coordinator, st *store.Store, logger *slog.Logger) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		opt := cluster.FitOptions{Phi: 5, TargetS: -3, M: 100, Restarts: 3, Seed: 1}
+		bad := func(what, v string) {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad "+what+": "+v), http.StatusBadRequest)
+		}
+		var err error
+		if v := q.Get("phi"); v != "" {
+			if opt.Phi, err = strconv.Atoi(v); err != nil {
+				bad("phi", v)
+				return
+			}
+		}
+		if v := q.Get("s"); v != "" {
+			if opt.TargetS, err = strconv.ParseFloat(v, 64); err != nil {
+				bad("s", v)
+				return
+			}
+		}
+		if v := q.Get("m"); v != "" {
+			if opt.M, err = strconv.Atoi(v); err != nil {
+				bad("m", v)
+				return
+			}
+		}
+		if v := q.Get("restarts"); v != "" {
+			if opt.Restarts, err = strconv.Atoi(v); err != nil {
+				bad("restarts", v)
+				return
+			}
+		}
+		if v := q.Get("seed"); v != "" {
+			if opt.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+				bad("seed", v)
+				return
+			}
+		}
+		name := q.Get("model")
+		if name == "" {
+			name = "default"
+		}
+		mon, _, err := co.Fit(r.Context(), opt)
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, "cluster fit failed: "+err.Error()),
+				http.StatusBadGateway)
+			return
+		}
+		now := time.Now()
+		if err := s.Registry().Set(name, server.Entry{
+			Monitor: mon, FittedAt: now, Source: "cluster-fit",
+		}); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+			return
+		}
+		if st != nil {
+			if err := st.Save(name, mon, now, "cluster-fit"); err != nil {
+				logger.Warn("persisting cluster-fit model failed", "model", name, "error", err)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(map[string]any{
+			"model":       name,
+			"phi":         opt.Phi,
+			"k":           mon.K(),
+			"projections": len(mon.Projections()),
+		})
+	}
+}
+
+// handleClusterInfo reports the connected topology: peers, their row
+// offsets in the global order, and the quorum in force.
+func handleClusterInfo(co *cluster.Coordinator) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		info, err := co.Info(r.Context())
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(info)
+	}
 }
 
 // servePprof serves net/http/pprof on its own listener, separate from

@@ -35,6 +35,69 @@ func TestModelFlags(t *testing.T) {
 	}
 }
 
+// TestValidateRoleFlags pins the mutual-exclusion rules: each role
+// accepts exactly the flags that make sense for it, and every
+// rejection names the offending flag.
+func TestValidateRoleFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		o        clusterOpts
+		loads    int
+		stateDir string
+		wantErr  string // substring; empty = accept
+	}{
+		{name: "single default", o: clusterOpts{role: "single"}},
+		{name: "empty role is single", o: clusterOpts{}},
+		{name: "single with data", o: clusterOpts{role: "single", dataPath: "x.csv"}},
+		{name: "single with peers",
+			o:       clusterOpts{role: "single", peers: []string{"http://a"}},
+			wantErr: "-storage-nodes"},
+		{name: "storage ok", o: clusterOpts{role: "storage", dataPath: "x.csv"}},
+		{name: "storage without data", o: clusterOpts{role: "storage"}, wantErr: "-data"},
+		{name: "storage with load",
+			o: clusterOpts{role: "storage", dataPath: "x.csv"}, loads: 1, wantErr: "-load"},
+		{name: "storage with peers",
+			o:       clusterOpts{role: "storage", dataPath: "x.csv", peers: []string{"http://a"}},
+			wantErr: "-storage-nodes"},
+		{name: "storage with state dir",
+			o:        clusterOpts{role: "storage", dataPath: "x.csv"},
+			stateDir: "/tmp/s", wantErr: "-state-dir"},
+		{name: "select ok",
+			o: clusterOpts{role: "select", peers: []string{"http://a", "http://b"}, quorum: 1}},
+		{name: "select with data",
+			o:       clusterOpts{role: "select", dataPath: "x.csv", peers: []string{"http://a"}, quorum: 1},
+			wantErr: "-data"},
+		{name: "select without peers", o: clusterOpts{role: "select", quorum: 1}, wantErr: "-storage-nodes"},
+		{name: "select quorum too big",
+			o:       clusterOpts{role: "select", peers: []string{"http://a"}, quorum: 2},
+			wantErr: "-quorum"},
+		{name: "select quorum zero",
+			o:       clusterOpts{role: "select", peers: []string{"http://a"}, quorum: 0},
+			wantErr: "-quorum"},
+		{name: "unknown role", o: clusterOpts{role: "proxy"}, wantErr: "unknown -role"},
+	}
+	for _, tc := range cases {
+		err := validateRoleFlags(tc.o, tc.loads, tc.stateDir)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: got %v, want error mentioning %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got := parsePeers(" http://a:1/, http://b:2 ,,")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Errorf("parsePeers = %q", got)
+	}
+	if parsePeers("") != nil {
+		t.Error("empty list should parse to nil")
+	}
+}
+
 // fixtureModel fits and saves a small model, returning its path.
 func fixtureModel(t *testing.T) string {
 	t.Helper()
@@ -98,7 +161,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- run(addr, "", "", modelFlags{{"default", path}}, server.Config{}, 10*time.Second, discardLogger())
+		done <- run(addr, "", "", modelFlags{{"default", path}}, clusterOpts{}, server.Config{}, 10*time.Second, discardLogger())
 	}()
 
 	base := "http://" + addr
@@ -152,7 +215,7 @@ func TestStateDirSurvivesRestart(t *testing.T) {
 		l.Close()
 		done := make(chan error, 1)
 		go func() {
-			done <- run(addr, "", stateDir, models, server.Config{}, 10*time.Second, discardLogger())
+			done <- run(addr, "", stateDir, models, clusterOpts{}, server.Config{}, 10*time.Second, discardLogger())
 		}()
 		base := "http://" + addr
 		waitReady(t, base)

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hido/internal/dataset"
+	"hido/internal/stream"
+)
+
+// benchCluster boots a parts-way cluster over a fixed reference
+// window, fits a model on it, and returns everything a benchmark
+// needs. Shards are even contiguous slices so 1/2/4-way runs rank the
+// same rows under the same model.
+func benchCluster(b *testing.B, full *dataset.Dataset, parts int) (*Coordinator, *stream.Monitor) {
+	b.Helper()
+	var bounds []int
+	for _, r := range chunkBounds(full.N(), parts) {
+		if r[0] > 0 {
+			bounds = append(bounds, r[0])
+		}
+	}
+	co, _ := startCluster(b, splitAt(full, bounds), 1)
+	mon, err := stream.NewMonitor(full, stream.Options{Phi: 4, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return co, mon
+}
+
+// BenchmarkClusterScore measures one scatter-gather score round trip
+// for a 512-row batch across 1, 2, and 4 in-process storage shards.
+// Transport is loopback HTTP, so the numbers isolate protocol, chunk
+// split, and merge overhead rather than network latency.
+func BenchmarkClusterScore(b *testing.B) {
+	full := testData(b, 4000)
+	batch := splitAt(full, []int{512})[0]
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", parts), func(b *testing.B) {
+			co, mon := benchCluster(b, full, parts)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := co.ScoreBatch(ctx, "bench", mon, batch, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterTopN measures ranking the full reference window and
+// merging per-shard top-25 sets.
+func BenchmarkClusterTopN(b *testing.B) {
+	full := testData(b, 4000)
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", parts), func(b *testing.B) {
+			co, mon := benchCluster(b, full, parts)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := co.TopN(ctx, "bench", mon, 25); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterFit measures a full distributed fit: row gather for
+// the global cuts, grid push, and the evolutionary search counting
+// through batched per-shard RPCs.
+func BenchmarkClusterFit(b *testing.B) {
+	full := testData(b, 4000)
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", parts), func(b *testing.B) {
+			co, _ := benchCluster(b, full, parts)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := co.Fit(ctx, FitOptions{Phi: 4, Seed: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,620 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sync"
+
+	"hido/internal/core"
+	"hido/internal/dataset"
+	"hido/internal/discretize"
+	"hido/internal/obs"
+	"hido/internal/server"
+	"hido/internal/stream"
+)
+
+// CoordinatorConfig tunes a select node's fan-out.
+type CoordinatorConfig struct {
+	// Peers are the storage node base URLs. Their order is load-bearing:
+	// it defines the global row order (shard 0's rows come first), the
+	// chunk assignment for scatter-gather scoring, and the deterministic
+	// merge order — every select node configured with the same peer list
+	// gives byte-identical answers.
+	Peers []string
+	// Quorum is the minimum number of shards that must answer a top-n
+	// fan-out; with at least Quorum but not all shards answering, the
+	// response is served with partial=true. Default 1. Fit and cover
+	// always require every shard — a distributed fit is exact or it
+	// fails.
+	Quorum int
+	// Client tunes per-peer timeouts, retries and backoff.
+	Client ClientConfig
+	// Logger receives structured fan-out logs; nil discards.
+	Logger *slog.Logger
+	// Metrics, when set, receives the hidod_cluster_* series.
+	Metrics *Metrics
+}
+
+// shard is one connected storage node's identity within the cluster.
+type shard struct {
+	peer   string
+	n      int
+	offset int // position of the shard's row 0 in the global order
+	fp     string
+}
+
+// Coordinator is the select node's brain: it fans score, top-n and
+// count requests out to the storage peers and merges the partial
+// answers deterministically. It implements server.BatchScorer and
+// server.TopNer, so a stock internal/server fronts it unchanged — the
+// public API stays byte-identical to a single-node hidod.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	client *Client
+	logger *slog.Logger
+	m      *Metrics
+
+	mu     sync.Mutex
+	shards []shard // nil until the first successful connect
+	totalN int
+	names  []string
+	wires  map[string]wireEntry
+}
+
+// wireEntry is a model marshalled for shard replication, cached per
+// registry name and invalidated when the monitor pointer changes (a
+// hot swap installs a new monitor).
+type wireEntry struct {
+	mon *stream.Monitor
+	fp  string
+	js  []byte
+}
+
+// NewCoordinator builds a coordinator over a fixed peer list.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: a coordinator needs at least one storage peer")
+	}
+	if cfg.Quorum == 0 {
+		cfg.Quorum = 1
+	}
+	if cfg.Quorum < 1 || cfg.Quorum > len(cfg.Peers) {
+		return nil, fmt.Errorf("cluster: quorum %d outside [1,%d]", cfg.Quorum, len(cfg.Peers))
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	ccfg := cfg.Client
+	ccfg.Logger = cfg.Logger
+	ccfg.Metrics = cfg.Metrics
+	if cfg.Metrics != nil {
+		cfg.Metrics.Peers.Set(float64(len(cfg.Peers)))
+	}
+	return &Coordinator{
+		cfg:    cfg,
+		client: NewClient(ccfg),
+		logger: cfg.Logger,
+		m:      cfg.Metrics,
+		wires:  map[string]wireEntry{},
+	}, nil
+}
+
+// Peers returns the configured peer list (shared; do not mutate).
+func (co *Coordinator) Peers() []string { return co.cfg.Peers }
+
+// Drain blocks until in-flight storage RPCs complete or ctx expires —
+// the select half of graceful shutdown, called after the public HTTP
+// listener has drained.
+func (co *Coordinator) Drain(ctx context.Context) error { return co.client.Drain(ctx) }
+
+// eachPeer runs f concurrently for every peer and returns the
+// per-peer errors (nil entries for successes).
+func (co *Coordinator) eachPeer(f func(i int, peer string) error) []error {
+	errs := make([]error, len(co.cfg.Peers))
+	var wg sync.WaitGroup
+	for i, peer := range co.cfg.Peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			errs[i] = f(i, peer)
+		}(i, peer)
+	}
+	wg.Wait()
+	return errs
+}
+
+// Connect fans an info RPC out to every peer, validates that the
+// shards agree on dimensionality and attribute names, and fixes the
+// global row order (prefix sums of shard sizes in peer order). All
+// peers must answer — a cluster whose membership is unknown cannot
+// place offsets. Idempotent; later calls return the cached topology.
+func (co *Coordinator) Connect(ctx context.Context) error {
+	co.mu.Lock()
+	if co.shards != nil {
+		co.mu.Unlock()
+		return nil
+	}
+	co.mu.Unlock()
+
+	infos := make([]infoResp, len(co.cfg.Peers))
+	namesByPeer := make([][]string, len(co.cfg.Peers))
+	errs := co.eachPeer(func(i int, peer string) error {
+		payload, err := co.client.Call(ctx, peer, "info", emptyFrame(msgInfoReq), msgInfoResp)
+		if err != nil {
+			return err
+		}
+		if err := infos[i].decode(payload); err != nil {
+			return err
+		}
+		namesByPeer[i] = infos[i].Names
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: connect to %s: %w", co.cfg.Peers[i], err)
+		}
+	}
+	names := infos[0].Names
+	for i := 1; i < len(infos); i++ {
+		if len(infos[i].Names) != len(names) {
+			return fmt.Errorf("cluster: shard %s has %d dims, shard %s has %d",
+				co.cfg.Peers[i], len(infos[i].Names), co.cfg.Peers[0], len(names))
+		}
+		for j := range names {
+			if infos[i].Names[j] != names[j] {
+				return fmt.Errorf("cluster: shard %s attribute %d is %q, shard %s has %q",
+					co.cfg.Peers[i], j, infos[i].Names[j], co.cfg.Peers[0], names[j])
+			}
+		}
+	}
+	shards := make([]shard, len(infos))
+	total := 0
+	for i, info := range infos {
+		shards[i] = shard{peer: co.cfg.Peers[i], n: info.N, offset: total, fp: info.Fingerprint}
+		total += info.N
+	}
+	co.mu.Lock()
+	co.shards = shards
+	co.totalN = total
+	co.names = names
+	co.mu.Unlock()
+	co.logger.Info("cluster connected", "peers", len(shards), "rows", total, "dims", len(names))
+	return nil
+}
+
+// forget drops the cached topology so the next use reconnects — called
+// when a shard's data fingerprint no longer matches what Connect saw.
+func (co *Coordinator) forget() {
+	co.mu.Lock()
+	co.shards = nil
+	co.mu.Unlock()
+}
+
+// topology returns the connected shard list (connecting on first use).
+func (co *Coordinator) topology(ctx context.Context) ([]shard, int, []string, error) {
+	if err := co.Connect(ctx); err != nil {
+		return nil, 0, nil, err
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.shards, co.totalN, co.names, nil
+}
+
+// Info describes the connected cluster for introspection
+// (GET /api/v1/cluster/info on the select node).
+type Info struct {
+	Peers  []PeerInfo `json:"peers"`
+	Rows   int        `json:"rows"`
+	Dims   int        `json:"dims"`
+	Quorum int        `json:"quorum"`
+}
+
+// PeerInfo is one storage node's slice of the global row order.
+type PeerInfo struct {
+	URL         string `json:"url"`
+	Rows        int    `json:"rows"`
+	Offset      int    `json:"offset"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Info connects (if needed) and reports the cluster topology.
+func (co *Coordinator) Info(ctx context.Context) (Info, error) {
+	shards, total, names, err := co.topology(ctx)
+	if err != nil {
+		return Info{}, err
+	}
+	out := Info{Rows: total, Dims: len(names), Quorum: co.cfg.Quorum}
+	for _, sh := range shards {
+		out.Peers = append(out.Peers, PeerInfo{URL: sh.peer, Rows: sh.n, Offset: sh.offset, Fingerprint: sh.fp})
+	}
+	return out, nil
+}
+
+// wireModel marshals (and caches) a monitor for shard replication.
+func (co *Coordinator) wireModel(name string, mon *stream.Monitor) (wireEntry, error) {
+	co.mu.Lock()
+	if e, ok := co.wires[name]; ok && e.mon == mon {
+		co.mu.Unlock()
+		return e, nil
+	}
+	co.mu.Unlock()
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		return wireEntry{}, err
+	}
+	e := wireEntry{mon: mon, fp: ModelFingerprint(buf.Bytes()), js: buf.Bytes()}
+	co.mu.Lock()
+	co.wires[name] = e
+	co.mu.Unlock()
+	return e, nil
+}
+
+// callWithModel issues an RPC that names a model fingerprint,
+// answering a shard's 412 model-miss with a push and one retry —
+// model replication is lazy, so a freshly restarted shard heals on
+// first use.
+func (co *Coordinator) callWithModel(ctx context.Context, peer, rpc string, frame []byte, want msgType, wm wireEntry) ([]byte, error) {
+	payload, err := co.client.Call(ctx, peer, rpc, frame, want)
+	if err == nil || !IsModelMiss(err) {
+		return payload, err
+	}
+	co.logger.Info("replicating model to shard", "peer", peer, "fingerprint", wm.fp)
+	push := modelPush{FP: wm.fp, JSON: wm.js}
+	if _, perr := co.client.Call(ctx, peer, "model", push.encode(), msgModelAck); perr != nil {
+		return nil, fmt.Errorf("cluster: pushing model to %s: %w", peer, perr)
+	}
+	return co.client.Call(ctx, peer, rpc, frame, want)
+}
+
+// chunkBounds splits n rows into len(peers) contiguous chunks in
+// fixed peer order (earlier chunks absorb the remainder), so the same
+// batch always lands on the same peers.
+func chunkBounds(n, parts int) [][2]int {
+	out := make([][2]int, parts)
+	lo := 0
+	for p := 0; p < parts; p++ {
+		size := n / parts
+		if p < n%parts {
+			size++
+		}
+		out[p] = [2]int{lo, lo + size}
+		lo += size
+	}
+	return out
+}
+
+// ScoreBatch is the scatter-gather implementation of
+// server.BatchScorer: the batch splits into contiguous per-peer
+// chunks, each shard scores its chunk against the replicated model,
+// and the alerts reassemble in row order. A failed chunk fails over
+// to local scoring on the select node's own model copy — scoring
+// degrades in latency, never in completeness or content, so the
+// /api/v1/score response stays byte-identical to a single-node hidod
+// even with shards down.
+func (co *Coordinator) ScoreBatch(ctx context.Context, model string, mon *stream.Monitor, ds *dataset.Dataset, workers int) ([]stream.Alert, error) {
+	n := ds.N()
+	out := make([]stream.Alert, n)
+	wm, err := co.wireModel(model, mon)
+	if err != nil {
+		return nil, err
+	}
+	bounds := chunkBounds(n, len(co.cfg.Peers))
+	errs := co.eachPeer(func(p int, peer string) error {
+		lo, hi := bounds[p][0], bounds[p][1]
+		if lo >= hi {
+			return nil
+		}
+		alerts, err := co.scoreChunk(ctx, peer, wm, ds, lo, hi, workers)
+		if err != nil {
+			co.logger.Warn("score chunk failing over to local scoring",
+				"peer", peer, "rows", hi-lo, "error", err)
+			if co.m != nil {
+				co.m.Fallback.Inc()
+			}
+			return scoreLocalInto(ctx, mon, ds, lo, hi, out)
+		}
+		copy(out[lo:hi], alerts)
+		return nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// scoreChunk ships rows [lo,hi) to one peer and decodes its alerts.
+func (co *Coordinator) scoreChunk(ctx context.Context, peer string, wm wireEntry, ds *dataset.Dataset, lo, hi, workers int) ([]stream.Alert, error) {
+	d := ds.D()
+	req := scoreReq{ModelFP: wm.fp, N: hi - lo, D: d, Workers: workers,
+		Values: make([]float64, 0, (hi-lo)*d)}
+	for i := lo; i < hi; i++ {
+		req.Values = append(req.Values, ds.RowView(i)...)
+	}
+	payload, err := co.callWithModel(ctx, peer, "score", req.encode(), msgScoreResp, wm)
+	if err != nil {
+		return nil, err
+	}
+	var resp scoreResp
+	if err := resp.decode(payload); err != nil {
+		return nil, err
+	}
+	if len(resp.Alerts) != hi-lo {
+		return nil, fmt.Errorf("cluster: peer %s scored %d of %d rows", peer, len(resp.Alerts), hi-lo)
+	}
+	alerts := make([]stream.Alert, len(resp.Alerts))
+	for i, a := range resp.Alerts {
+		alerts[i] = stream.Alert{Score: a.Score, Matches: a.Matches}
+	}
+	return alerts, nil
+}
+
+// scoreLocalInto scores rows [lo,hi) on the local model copy — the
+// failover path. Alert content is identical to what the shard would
+// have returned: scoring is a pure function of (model, record).
+func scoreLocalInto(ctx context.Context, mon *stream.Monitor, ds *dataset.Dataset, lo, hi int, out []stream.Alert) error {
+	for i := lo; i < hi; i++ {
+		if (i-lo)%256 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		out[i] = mon.Score(ds.RowView(i))
+	}
+	return nil
+}
+
+// TopN implements server.TopNer: every shard ranks its own rows
+// against the replicated model and returns its local top n; the
+// merged answer re-sorts the union under the same (score, global
+// index) comparator, so it equals the single-node ranking over the
+// concatenated data. With at least Quorum but not all shards
+// answering, the response is marked partial instead of failing — the
+// ISSUE's degraded mode for reference-set exploration.
+func (co *Coordinator) TopN(ctx context.Context, model string, mon *stream.Monitor, n int) (server.TopNResult, error) {
+	shards, _, _, err := co.topology(ctx)
+	if err != nil {
+		return server.TopNResult{}, err
+	}
+	wm, err := co.wireModel(model, mon)
+	if err != nil {
+		return server.TopNResult{}, err
+	}
+	req := topNReq{ModelFP: wm.fp, N: n}
+	frame := req.encode()
+	resps := make([]topNResp, len(shards))
+	errs := co.eachPeer(func(i int, peer string) error {
+		payload, err := co.callWithModel(ctx, peer, "topn", frame, msgTopNResp, wm)
+		if err != nil {
+			return err
+		}
+		return resps[i].decode(payload)
+	})
+	answered := 0
+	rows := 0
+	var entries []server.TopNEntry
+	for i, err := range errs {
+		if err != nil {
+			co.logger.Warn("shard missing from top-n merge", "peer", shards[i].peer, "error", err)
+			continue
+		}
+		answered++
+		rows += resps[i].Rows
+		for _, it := range resps[i].Items {
+			entries = append(entries, server.TopNEntry{
+				Index:   shards[i].offset + it.Index,
+				Score:   it.Score,
+				Flagged: it.Flagged,
+			})
+		}
+	}
+	if answered < co.cfg.Quorum {
+		return server.TopNResult{}, fmt.Errorf(
+			"cluster: only %d of %d shards answered (quorum %d)",
+			answered, len(shards), co.cfg.Quorum)
+	}
+	server.SortTopN(entries)
+	if n < len(entries) {
+		entries = entries[:n]
+	}
+	partial := answered < len(shards)
+	if partial && co.m != nil {
+		co.m.Partials.Inc()
+	}
+	return server.TopNResult{Rows: rows, Partial: partial, Results: entries}, nil
+}
+
+// FitOptions mirror the single-node fit parameters
+// (stream.Options): same defaults, same advisor, same searches — the
+// point of the distributed fit is that only the counting moves.
+type FitOptions struct {
+	// Phi is the grid resolution (required, >= 2).
+	Phi int
+	// TargetS is the §2.4 advisor target and retention threshold
+	// (default -3).
+	TargetS float64
+	// M is how many best projections each run tracks (default 100).
+	M int
+	// Restarts unions this many evolutionary runs (default 3).
+	Restarts int
+	// Seed drives the searches.
+	Seed uint64
+	// Observer receives the searches' generation events (see
+	// internal/obs); never changes the fitted model.
+	Observer obs.Observer
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.TargetS == 0 {
+		o.TargetS = -3
+	}
+	if o.M == 0 {
+		o.M = 100
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	return o
+}
+
+// Fit mines a model over the union of the shards without ever
+// assembling their data on one node for the search: global equi-depth
+// cuts are placed exactly (a transient row gather — quantiles need a
+// global view), each shard builds its bitmap index under those cuts,
+// and the evolutionary search runs on the select node against a
+// CountSource whose every cube count is the sum of per-shard counts.
+// Because the searches are a pure function of those counts, the
+// fitted model is bit-identical to a single-node fit on the
+// concatenated data — same projections, same model JSON.
+//
+// Fit requires every shard: a missing shard makes the counts wrong,
+// not just incomplete, so the fit fails instead of degrading.
+func (co *Coordinator) Fit(ctx context.Context, opt FitOptions) (*stream.Monitor, []byte, error) {
+	opt = opt.withDefaults()
+	if opt.Phi < 2 {
+		return nil, nil, fmt.Errorf("cluster: phi=%d must be at least 2", opt.Phi)
+	}
+	if opt.TargetS >= 0 {
+		return nil, nil, fmt.Errorf("cluster: target sparsity %v must be negative", opt.TargetS)
+	}
+	shards, totalN, names, err := co.topology(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if totalN == 0 {
+		return nil, nil, fmt.Errorf("cluster: shards hold no rows")
+	}
+
+	// Exact global cuts: equi-depth boundaries are order statistics of
+	// the full column, which no per-shard summary reproduces exactly,
+	// so the rows are gathered once, discretized, and discarded.
+	concat, err := co.gatherRows(ctx, shards, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := discretize.Fit(concat, opt.Phi, discretize.EquiDepth)
+	cuts := g.AllCuts()
+	concat = nil // the gather was transient; counting happens on the shards
+	g = nil
+
+	gid := gridID(opt.Phi, cuts, shards)
+	if err := co.pushGrid(ctx, gid, opt.Phi, cuts, shards); err != nil {
+		return nil, nil, err
+	}
+
+	src := co.newSource(ctx, gid, totalN, len(names), opt.Phi)
+	advice := core.Advise(totalN, opt.Phi, opt.TargetS)
+	res, err := core.EvolutionaryRestartsOver(src, core.EvoOptions{
+		K: advice.K, M: opt.M, Seed: opt.Seed, MinCoverage: -1,
+		Observer: opt.Observer, RunID: "fit",
+	}, opt.Restarts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res = res.FilterProjectionsOver(src, opt.TargetS)
+	if err := src.Err(); err != nil {
+		return nil, nil, fmt.Errorf("cluster: distributed count failed: %w", err)
+	}
+
+	model := stream.Model{
+		Version: 1,
+		Phi:     opt.Phi,
+		K:       advice.K,
+		Options: stream.Options{Phi: opt.Phi, TargetS: opt.TargetS, M: opt.M,
+			Restarts: opt.Restarts, Seed: opt.Seed},
+		Names: append([]string(nil), names...),
+		Cuts:  cuts,
+	}
+	for _, p := range res.Projections {
+		model.Projections = append(model.Projections, stream.ModelProjection{
+			Cube: p.Cube, Sparsity: p.Sparsity, Count: p.Count,
+		})
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(model); err != nil {
+		return nil, nil, fmt.Errorf("cluster: encoding fitted model: %w", err)
+	}
+	mon, err := stream.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: reloading fitted model: %w", err)
+	}
+	hits, misses, size := src.Stats()
+	co.logger.Info("cluster fit done", "rows", totalN, "k", advice.K,
+		"projections", len(mon.Projections()),
+		"count_cache_hits", hits, "count_cache_misses", misses, "distinct_cubes", size)
+	return mon, buf.Bytes(), nil
+}
+
+// gatherRows pulls every shard's rows and concatenates them in peer
+// order — the transient global view the cut placement needs.
+func (co *Coordinator) gatherRows(ctx context.Context, shards []shard, names []string) (*dataset.Dataset, error) {
+	resps := make([]rowsResp, len(shards))
+	errs := co.eachPeer(func(i int, peer string) error {
+		payload, err := co.client.Call(ctx, peer, "rows", emptyFrame(msgRowsReq), msgRowsResp)
+		if err != nil {
+			return err
+		}
+		if err := resps[i].decode(payload); err != nil {
+			return err
+		}
+		if resps[i].N != shards[i].n || resps[i].D != len(names) {
+			co.forget()
+			return fmt.Errorf("cluster: shard %s now holds %dx%d, connected as %dx%d — reconnect",
+				peer, resps[i].N, resps[i].D, shards[i].n, len(names))
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: gathering rows from %s: %w", shards[i].peer, err)
+		}
+	}
+	ds := dataset.New(append([]string(nil), names...), 0)
+	d := len(names)
+	for i := range resps {
+		for r := 0; r < resps[i].N; r++ {
+			ds.AppendRow(resps[i].Values[r*d:(r+1)*d], "")
+		}
+	}
+	return ds, nil
+}
+
+// gridID names a pushed discretization by everything that defines it:
+// resolution, exact cut bits, and the shard set it was placed over.
+func gridID(phi int, cuts [][]float64, shards []shard) string {
+	var e enc
+	e.u32(uint32(phi))
+	for _, c := range cuts {
+		for _, v := range c {
+			e.f64(v)
+		}
+	}
+	for _, sh := range shards {
+		e.str(sh.fp)
+	}
+	return "g-" + ModelFingerprint(e.b)[2:]
+}
+
+// pushGrid installs the global cuts on every shard. All must ack.
+func (co *Coordinator) pushGrid(ctx context.Context, gid string, phi int, cuts [][]float64, shards []shard) error {
+	errs := co.eachPeer(func(i int, peer string) error {
+		req := gridReq{GridID: gid, DataFP: shards[i].fp, Phi: phi, Cuts: cuts}
+		_, err := co.client.Call(ctx, peer, "grid", req.encode(), msgGridAck)
+		return err
+	})
+	for i, err := range errs {
+		if err != nil {
+			if IsGridMiss(err) {
+				co.forget() // the shard's data changed under us
+			}
+			return fmt.Errorf("cluster: pushing grid to %s: %w", shards[i].peer, err)
+		}
+	}
+	co.logger.Info("grid pushed", "grid", gid, "phi", phi, "peers", len(shards))
+	return nil
+}

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hido/internal/core"
+	"hido/internal/cube"
+)
+
+// Source is a core.CountSource whose cube counts come from the
+// shards: every count is the sum of per-shard counts for the same
+// cube under the same global cuts, which is exact because the shards
+// partition the rows. The evolutionary and brute-force searches are
+// pure functions of these counts, so running them over a Source
+// yields bit-identical results to a single-node run over the
+// concatenated data.
+//
+// Counts are memoized (searches revisit cubes constantly; an RPC per
+// revisit would be pathological) and misses are resolved in one
+// batched RPC per shard per CountBatch call — one round trip per
+// search generation, not one per cube.
+//
+// core.CountSource has no error returns: a search cannot surface an
+// RPC failure mid-generation. Source therefore latches the first
+// failure and answers 0 from then on; Fit checks Err() after the
+// search and discards the result if anything failed. Wrong-but-known
+// beats a panic in a worker goroutine.
+type Source struct {
+	co     *Coordinator
+	ctx    context.Context
+	gridID string
+	n, d   int
+	phi    int
+
+	mu     sync.Mutex
+	memo   map[string]int
+	hits   int
+	misses int
+	fail   error
+}
+
+func (co *Coordinator) newSource(ctx context.Context, gridID string, n, d, phi int) *Source {
+	return &Source{co: co, ctx: ctx, gridID: gridID, n: n, d: d, phi: phi,
+		memo: map[string]int{}}
+}
+
+func (s *Source) N() int   { return s.n }
+func (s *Source) D() int   { return s.d }
+func (s *Source) Phi() int { return s.phi }
+
+// Err returns the first RPC failure, if any. A search result is only
+// trustworthy when Err() is nil.
+func (s *Source) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fail
+}
+
+// Stats reports memo effectiveness: (hits, misses, distinct cubes).
+func (s *Source) Stats() (hits, misses, size int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, len(s.memo)
+}
+
+func (s *Source) latch(err error) {
+	s.mu.Lock()
+	if s.fail == nil {
+		s.fail = err
+	}
+	s.mu.Unlock()
+}
+
+// CountKey returns the global count of rows inside c.
+func (s *Source) CountKey(c cube.Cube, key string) int {
+	s.mu.Lock()
+	if n, ok := s.memo[key]; ok {
+		s.hits++
+		s.mu.Unlock()
+		return n
+	}
+	s.mu.Unlock()
+	counts, err := s.co.remoteCounts(s.ctx, s.gridID, []cube.Cube{c})
+	if err != nil {
+		s.latch(err)
+		return 0
+	}
+	s.mu.Lock()
+	s.memo[key] = counts[0]
+	s.misses++
+	s.mu.Unlock()
+	return counts[0]
+}
+
+// CountBatch resolves a generation's worth of cubes: memo hits are
+// answered locally, the distinct misses travel in a single count RPC
+// per shard, and the sums land back in the memo.
+func (s *Source) CountBatch(cs []cube.Cube, keys []string, workers int) []int {
+	out := make([]int, len(cs))
+	var missCubes []cube.Cube
+	var missKeys []string
+	pending := map[string]bool{}
+	s.mu.Lock()
+	for i, k := range keys {
+		if n, ok := s.memo[k]; ok {
+			out[i] = n
+			s.hits++
+		} else if !pending[k] {
+			pending[k] = true
+			missCubes = append(missCubes, cs[i])
+			missKeys = append(missKeys, k)
+		}
+	}
+	s.mu.Unlock()
+	if len(missCubes) == 0 {
+		return out
+	}
+	counts, err := s.co.remoteCounts(s.ctx, s.gridID, missCubes)
+	if err != nil {
+		s.latch(err)
+		counts = make([]int, len(missCubes))
+	}
+	s.mu.Lock()
+	for i, k := range missKeys {
+		s.memo[k] = counts[i]
+		s.misses++
+	}
+	for i, k := range keys {
+		out[i] = s.memo[k]
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Cover returns the global row indices inside c: each shard's local
+// cover shifted by its offset, concatenated in peer order. Local
+// covers are ascending and shard ranges are disjoint and ordered, so
+// the concatenation is the ascending global cover — the same order a
+// single-node index produces.
+func (s *Source) Cover(c cube.Cube) []int {
+	shards, _, _, err := s.co.topology(s.ctx)
+	if err != nil {
+		s.latch(err)
+		return nil
+	}
+	covers := make([][]int, len(shards))
+	errs := s.co.eachPeer(func(i int, peer string) error {
+		req := coverReq{GridID: s.gridID, Cube: c}
+		payload, err := s.co.client.Call(s.ctx, peer, "cover", req.encode(), msgCoverResp)
+		if err != nil {
+			return err
+		}
+		var resp coverResp
+		if err := resp.decode(payload); err != nil {
+			return err
+		}
+		covers[i] = resp.Indices
+		return nil
+	})
+	var all []int
+	for i, err := range errs {
+		if err != nil {
+			s.latch(fmt.Errorf("cover from %s: %w", shards[i].peer, err))
+			return nil
+		}
+		for _, idx := range covers[i] {
+			all = append(all, shards[i].offset+idx)
+		}
+	}
+	return all
+}
+
+// NewPartial returns a Partial over the distributed counts. Every
+// search constrains each dimension at most once between Resets, so a
+// partial is faithfully represented by the cube of its constraints —
+// each Count/Extend resolves through the memoized CountKey, hitting
+// the wire only for cubes this fit has never counted.
+func (s *Source) NewPartial() core.Partial {
+	return &remotePartial{s: s}
+}
+
+// remotePartial accumulates constraints as a cube and counts through
+// the Source. The cube is dense (one position per dimension); cur()
+// allocates it on first touch and With clones on every constraint, so
+// partials never alias each other's state.
+type remotePartial struct {
+	s *Source
+	c cube.Cube
+}
+
+func (p *remotePartial) cur() cube.Cube {
+	if p.c == nil {
+		p.c = cube.New(p.s.d)
+	}
+	return p.c
+}
+
+func (p *remotePartial) Reset() { p.c = cube.New(p.s.d) }
+
+func (p *remotePartial) Constrain(j int, r uint16) {
+	p.c = p.cur().With(j, r)
+}
+
+func (p *remotePartial) ConstrainFrom(parent core.Partial, j int, r uint16) int {
+	p.c = parent.(*remotePartial).cur().With(j, r)
+	return p.Count()
+}
+
+func (p *remotePartial) Count() int {
+	if p.c == nil || p.c.K() == 0 {
+		return p.s.n
+	}
+	return p.s.CountKey(p.c, p.c.Key())
+}
+
+func (p *remotePartial) Extend(j int, r uint16) int {
+	ext := p.cur().With(j, r)
+	return p.s.CountKey(ext, ext.Key())
+}
+
+func (p *remotePartial) CopyFrom(other core.Partial) {
+	o := other.(*remotePartial)
+	if o.c == nil {
+		p.c = nil
+		return
+	}
+	p.c = o.c.Clone()
+}
+
+// remoteCounts sums one batch of cube counts across every shard. All
+// shards must answer — a partial sum is not a lower-confidence count,
+// it is a wrong count.
+func (co *Coordinator) remoteCounts(ctx context.Context, gridID string, cs []cube.Cube) ([]int, error) {
+	shards, _, names, err := co.topology(ctx)
+	if err != nil {
+		return nil, err
+	}
+	req := countReq{GridID: gridID, D: len(names), Cubes: cs}
+	frame := req.encode()
+	perShard := make([][]int, len(shards))
+	errs := co.eachPeer(func(i int, peer string) error {
+		payload, err := co.client.Call(ctx, peer, "count", frame, msgCountResp)
+		if err != nil {
+			return err
+		}
+		var resp countResp
+		if err := resp.decode(payload); err != nil {
+			return err
+		}
+		if len(resp.Counts) != len(cs) {
+			return fmt.Errorf("cluster: peer %s counted %d of %d cubes", peer, len(resp.Counts), len(cs))
+		}
+		perShard[i] = resp.Counts
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: counting on %s: %w", shards[i].peer, err)
+		}
+	}
+	totals := make([]int, len(cs))
+	for _, counts := range perShard {
+		for j, n := range counts {
+			totals[j] += n
+		}
+	}
+	return totals, nil
+}

@@ -6,11 +6,11 @@ import (
 	"sync/atomic"
 	"time"
 
-	"hido/internal/bitset"
 	"hido/internal/cube"
 	"hido/internal/evo"
 	"hido/internal/grid"
 	"hido/internal/obs"
+	"hido/internal/stats"
 )
 
 // ErrBudgetExceeded reports that brute force hit its candidate or time
@@ -99,9 +99,11 @@ type bfTask struct {
 
 // bfShared is the state one BruteForce run shares across its workers.
 type bfShared struct {
-	d        *Detector
+	src      CountSource
 	opt      BruteForceOptions
 	dims     []int // searched dimensions (the bag, or all of them)
+	n        int   // src.N(), cached off the hot loops
+	phi      int   // src.Phi(), cached off the hot loops
 	k        int
 	minCov   int
 	prune    bool
@@ -135,7 +137,7 @@ type bfShared struct {
 type bfWorker struct {
 	sh         *bfShared
 	bs         *evo.BestSet // current task's best set
-	partials   []*bitset.Set
+	partials   []Partial
 	c          cube.Cube
 	evals      uint64
 	pruned     uint64
@@ -194,14 +196,31 @@ const (
 // ErrBudgetExceeded; which subtrees completed then depends on
 // scheduling, but the MaxCandidates accounting stays exact.
 func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
-	if err := d.validateKM(opt.K, opt.M); err != nil {
+	if err := validateCache(d, opt.Cache); err != nil {
 		return nil, err
 	}
-	if err := validateDims(d, opt.Dims, opt.K); err != nil {
+	return bruteForceOver(d.source(nil), opt)
+}
+
+// BruteForceOver runs the same enumeration against an arbitrary
+// CountSource — the entry point of the distributed fit. The walk
+// depends on the data only through partial-set counts, so any source
+// reporting the counts of the concatenated data reproduces the
+// single-node Result bit for bit. Options bound to a detector's index
+// (Cache) are rejected.
+func BruteForceOver(src CountSource, opt BruteForceOptions) (*Result, error) {
+	if opt.Cache != nil {
+		return nil, fmt.Errorf("core: BruteForceOptions.Cache requires a detector-backed search")
+	}
+	return bruteForceOver(src, opt)
+}
+
+func bruteForceOver(src CountSource, opt BruteForceOptions) (*Result, error) {
+	if err := validateKM(src.D(), opt.K, opt.M); err != nil {
 		return nil, err
 	}
-	if opt.Cache != nil && opt.Cache.Index() != d.Index {
-		return nil, fmt.Errorf("core: count cache was built over a different index")
+	if err := validateDims(src.D(), opt.Dims, opt.K); err != nil {
+		return nil, err
 	}
 	if opt.MinCoverage == 0 {
 		opt.MinCoverage = 1
@@ -214,9 +233,11 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 	start := time.Now()
 
 	sh := &bfShared{
-		d:    d,
+		src:  src,
 		opt:  opt,
-		dims: resolveDims(d, opt.Dims),
+		dims: resolveDims(src.D(), opt.Dims),
+		n:    src.N(),
+		phi:  src.Phi(),
 		k:    opt.K,
 		// Pruning cuts subtrees whose partial count is already below
 		// MinCoverage; at MinCoverage 0 no count qualifies (empty cubes
@@ -228,14 +249,14 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 		sh.deadline = start.Add(opt.MaxDuration)
 	}
 	for di := 0; di <= len(sh.dims)-opt.K; di++ {
-		for r := 1; r <= d.Phi(); r++ {
+		for r := 1; r <= sh.phi; r++ {
 			sh.tasks = append(sh.tasks, bfTask{di: di, rng: uint16(r)})
 		}
 	}
 	sh.results = make([]*evo.BestSet, len(sh.tasks))
 
 	if copt := opt.Checkpoint; copt != nil && copt.Path != "" {
-		sh.cp = newBruteCheckpointer(*copt, bruteFingerprint(d, opt))
+		sh.cp = newBruteCheckpointer(*copt, bruteFingerprint(src, opt))
 		if copt.Resume {
 			if err := sh.cp.restore(sh); err != nil {
 				return nil, err
@@ -278,7 +299,7 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 		Evaluations: int(sh.evals.Load()),
 		Pruned:      int(sh.pruned.Load()),
 	}
-	d.finalize(merged, res)
+	finalizeOver(src, merged, res)
 	res.Elapsed = time.Since(start)
 	sh.notifyProgress(start)
 	notifySummary(opt.Observer, opt.RunID, "brute", res, sh.budgetHit.Load(), opt.Cache)
@@ -303,11 +324,11 @@ func (d *Detector) BruteForce(opt BruteForceOptions) (*Result, error) {
 func (sh *bfShared) runWorker() {
 	w := &bfWorker{
 		sh:       sh,
-		partials: make([]*bitset.Set, sh.k),
-		c:        cube.New(sh.d.D()),
+		partials: make([]Partial, sh.k),
+		c:        cube.New(sh.src.D()),
 	}
 	for i := range w.partials {
-		w.partials[i] = bitset.New(sh.d.N())
+		w.partials[i] = sh.src.NewPartial()
 	}
 	for {
 		t := int(sh.next.Add(1)) - 1
@@ -347,7 +368,8 @@ func (w *bfWorker) runTask(t int) bool {
 		return w.leaf(dim, tk.rng, nil)
 	}
 	root := w.partials[0]
-	root.CopyFrom(sh.d.Index.RangeSet(dim, tk.rng))
+	root.Reset()
+	root.Constrain(dim, tk.rng)
 	if sh.prune && root.Count() < sh.minCov {
 		w.pruned++
 		return true
@@ -361,7 +383,7 @@ func (w *bfWorker) runTask(t int) bool {
 // rec enumerates the cubes extending the partial record set parent
 // (whose constraints occupy searched dimensions below index startIdx
 // into sh.dims), reporting false when a budget stop was hit.
-func (w *bfWorker) rec(depth, startIdx int, parent *bitset.Set) bool {
+func (w *bfWorker) rec(depth, startIdx int, parent Partial) bool {
 	sh := w.sh
 	if sh.budgetHit.Load() {
 		return false
@@ -369,7 +391,7 @@ func (w *bfWorker) rec(depth, startIdx int, parent *bitset.Set) bool {
 	lastLevel := depth == sh.k-1
 	for idx := startIdx; idx <= len(sh.dims)-(sh.k-depth); idx++ {
 		j := sh.dims[idx]
-		for r := 1; r <= sh.d.Phi(); r++ {
+		for r := 1; r <= sh.phi; r++ {
 			if lastLevel {
 				if !w.leaf(j, uint16(r), parent) {
 					return false
@@ -380,7 +402,7 @@ func (w *bfWorker) rec(depth, startIdx int, parent *bitset.Set) bool {
 				return false
 			}
 			next := w.partials[depth]
-			n := next.AndFrom(parent, sh.d.Index.RangeSet(j, uint16(r)))
+			n := next.ConstrainFrom(parent, j, uint16(r))
 			if sh.prune && n < sh.minCov {
 				w.pruned++
 				continue
@@ -399,7 +421,7 @@ func (w *bfWorker) rec(depth, startIdx int, parent *bitset.Set) bool {
 // leaf evaluates one full k-dimensional cube: the parent partial
 // extended by range r of dimension j (parent is nil only at k=1). It
 // reports false when a budget stop was hit.
-func (w *bfWorker) leaf(j int, r uint16, parent *bitset.Set) bool {
+func (w *bfWorker) leaf(j int, r uint16, parent Partial) bool {
 	sh := w.sh
 	var ev uint64
 	if sh.opt.MaxCandidates > 0 {
@@ -418,18 +440,19 @@ func (w *bfWorker) leaf(j int, r uint16, parent *bitset.Set) bool {
 	case sh.opt.Cache != nil:
 		n = sh.opt.Cache.CountWith(w.c.Key(), func() int {
 			if parent == nil {
-				return sh.d.Index.RangeSet(j, r).Count()
+				return sh.src.CountKey(w.c, w.c.Key())
 			}
-			return sh.d.Index.ExtendCount(parent, j, r)
+			return parent.Extend(j, r)
 		})
 	case parent == nil:
-		n = sh.d.Index.RangeSet(j, r).Count()
+		// k = 1: the top-level prefix is the whole cube.
+		n = sh.src.CountKey(w.c, w.c.Key())
 	default:
-		n = sh.d.Index.ExtendCount(parent, j, r)
+		n = parent.Extend(j, r)
 	}
 	w.evals++
 	if n >= sh.minCov {
-		if s := sh.d.Index.SparsityOf(n, sh.k); s < w.bs.Worst() {
+		if s := stats.Sparsity(n, sh.n, sh.k, sh.phi); s < w.bs.Worst() {
 			w.bs.Offer(evo.Genome(w.c), s)
 		}
 	}

@@ -98,9 +98,9 @@ type evoState struct {
 // indices meaningless. Budgets and worker counts are deliberately
 // excluded — the whole point of a resume is to continue a
 // budget-stopped run, possibly on different hardware.
-func bruteFingerprint(d *Detector, opt BruteForceOptions) string {
+func bruteFingerprint(src CountSource, opt BruteForceOptions) string {
 	return fmt.Sprintf("brute|n=%d|d=%d|phi=%d|k=%d|m=%d|mincov=%d|prune=%v",
-		d.N(), d.D(), d.Phi(), opt.K, opt.M, opt.MinCoverage, opt.DisablePruning) +
+		src.N(), src.D(), src.Phi(), opt.K, opt.M, opt.MinCoverage, opt.DisablePruning) +
 		dimsFingerprint(opt.Dims)
 }
 
@@ -108,9 +108,9 @@ func bruteFingerprint(d *Detector, opt BruteForceOptions) string {
 // shapes the random trajectory participates. MaxGenerations and
 // Patience are excluded so an interrupted short run can be resumed
 // with a larger budget.
-func evoFingerprint(d *Detector, opt EvoOptions) string {
+func evoFingerprint(src CountSource, opt EvoOptions) string {
 	return fmt.Sprintf("evo|n=%d|d=%d|phi=%d|k=%d|m=%d|pop=%d|xover=%d|sel=%d|p1=%x|p2=%x|mincov=%d|t2=%d|seed=%d",
-		d.N(), d.D(), d.Phi(), opt.K, opt.M, opt.PopSize, opt.Crossover, opt.Selection,
+		src.N(), src.D(), src.Phi(), opt.K, opt.M, opt.PopSize, opt.Crossover, opt.Selection,
 		math.Float64bits(opt.MutateP1), math.Float64bits(opt.MutateP2),
 		opt.MinCoverage, opt.TypeIIExhaustiveLimit, opt.Seed) +
 		dimsFingerprint(opt.Dims)
@@ -245,7 +245,7 @@ func (cp *bruteCheckpointer) restore(sh *bfShared) error {
 		if sh.done[ts.Task] {
 			return fmt.Errorf("core: checkpoint task %d duplicated", ts.Task)
 		}
-		bs, err := decodeBest(ts.Best, sh.opt.M, sh.d.D())
+		bs, err := decodeBest(ts.Best, sh.opt.M, sh.src.D())
 		if err != nil {
 			return err
 		}
@@ -343,13 +343,13 @@ func (cp *evoCheckpointer) restore(s *search, pop *evo.Population) (nextGen, sta
 		return 0, 0, false, fmt.Errorf("core: checkpoint %s has inconsistent counters", cp.opt.Path)
 	}
 	for i, mem := range st.Members {
-		if len(mem) != s.d.D() {
-			return 0, 0, false, fmt.Errorf("core: checkpoint member %d has %d positions, want %d", i, len(mem), s.d.D())
+		if len(mem) != s.src.D() {
+			return 0, 0, false, fmt.Errorf("core: checkpoint member %d has %d positions, want %d", i, len(mem), s.src.D())
 		}
 		copy(pop.Members[i], mem)
 		pop.Fitness[i] = math.Float64frombits(st.FitBits[i])
 	}
-	bs, err := decodeBest(st.Best, s.opt.M, s.d.D())
+	bs, err := decodeBest(st.Best, s.opt.M, s.src.D())
 	if err != nil {
 		return 0, 0, false, err
 	}

@@ -4,26 +4,25 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"hido/internal/bitset"
 	"hido/internal/cube"
 	"hido/internal/evo"
 	"hido/internal/xrand"
 )
 
 // xoverCtx carries the per-worker state of the crossover operator: a
-// private RNG stream, reusable bitset scratch buffers, and an
-// evaluation counter drained by the scheduler after each pair. One
-// ctx serves one goroutine at a time, so none of it needs locking.
+// private RNG stream, reusable partial record sets, and an evaluation
+// counter drained by the scheduler after each pair. One ctx serves one
+// goroutine at a time, so none of it needs locking.
 type xoverCtx struct {
 	s       *search
 	rng     *xrand.RNG
 	evals   int
-	partial *bitset.Set
-	scratch []*bitset.Set
+	partial Partial
+	scratch []Partial
 }
 
 func newXoverCtx(s *search) *xoverCtx {
-	return &xoverCtx{s: s, partial: bitset.New(s.d.N())}
+	return &xoverCtx{s: s, partial: s.src.NewPartial()}
 }
 
 // takeEvals drains the context's evaluation counter.
@@ -33,11 +32,11 @@ func (x *xoverCtx) takeEvals() int {
 	return n
 }
 
-// scratchAt returns the depth-th scratch bitset, growing on demand.
+// scratchAt returns the depth-th scratch partial, growing on demand.
 // Buffers persist across pairs, so steady state allocates nothing.
-func (x *xoverCtx) scratchAt(depth int) *bitset.Set {
+func (x *xoverCtx) scratchAt(depth int) Partial {
 	for len(x.scratch) <= depth {
-		x.scratch = append(x.scratch, bitset.New(x.s.d.N()))
+		x.scratch = append(x.scratch, x.s.src.NewPartial())
 	}
 	return x.scratch[depth]
 }
@@ -242,12 +241,11 @@ func (x *xoverCtx) recombine(a, b evo.Genome) (evo.Genome, evo.Genome) {
 // are fixed already; differing ones are searched exhaustively (up to
 // the configured limit, greedily beyond it). On return, partial holds
 // the record set of all Type II constraints.
-func (x *xoverCtx) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int, a, b evo.Genome, partial *bitset.Set) {
-	ix := x.s.d.Index
+func (x *xoverCtx) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int, a, b evo.Genome, partial Partial) {
 	// Seed the partial set with the equal-valued constraints.
-	partial.Fill()
+	partial.Reset()
 	for _, j := range equal {
-		partial.And(ix.RangeSet(j, child[j]))
+		partial.Constrain(j, child[j])
 	}
 	if len(diff) == 0 {
 		return
@@ -260,27 +258,27 @@ func (x *xoverCtx) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int,
 		// this path is rare.
 		for _, j := range diff {
 			x.evals++
-			na := ix.ExtendCount(partial, j, a[j])
+			na := partial.Extend(j, a[j])
 			x.evals++
-			nb := ix.ExtendCount(partial, j, b[j])
+			nb := partial.Extend(j, b[j])
 			if na <= nb {
 				child[j] = a[j]
 				fromA[j] = true
 			} else {
 				child[j] = b[j]
 			}
-			partial.And(ix.RangeSet(j, child[j]))
+			partial.Constrain(j, child[j])
 		}
 		return
 	}
 
 	// Exhaustive DFS over the 2^k'' assignments, sharing prefix
-	// intersections. Per-depth scratch bitmaps persist on the ctx, so
+	// intersections. Per-depth scratch partials persist on the ctx, so
 	// repeated crossovers avoid allocation churn.
 	bestCount := -1
 	bestMask := 0
-	var dfs func(depth, mask int, cur *bitset.Set)
-	dfs = func(depth, mask int, cur *bitset.Set) {
+	var dfs func(depth, mask int, cur Partial)
+	dfs = func(depth, mask int, cur Partial) {
 		if depth == len(diff) {
 			n := cur.Count()
 			x.evals++
@@ -294,11 +292,11 @@ func (x *xoverCtx) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int,
 		next := x.scratchAt(depth)
 		// take parent A's value
 		next.CopyFrom(cur)
-		next.And(ix.RangeSet(j, a[j]))
+		next.Constrain(j, a[j])
 		dfs(depth+1, mask|1<<depth, next)
 		// take parent B's value
 		next.CopyFrom(cur)
-		next.And(ix.RangeSet(j, b[j]))
+		next.Constrain(j, b[j])
 		dfs(depth+1, mask, next)
 	}
 	dfs(0, 0, partial)
@@ -310,7 +308,7 @@ func (x *xoverCtx) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int,
 		} else {
 			child[j] = b[j]
 		}
-		partial.And(ix.RangeSet(j, child[j]))
+		partial.Constrain(j, child[j])
 	}
 }
 
@@ -320,8 +318,7 @@ func (x *xoverCtx) bestTypeII(child evo.Genome, fromA []bool, equal, diff []int,
 // (most negative sparsity at the resulting dimensionality), until the
 // child has k constrained positions. Ties break uniformly at random so
 // repeated crossovers explore distinct optima.
-func (x *xoverCtx) greedyTypeIII(child evo.Genome, fromA []bool, typeIII []int, a, b evo.Genome, partial *bitset.Set, k int) {
-	ix := x.s.d.Index
+func (x *xoverCtx) greedyTypeIII(child evo.Genome, fromA []bool, typeIII []int, a, b evo.Genome, partial Partial, k int) {
 	type cand struct {
 		pos   int
 		rng   uint16
@@ -345,7 +342,7 @@ func (x *xoverCtx) greedyTypeIII(child evo.Genome, fromA []bool, typeIII []int, 
 				continue // consumed
 			}
 			x.evals++
-			n := ix.ExtendCount(partial, c.pos, c.rng)
+			n := partial.Extend(c.pos, c.rng)
 			switch {
 			case bestIdx < 0 || n < bestCount:
 				bestIdx, bestCount, nbest = ci, n, 1
@@ -363,7 +360,7 @@ func (x *xoverCtx) greedyTypeIII(child evo.Genome, fromA []bool, typeIII []int, 
 		c := cands[bestIdx]
 		child[c.pos] = c.rng
 		fromA[c.pos] = c.fromA
-		partial.And(ix.RangeSet(c.pos, c.rng))
+		partial.Constrain(c.pos, c.rng)
 		cands[bestIdx].pos = -1
 	}
 	// Positions not chosen keep DontCare in child; their derivation

@@ -58,9 +58,15 @@ func (d *Detector) D() int { return d.Grid.D }
 func (d *Detector) Phi() int { return d.Grid.Phi }
 
 func (d *Detector) validateKM(k, m int) error {
+	return validateKM(d.D(), k, m)
+}
+
+// validateKM is the Detector-free form, used when a search runs over
+// an arbitrary CountSource.
+func validateKM(dimCount, k, m int) error {
 	switch {
-	case k < 1 || k > d.D():
-		return fmt.Errorf("core: projection dimensionality k=%d outside [1,%d]", k, d.D())
+	case k < 1 || k > dimCount:
+		return fmt.Errorf("core: projection dimensionality k=%d outside [1,%d]", k, dimCount)
 	case m < 1:
 		return fmt.Errorf("core: number of projections m=%d must be positive", m)
 	default:

@@ -7,9 +7,9 @@ import (
 )
 
 // validateDims checks a feature-bag restriction: strictly increasing,
-// unique dimensions within [0, D), at least k of them. A nil bag is
-// valid and means "all dimensions".
-func validateDims(d *Detector, dims []int, k int) error {
+// unique dimensions within [0, dimCount), at least k of them. A nil
+// bag is valid and means "all dimensions".
+func validateDims(dimCount int, dims []int, k int) error {
 	if dims == nil {
 		return nil
 	}
@@ -17,8 +17,8 @@ func validateDims(d *Detector, dims []int, k int) error {
 		return fmt.Errorf("core: feature bag has %d dims, need at least k=%d", len(dims), k)
 	}
 	for i, j := range dims {
-		if j < 0 || j >= d.D() {
-			return fmt.Errorf("core: feature bag dim %d outside [0,%d)", j, d.D())
+		if j < 0 || j >= dimCount {
+			return fmt.Errorf("core: feature bag dim %d outside [0,%d)", j, dimCount)
 		}
 		if i > 0 && j <= dims[i-1] {
 			return fmt.Errorf("core: feature bag dims not strictly increasing at position %d", i)
@@ -31,11 +31,11 @@ func validateDims(d *Detector, dims []int, k int) error {
 // set, every dimension otherwise. Searching the full list [0..D) is
 // bit-identical to a nil bag: index i maps to dimension i, so every
 // RNG draw and enumeration step coincides.
-func resolveDims(d *Detector, dims []int) []int {
+func resolveDims(dimCount int, dims []int) []int {
 	if dims != nil {
 		return dims
 	}
-	all := make([]int, d.D())
+	all := make([]int, dimCount)
 	for i := range all {
 		all[i] = i
 	}

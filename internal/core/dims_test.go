@@ -164,7 +164,7 @@ func TestValidateDims(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateDims(det, tc.dims, 2)
+			err := validateDims(det.D(), tc.dims, 2)
 			if tc.want == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

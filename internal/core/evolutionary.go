@@ -9,6 +9,7 @@ import (
 	"hido/internal/evo"
 	"hido/internal/grid"
 	"hido/internal/obs"
+	"hido/internal/stats"
 	"hido/internal/xrand"
 )
 
@@ -156,13 +157,13 @@ func (o EvoOptions) withDefaults() EvoOptions {
 
 // search carries the mutable state of one evolutionary run.
 type search struct {
-	d       *Detector
+	src     CountSource
 	opt     EvoOptions
 	dims    []int      // searched dimensions (the bag, or all of them)
 	rng     *xrand.RNG // master stream: selection, pairing, mutation, per-pair seeds
 	bs      *evo.BestSet
 	cache   map[string]fitEntry // run-local fitness memo; also defines Evaluations
-	shared  *grid.Cache         // optional cross-run count cache
+	shared  *grid.Cache         // optional cross-run count cache (detector-backed runs)
 	workers int
 	evals   int
 	ctxs    []*xoverCtx // lazily built per-worker scratch contexts
@@ -176,29 +177,26 @@ type fitEntry struct {
 	count    int
 }
 
-// newSearch validates the cache binding and assembles a run context.
+// newSearch assembles a run context over an already-validated source.
 // opt must already carry its defaults.
-func newSearch(d *Detector, opt EvoOptions) (*search, error) {
-	if opt.Cache != nil && opt.Cache.Index() != d.Index {
-		return nil, fmt.Errorf("core: count cache was built over a different index")
-	}
+func newSearch(src CountSource, opt EvoOptions) *search {
 	return &search{
-		d:       d,
+		src:     src,
 		opt:     opt,
-		dims:    resolveDims(d, opt.Dims),
+		dims:    resolveDims(src.D(), opt.Dims),
 		rng:     xrand.New(opt.Seed),
 		bs:      evo.NewBestSet(opt.M),
 		cache:   make(map[string]fitEntry),
 		shared:  opt.Cache,
 		workers: resolveWorkers(opt.Workers),
-	}, nil
+	}
 }
 
-func validateEvoOptions(d *Detector, opt EvoOptions) error {
-	if err := d.validateKM(opt.K, opt.M); err != nil {
+func validateEvoOptions(src CountSource, opt EvoOptions) error {
+	if err := validateKM(src.D(), opt.K, opt.M); err != nil {
 		return err
 	}
-	if err := validateDims(d, opt.Dims, opt.K); err != nil {
+	if err := validateDims(src.D(), opt.Dims, opt.K); err != nil {
 		return err
 	}
 	if opt.PopSize != 0 && opt.PopSize < 2 {
@@ -216,23 +214,41 @@ func validateEvoOptions(d *Detector, opt EvoOptions) error {
 // the population is scored and recombined by a worker pool; results
 // are identical to the serial run.
 func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
-	if err := validateEvoOptions(d, opt); err != nil {
+	if err := validateCache(d, opt.Cache); err != nil {
+		return nil, err
+	}
+	return evolutionaryOver(d.source(opt.Cache), opt)
+}
+
+// EvolutionaryOver runs the same search against an arbitrary
+// CountSource — the entry point of the distributed fit, where the
+// source sums per-shard cube counts. The trajectory depends on the
+// data only through counts, so any source that reports the counts of
+// the concatenated data reproduces the single-node Result bit for
+// bit. Options bound to a detector's index (Cache) are rejected.
+func EvolutionaryOver(src CountSource, opt EvoOptions) (*Result, error) {
+	if opt.Cache != nil {
+		return nil, fmt.Errorf("core: EvoOptions.Cache requires a detector-backed search")
+	}
+	return evolutionaryOver(src, opt)
+}
+
+func evolutionaryOver(src CountSource, opt EvoOptions) (*Result, error) {
+	if err := validateEvoOptions(src, opt); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults()
 	start := time.Now()
 
-	s, err := newSearch(d, opt)
-	if err != nil {
-		return nil, err
-	}
+	s := newSearch(src, opt)
 
-	pop := evo.NewPopulation(opt.PopSize, d.D())
+	pop := evo.NewPopulation(opt.PopSize, src.D())
 	var cp *evoCheckpointer
+	var err error
 	startGen, stall := 0, 0
 	restored := false
 	if copt := opt.Checkpoint; copt != nil && copt.Path != "" {
-		cp = newEvoCheckpointer(*copt, evoFingerprint(d, opt))
+		cp = newEvoCheckpointer(*copt, evoFingerprint(src, opt))
 		if copt.Resume {
 			startGen, stall, restored, err = cp.restore(s, pop)
 			if err != nil {
@@ -280,7 +296,7 @@ func (d *Detector) Evolutionary(opt EvoOptions) (*Result, error) {
 
 	res.Generations = gen
 	res.Evaluations = s.evals
-	d.finalize(s.bs, res)
+	finalizeOver(src, s.bs, res)
 	res.Elapsed = time.Since(start)
 	notifySummary(opt.Observer, opt.RunID, "evo", res, false, opt.Cache)
 	if cp != nil {
@@ -298,17 +314,14 @@ func (s *search) randomGenome(g evo.Genome) {
 		g[i] = cube.DontCare
 	}
 	for _, i := range s.rng.Sample(len(s.dims), s.opt.K) {
-		g[s.dims[i]] = uint16(s.rng.IntRange(1, s.d.Phi()))
+		g[s.dims[i]] = uint16(s.rng.IntRange(1, s.src.Phi()))
 	}
 }
 
-// countCube resolves one cube count, through the shared cache when
-// one is attached.
-func (s *search) countCube(c cube.Cube, key string) int {
-	if s.shared != nil {
-		return s.shared.CountKey(c, key)
-	}
-	return s.d.Index.Count(c)
+// sparsityOf converts a raw count into the sparsity coefficient
+// (Equation 1) at this search's projection dimensionality.
+func (s *search) sparsityOf(n int) float64 {
+	return stats.Sparsity(n, s.src.N(), s.opt.K, s.src.Phi())
 }
 
 // evaluateAll scores every member of the population, filling
@@ -341,14 +354,19 @@ func (s *search) evaluateAll(pop *evo.Population) {
 		s.evals++
 	}
 
-	counts := make([]int, len(jobs))
-	parallelFor(len(jobs), s.workers, func(j int) {
-		i := jobs[j]
-		counts[j] = s.countCube(cube.Cube(pop.Members[i]), keys[i])
-	})
+	// One source batch per generation: a local source fans the counts
+	// out on the worker pool; a remote source resolves them in a single
+	// round trip across the shards.
+	cs := make([]cube.Cube, len(jobs))
+	ks := make([]string, len(jobs))
+	for j, i := range jobs {
+		cs[j] = cube.Cube(pop.Members[i])
+		ks[j] = keys[i]
+	}
+	counts := s.src.CountBatch(cs, ks, s.workers)
 	for j, i := range jobs {
 		s.cache[keys[i]] = fitEntry{
-			sparsity: s.d.Index.SparsityOf(counts[j], s.opt.K),
+			sparsity: s.sparsityOf(counts[j]),
 			count:    counts[j],
 		}
 	}
@@ -383,8 +401,8 @@ func (s *search) evaluate(g evo.Genome) float64 {
 		e = fitEntry{sparsity: math.Inf(1), count: -1}
 	} else {
 		s.evals++
-		e.count = s.countCube(c, key)
-		e.sparsity = s.d.Index.SparsityOf(e.count, s.opt.K)
+		e.count = s.src.CountKey(c, key)
+		e.sparsity = s.sparsityOf(e.count)
 	}
 	s.cache[key] = e
 	return e.sparsity
@@ -451,7 +469,7 @@ func (s *search) mutate(g evo.Genome) {
 		if len(stars) > 0 && len(filled) > 0 {
 			in := stars[s.rng.Intn(len(stars))]
 			out := filled[s.rng.Intn(len(filled))]
-			g[in] = uint16(s.rng.IntRange(1, s.d.Phi()))
+			g[in] = uint16(s.rng.IntRange(1, s.src.Phi()))
 			g[out] = cube.DontCare
 		}
 	}
@@ -464,10 +482,10 @@ func (s *search) mutate(g evo.Genome) {
 		}
 		if len(filled) > 0 {
 			j := filled[s.rng.Intn(len(filled))]
-			if s.d.Phi() > 1 {
+			if phi := s.src.Phi(); phi > 1 {
 				old := g[j]
 				for {
-					g[j] = uint16(s.rng.IntRange(1, s.d.Phi()))
+					g[j] = uint16(s.rng.IntRange(1, phi))
 					if g[j] != old {
 						break
 					}

@@ -65,7 +65,10 @@ func (d *Detector) EvolutionaryIslands(opt IslandOptions) (*Result, error) {
 		return nil, fmt.Errorf("core: invalid island parameters %+v", opt)
 	}
 	eo := opt.Evo
-	if err := validateEvoOptions(d, eo); err != nil {
+	if err := validateEvoOptions(d.source(nil), eo); err != nil {
+		return nil, err
+	}
+	if err := validateCache(d, eo.Cache); err != nil {
 		return nil, err
 	}
 	if eo.Checkpoint != nil {
@@ -112,11 +115,7 @@ func (d *Detector) EvolutionaryIslands(opt IslandOptions) (*Result, error) {
 		// island 0 only.
 		io.OnGeneration = nil
 		io.RunID = fmt.Sprintf("%s.i%d", runID, i)
-		s, err := newSearch(d, io)
-		if err != nil {
-			return nil, err
-		}
-		searches[i] = s
+		searches[i] = newSearch(d.source(io.Cache), io)
 		islands[i] = evo.NewPopulation(eo.PopSize, d.D())
 	}
 	parallelFor(opt.Islands, outer, func(i int) {
@@ -188,7 +187,7 @@ func (d *Detector) EvolutionaryIslands(opt IslandOptions) (*Result, error) {
 
 	res.Generations = gen
 	res.Evaluations = sumEvals(searches)
-	d.finalize(mergeBestSets(searches, eo.M), res)
+	finalizeOver(d.source(nil), mergeBestSets(searches, eo.M), res)
 	res.Elapsed = time.Since(start)
 	notifySummary(eo.Observer, runID, "evo-islands", res, false, eo.Cache)
 	return res, nil

@@ -252,10 +252,7 @@ func TestNilObserverZeroAlloc(t *testing.T) {
 	ds := plantedDataset(100, 5, 46)
 	det := NewDetector(ds, 4)
 	opt := EvoOptions{K: 2, M: 4, Seed: 3}.withDefaults()
-	s, err := newSearch(det, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := newSearch(det.source(opt.Cache), opt)
 	pop := evo.NewPopulation(opt.PopSize, det.D())
 	for i := range pop.Members {
 		s.randomGenome(pop.Members[i])

@@ -35,22 +35,39 @@ import (
 // wall clock), and ConvergedDeJong reports whether every run met the
 // De Jong criterion.
 func (d *Detector) EvolutionaryRestarts(opt EvoOptions, restarts int) (*Result, error) {
+	if err := validateCache(d, opt.Cache); err != nil {
+		return nil, err
+	}
+	if opt.Cache == nil && restarts > 1 {
+		opt.Cache = grid.NewCache(d.Index)
+	}
+	return evolutionaryRestartsOver(d.source(opt.Cache), opt, restarts)
+}
+
+// EvolutionaryRestartsOver is EvolutionaryRestarts against an
+// arbitrary CountSource (see EvolutionaryOver). The source is shared
+// by the concurrent restarts, so it must be safe for concurrent use;
+// no shared grid.Cache is auto-created — a memoizing source provides
+// its own cross-run reuse. Options bound to a detector's index
+// (Cache) are rejected.
+func EvolutionaryRestartsOver(src CountSource, opt EvoOptions, restarts int) (*Result, error) {
+	if opt.Cache != nil {
+		return nil, fmt.Errorf("core: EvoOptions.Cache requires a detector-backed search")
+	}
+	return evolutionaryRestartsOver(src, opt, restarts)
+}
+
+func evolutionaryRestartsOver(src CountSource, opt EvoOptions, restarts int) (*Result, error) {
 	if restarts < 1 {
 		return nil, fmt.Errorf("core: restarts=%d must be positive", restarts)
 	}
-	if err := validateEvoOptions(d, opt); err != nil {
+	if err := validateEvoOptions(src, opt); err != nil {
 		return nil, err
 	}
 	if opt.Checkpoint != nil {
 		return nil, fmt.Errorf("core: checkpointing is not supported with restarts")
 	}
-	if opt.Cache != nil && opt.Cache.Index() != d.Index {
-		return nil, fmt.Errorf("core: count cache was built over a different index")
-	}
 	start := time.Now()
-	if opt.Cache == nil && restarts > 1 {
-		opt.Cache = grid.NewCache(d.Index)
-	}
 	w := resolveWorkers(opt.Workers)
 	outer := w
 	if outer > restarts {
@@ -79,7 +96,7 @@ func (d *Detector) EvolutionaryRestarts(opt EvoOptions, restarts int) (*Result, 
 		if restarts > 1 {
 			o.RunID = fmt.Sprintf("%s.r%d", runID, r)
 		}
-		results[r], errs[r] = d.Evolutionary(o)
+		results[r], errs[r] = evolutionaryOver(src, o)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -88,7 +105,7 @@ func (d *Detector) EvolutionaryRestarts(opt EvoOptions, restarts int) (*Result, 
 	}
 
 	merged := &Result{
-		OutlierSet:      bitset.New(d.N()),
+		OutlierSet:      bitset.New(src.N()),
 		ConvergedDeJong: true,
 	}
 	seen := map[string]bool{}
@@ -148,21 +165,27 @@ func (d *Detector) EvolutionarySweepK(opt EvoOptions, kmin, kmax int) (map[int]*
 // "all the sparse projections ... with a sparsity coefficient of -3
 // or less").
 func (r *Result) FilterProjections(d *Detector, threshold float64) *Result {
+	return r.FilterProjectionsOver(d.source(nil), threshold)
+}
+
+// FilterProjectionsOver is FilterProjections against an arbitrary
+// CountSource — the cluster fit filters through the shard fan-out.
+func (r *Result) FilterProjectionsOver(src CountSource, threshold float64) *Result {
 	out := &Result{
 		Evaluations:     r.Evaluations,
 		Generations:     r.Generations,
 		ConvergedDeJong: r.ConvergedDeJong,
 		Elapsed:         r.Elapsed,
-		OutlierSet:      bitset.New(d.N()),
+		OutlierSet:      bitset.New(src.N()),
 	}
-	scratch := bitset.New(d.N())
 	for _, p := range r.Projections {
 		if p.Sparsity > threshold {
 			continue
 		}
 		out.Projections = append(out.Projections, p)
-		d.Index.CoverInto(scratch, p.Cube)
-		out.OutlierSet.Or(scratch)
+		for _, i := range src.Cover(p.Cube) {
+			out.OutlierSet.Set(i)
+		}
 	}
 	out.Outliers = out.OutlierSet.Indices()
 	return out

@@ -159,19 +159,21 @@ func (r *Result) RankedOutliers(d *Detector) []int {
 	return out
 }
 
-// finalize converts a BestSet into the Result's projections and runs
-// the §2.3 postprocessing: the outliers are the records covered by at
-// least one retained projection.
-func (d *Detector) finalize(bs *evo.BestSet, r *Result) {
+// finalizeOver converts a BestSet into the Result's projections and
+// runs the §2.3 postprocessing: the outliers are the records covered
+// by at least one retained projection. It goes through the source's
+// Cover so remote sources resolve coverage across their shards.
+func finalizeOver(src CountSource, bs *evo.BestSet, r *Result) {
 	entries := bs.Entries()
 	r.Projections = make([]Projection, 0, len(entries))
-	r.OutlierSet = bitset.New(d.N())
-	scratch := bitset.New(d.N())
+	r.OutlierSet = bitset.New(src.N())
 	for _, e := range entries {
 		c := cube.Cube(e.Genome).Clone()
-		n := d.Index.CoverInto(scratch, c)
-		r.Projections = append(r.Projections, Projection{Cube: c, Sparsity: e.Fitness, Count: n})
-		r.OutlierSet.Or(scratch)
+		idx := src.Cover(c)
+		r.Projections = append(r.Projections, Projection{Cube: c, Sparsity: e.Fitness, Count: len(idx)})
+		for _, i := range idx {
+			r.OutlierSet.Set(i)
+		}
 	}
 	r.Outliers = r.OutlierSet.Indices()
 }

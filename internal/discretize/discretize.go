@@ -155,6 +155,32 @@ func equiWidthCuts(col []float64, phi int) []float64 {
 	return cuts
 }
 
+// Apply discretizes a dataset with externally fitted cut points: the
+// grid carries the given boundaries and the dataset's cell
+// assignments under them. This is the shard-side half of a
+// distributed fit — the coordinator computes global cuts over the
+// concatenated data, and each shard applies them to its rows, so the
+// shards' cell assignments concatenate to exactly what a single-node
+// Fit over all rows would have produced. The cuts contract matches
+// FromCuts: phi−1 ascending boundaries per dimension.
+func Apply(ds *dataset.Dataset, phi int, cuts [][]float64) *Grid {
+	if ds.N() == 0 || ds.D() == 0 {
+		panic("discretize: empty dataset")
+	}
+	if len(cuts) != ds.D() {
+		panic(fmt.Sprintf("discretize: %d cut dimensions for a %d-dimensional dataset", len(cuts), ds.D()))
+	}
+	g := FromCuts(phi, cuts)
+	g.N = ds.N()
+	g.cells = make([]uint16, ds.N()*ds.D())
+	for j := 0; j < ds.D(); j++ {
+		for i, v := range ds.Column(j) {
+			g.cells[i*g.D+j] = g.assign(j, v)
+		}
+	}
+	return g
+}
+
 // FromCuts reconstructs a grid from previously fitted cut points —
 // the deserialization path for persisted models. The grid carries no
 // record assignments (N = 0): Cell and CellsRow are unavailable, but

@@ -92,7 +92,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	var alerts []stream.Alert
 	s.phase(endpoint, "score", func() {
-		alerts, err = e.Monitor.ScoreBatchContext(r.Context(), ds, s.cfg.ScoreWorkers)
+		if s.cfg.BatchScorer != nil {
+			alerts, err = s.cfg.BatchScorer.ScoreBatch(r.Context(), name, e.Monitor, ds, s.cfg.ScoreWorkers)
+		} else {
+			alerts, err = e.Monitor.ScoreBatchContext(r.Context(), ds, s.cfg.ScoreWorkers)
+		}
 	})
 	if err != nil {
 		writeError(w, httpStatusFromErr(err), "scoring aborted: "+err.Error())

@@ -25,6 +25,7 @@
 // API (all JSON unless noted):
 //
 //	POST   /api/v1/score?model=N[&explain=1][&all=1]   score a batch (CSV or JSON-lines body)
+//	GET    /api/v1/topn?model=N&n=K                    rank stored reference rows (needs -data or -role select)
 //	POST   /api/v1/fit?model=N&phi=..&s=..             async fit -> 202 + job id
 //	GET    /api/v1/jobs/{id}                           fit job status
 //	GET    /api/v1/models                              list models + metadata
@@ -81,6 +82,14 @@ type Config struct {
 	// disk degrades durability, not serving. cmd/hidod wires
 	// internal/store behind -state-dir.
 	Store ModelStore
+	// BatchScorer, when set, replaces local scoring on /api/v1/score —
+	// the cluster coordinator's scatter-gather seam. nil scores on the
+	// registry monitor. See SetBatchScorer for late binding.
+	BatchScorer BatchScorer
+	// TopNer, when set, serves GET /api/v1/topn over stored reference
+	// rows (a local -data window, or a cluster's shards). nil answers
+	// 404 on that endpoint.
+	TopNer TopNer
 }
 
 // ModelStore persists registry mutations. Implementations must be safe
@@ -224,6 +233,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /api/v1/score", "/api/v1/score", true, s.handleScore)
+	s.route("GET /api/v1/topn", "/api/v1/topn", true, s.handleTopN)
 	s.route("POST /api/v1/fit", "/api/v1/fit", true, s.handleFit)
 	s.route("GET /api/v1/jobs/{id}", "/api/v1/jobs/{id}", false, s.handleJob)
 	s.route("GET /api/v1/models", "/api/v1/models", false, s.handleModelList)
@@ -244,6 +254,16 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Handler returns the fully wrapped HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetBatchScorer installs the scoring seam after construction —
+// cmd/hidod builds the cluster coordinator against this server's
+// metrics registry, which only exists once New has returned. Must be
+// called before the server starts serving.
+func (s *Server) SetBatchScorer(b BatchScorer) { s.cfg.BatchScorer = b }
+
+// SetTopNer installs the top-n seam after construction; same late
+// binding contract as SetBatchScorer.
+func (s *Server) SetTopNer(t TopNer) { s.cfg.TopNer = t }
 
 // DrainJobs blocks until running fit jobs finish, or ctx expires.
 // Graceful shutdown calls it after http.Server.Shutdown has drained

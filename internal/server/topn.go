@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"hido/internal/dataset"
+	"hido/internal/stream"
+)
+
+// BatchScorer is the scoring seam behind POST /api/v1/score: how a
+// decoded batch becomes alerts. nil scores locally on the monitor;
+// the cluster coordinator (internal/cluster) plugs in scatter-gather
+// scoring across storage shards. Implementations must return exactly
+// one alert per row, in row order — the handler's response encoding
+// is shared, so a correct implementation is byte-invisible to
+// clients.
+type BatchScorer interface {
+	ScoreBatch(ctx context.Context, model string, mon *stream.Monitor, ds *dataset.Dataset, workers int) ([]stream.Alert, error)
+}
+
+// TopNer is the seam behind GET /api/v1/topn: rank the stored
+// reference rows by outlier score and return the n most outlying.
+// Single-node deployments attach NewDatasetTopN over their -data
+// window; select nodes attach the cluster coordinator, which merges
+// per-shard top-n sets.
+type TopNer interface {
+	TopN(ctx context.Context, model string, mon *stream.Monitor, n int) (TopNResult, error)
+}
+
+// TopNEntry is one ranked reference row.
+type TopNEntry struct {
+	// Index is the row's position in the global reference order (for a
+	// cluster: shard offsets in fixed peer order plus the local index).
+	Index int `json:"index"`
+	// Score is the row's alert score; lower is more outlying.
+	Score float64 `json:"score"`
+	// Flagged reports whether any retained projection covered the row.
+	Flagged bool `json:"flagged"`
+}
+
+// TopNResult is a ranked answer plus its completeness: Partial marks
+// a degraded cluster answer where a quorum, but not all, of the
+// shards contributed.
+type TopNResult struct {
+	Rows    int
+	Partial bool
+	Results []TopNEntry
+}
+
+// SortTopN orders entries by (score ascending, index ascending) —
+// most outlying first, deterministic under score ties. Shards, the
+// coordinator's merge, and the single-node ranker all use this one
+// comparator, which is what makes the distributed merge exact.
+func SortTopN(entries []TopNEntry) {
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].Score != entries[b].Score {
+			return entries[a].Score < entries[b].Score
+		}
+		return entries[a].Index < entries[b].Index
+	})
+}
+
+// datasetTopN ranks a local reference window: the single-node
+// implementation of TopNer.
+type datasetTopN struct {
+	ds      *dataset.Dataset
+	workers int
+}
+
+// NewDatasetTopN builds a TopNer over a local reference window.
+// workers bounds the scoring fan-out (0 = GOMAXPROCS).
+func NewDatasetTopN(ds *dataset.Dataset, workers int) TopNer {
+	return &datasetTopN{ds: ds, workers: workers}
+}
+
+func (t *datasetTopN) TopN(ctx context.Context, model string, mon *stream.Monitor, n int) (TopNResult, error) {
+	alerts, err := mon.ScoreBatchContext(ctx, t.ds, t.workers)
+	if err != nil {
+		return TopNResult{}, err
+	}
+	entries := make([]TopNEntry, len(alerts))
+	for i, a := range alerts {
+		entries[i] = TopNEntry{Index: i, Score: a.Score, Flagged: a.Flagged()}
+	}
+	SortTopN(entries)
+	if n < len(entries) {
+		entries = entries[:n]
+	}
+	return TopNResult{Rows: t.ds.N(), Results: entries}, nil
+}
+
+// topNResponse is the body of a successful GET /api/v1/topn.
+type topNResponse struct {
+	Model   string      `json:"model"`
+	Rows    int         `json:"rows"`
+	N       int         `json:"n"`
+	Partial bool        `json:"partial,omitempty"`
+	Results []TopNEntry `json:"results"`
+}
+
+// handleTopN ranks the stored reference rows against a model. 404
+// when no reference data is attached (stateless single-node hidod);
+// 503 when the attached TopNer cannot reach a quorum of its shards.
+func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/api/v1/topn"
+	name := modelParam(r)
+	e, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not loaded", name))
+		return
+	}
+	if s.cfg.TopNer == nil {
+		writeError(w, http.StatusNotFound,
+			"top-n unavailable: no reference data attached (start with -data, or -role select)")
+		return
+	}
+	n := 10
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, "bad n: "+v)
+			return
+		}
+		n = parsed
+	}
+	var res TopNResult
+	var err error
+	s.phase(endpoint, "score", func() {
+		res, err = s.cfg.TopNer.TopN(r.Context(), name, e.Monitor, n)
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "top-n failed: "+err.Error())
+		return
+	}
+	if res.Results == nil {
+		res.Results = []TopNEntry{}
+	}
+	s.phase(endpoint, "encode", func() {
+		writeJSON(w, http.StatusOK, topNResponse{
+			Model: name, Rows: res.Rows, N: n, Partial: res.Partial, Results: res.Results,
+		})
+	})
+}
