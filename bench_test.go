@@ -16,14 +16,17 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"hido/internal/batchwire"
 	"hido/internal/bench"
 	"hido/internal/core"
 	"hido/internal/cube"
+	"hido/internal/dataset"
 	"hido/internal/grid"
 	"hido/internal/server"
 	"hido/internal/stream"
@@ -514,3 +517,124 @@ func benchServerScore(b *testing.B, batch int) {
 func BenchmarkServerScore_Batch1(b *testing.B)     { benchServerScore(b, 1) }
 func BenchmarkServerScore_Batch100(b *testing.B)   { benchServerScore(b, 100) }
 func BenchmarkServerScore_Batch10000(b *testing.B) { benchServerScore(b, 10000) }
+
+// benchHandlerServer builds the server without a listener: driving
+// ServeHTTP directly isolates the serving path (decode, score, encode,
+// middleware) from client and kernel socket costs, which is what the
+// allocs/op gate cares about. The logger is set above Info so access
+// logging is disabled, as a production deployment under load would run.
+func benchHandlerServer(b *testing.B) http.Handler {
+	b.Helper()
+	ref, err := synth.Generate(synth.Config{
+		Name: "ref", N: 800, D: 8,
+		Groups: []synth.Group{{Dims: []int{0, 1, 2}, Noise: 0.03}},
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := stream.NewMonitor(ref, stream.Options{Phi: 5, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	s := server.New(server.Config{Logger: quiet})
+	if err := s.Registry().Set("default", server.Entry{Monitor: mon, FittedAt: time.Now()}); err != nil {
+		b.Fatal(err)
+	}
+	return s.Handler()
+}
+
+// benchBatchDS builds a deterministic unlabeled scoring batch.
+func benchBatchDS(batch int) *dataset.Dataset {
+	r := xrand.New(3)
+	ds := dataset.New([]string{"a", "b", "c", "d", "e", "f", "g", "h"}, batch)
+	for i := 0; i < batch; i++ {
+		f := r.Float64()
+		ds.AppendRow([]float64{f, f, f, r.Float64(), r.Float64(), r.Float64(), r.Float64(), r.Float64()}, "")
+	}
+	return ds
+}
+
+// replayBody re-arms one request body without allocating.
+type replayBody struct{ r bytes.Reader }
+
+func (rb *replayBody) Read(p []byte) (int, error) { return rb.r.Read(p) }
+func (rb *replayBody) Close() error               { return nil }
+
+// discardResponseWriter counts the response away so the benchmark
+// measures only the server's own allocations.
+type discardResponseWriter struct {
+	h    http.Header
+	n    int
+	code int
+}
+
+func (w *discardResponseWriter) Header() http.Header         { return w.h }
+func (w *discardResponseWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+func (w *discardResponseWriter) WriteHeader(c int)           { w.code = c }
+
+// benchServerScoreHandler drives POST /api/v1/score through ServeHTTP
+// with one body format, reporting allocs/op and records/s. These are
+// the series the CI bench-gate compares against bench_baseline.json.
+func benchServerScoreHandler(b *testing.B, h http.Handler, contentType string, payload []byte, batch int) {
+	req := httptest.NewRequest("POST", "/api/v1/score", nil)
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("X-Request-Id", "bench")
+	rb := &replayBody{}
+	w := &discardResponseWriter{h: make(http.Header)}
+	run := func() {
+		rb.r.Reset(payload)
+		req.Body = rb
+		w.code = 0
+		h.ServeHTTP(w, req)
+		if w.code != 0 && w.code != http.StatusOK {
+			b.Fatalf("score: %d", w.code)
+		}
+	}
+	for i := 0; i < 20; i++ { // warm the arenas and scorer pools
+		run()
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkServerScoreHandler(b *testing.B) {
+	h := benchHandlerServer(b)
+	for _, batch := range []int{1, 100, 10000} {
+		ds := benchBatchDS(batch)
+		var csvBody bytes.Buffer
+		if err := ds.WriteCSV(&csvBody); err != nil {
+			b.Fatal(err)
+		}
+		var jsonBody bytes.Buffer
+		for i := 0; i < ds.N(); i++ {
+			jsonBody.WriteByte('[')
+			for j := 0; j < ds.D(); j++ {
+				if j > 0 {
+					jsonBody.WriteByte(',')
+				}
+				fmt.Fprintf(&jsonBody, "%g", ds.At(i, j))
+			}
+			jsonBody.WriteString("]\n")
+		}
+		cases := []struct {
+			format string
+			ct     string
+			body   []byte
+		}{
+			{"csv", "text/csv", csvBody.Bytes()},
+			{"json", "application/x-ndjson", jsonBody.Bytes()},
+			{"binary", batchwire.ContentType, batchwire.Encode(ds)},
+		}
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s_batch%d", c.format, batch), func(b *testing.B) {
+				benchServerScoreHandler(b, h, c.ct, c.body, batch)
+			})
+		}
+	}
+}

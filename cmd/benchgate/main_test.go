@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: hido
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkServerScoreHandler/csv_batch1-8         	  168342	      8014 ns/op	  20.84 MB/s	    124776 records/s	    6464 B/op	      43 allocs/op
+BenchmarkServerScoreHandler/binary_batch1-8      	  553477	      2305 ns/op	  33.41 MB/s	    433916 records/s	     872 B/op	      13 allocs/op
+PASS
+ok  	hido	13.634s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	res, err := parseBenchOutput(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(res))
+	}
+	bin, ok := res["ServerScoreHandler/binary_batch1"]
+	if !ok {
+		t.Fatalf("binary_batch1 missing (GOMAXPROCS suffix not stripped?): %v", res)
+	}
+	if bin.AllocsPerOp != 13 || bin.RecordsPerS != 433916 || bin.NsPerOp != 2305 || bin.BytesPerOp != 872 {
+		t.Fatalf("binary_batch1 parsed wrong: %+v", bin)
+	}
+	if _, err := parseBenchOutput(strings.NewReader("PASS\nok hido 1s\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := map[string]Result{
+		"b1": {AllocsPerOp: 13, RecordsPerS: 100000},
+		"b2": {AllocsPerOp: 500, RecordsPerS: 200000},
+	}
+	ok := map[string]Result{
+		"b1": {AllocsPerOp: 14, RecordsPerS: 90000}, // within 10% / above 85%
+		"b2": {AllocsPerOp: 480, RecordsPerS: 500000},
+	}
+	if bad := gate(base, ok); len(bad) != 0 {
+		t.Fatalf("clean run gated: %v", bad)
+	}
+	cases := []struct {
+		name string
+		cur  map[string]Result
+		want string
+	}{
+		{"allocs", map[string]Result{
+			"b1": {AllocsPerOp: 15, RecordsPerS: 100000},
+			"b2": {AllocsPerOp: 500, RecordsPerS: 200000},
+		}, "allocs/op"},
+		{"throughput", map[string]Result{
+			"b1": {AllocsPerOp: 13, RecordsPerS: 100000},
+			"b2": {AllocsPerOp: 500, RecordsPerS: 160000},
+		}, "records/s"},
+		{"missing", map[string]Result{
+			"b1": {AllocsPerOp: 13, RecordsPerS: 100000},
+		}, "missing"},
+	}
+	for _, tc := range cases {
+		bad := gate(base, tc.cur)
+		if len(bad) != 1 || !strings.Contains(bad[0], tc.want) {
+			t.Errorf("%s: violations %v, want one mentioning %q", tc.name, bad, tc.want)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	log := filepath.Join(dir, "bench.log")
+	if err := os.WriteFile(log, []byte(sampleLog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(baseline, []byte(`{
+  "comment": "test",
+  "benchmarks": {
+    "ServerScoreHandler/binary_batch1": {"allocs_per_op": 15, "records_per_s": 190000}
+  }
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_serving.json")
+	if err := run(log, baseline, out); err != nil {
+		t.Fatalf("gate failed on a clean run: %v", err)
+	}
+	js, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"suite": "serving"`, `"ServerScoreHandler/binary_batch1"`, `"allocs_per_op": 13`} {
+		if !strings.Contains(string(js), want) {
+			t.Errorf("report missing %q:\n%s", want, js)
+		}
+	}
+	// A regressing baseline fails the run.
+	if err := os.WriteFile(baseline, []byte(`{"benchmarks":{"ServerScoreHandler/binary_batch1":{"allocs_per_op": 5, "records_per_s": 190000}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(log, baseline, ""); err == nil {
+		t.Fatal("allocs regression passed the gate")
+	}
+}

@@ -18,6 +18,12 @@
 // aborts with a non-zero exit instead of being silently reinterpreted
 // as a categorical column.
 //
+// Convert a CSV batch to the hib1 binary format hidod accepts on
+// /api/v1/score with Content-Type application/x-hido-batch (smaller
+// and much cheaper for the server to decode):
+//
+//	hidomon -convert stream.csv -out stream.hib1 [-header=0] [-label N]
+//
 // Both CSV files need the same columns; a trailing label column can be
 // excluded with -label.
 package main
@@ -29,6 +35,7 @@ import (
 	"fmt"
 	"os"
 
+	"hido/internal/batchwire"
 	"hido/internal/dataset"
 	"hido/internal/obs"
 	"hido/internal/stream"
@@ -38,7 +45,9 @@ func main() {
 	var (
 		fit     = flag.String("fit", "", "reference CSV to fit a model on")
 		score   = flag.String("score", "", "CSV of records to score against the model")
-		model   = flag.String("model", "", "model file path (required)")
+		convert = flag.String("convert", "", "CSV batch to convert to the hib1 binary format (needs -out)")
+		out     = flag.String("out", "", "output path for -convert")
+		model   = flag.String("model", "", "model file path (required for -fit/-score)")
 		phi     = flag.Int("phi", 5, "grid ranges per attribute (fit)")
 		s       = flag.Float64("s", -3, "target sparsity coefficient (fit)")
 		m       = flag.Int("m", 100, "projections tracked per search run (fit)")
@@ -55,16 +64,34 @@ func main() {
 		fmt.Println(obs.VersionLine("hidomon"))
 		return
 	}
-	if *model == "" || (*fit == "") == (*score == "") {
+	modes := 0
+	for _, v := range []string{*fit, *score, *convert} {
+		if v != "" {
+			modes++
+		}
+	}
+	switch {
+	case modes != 1:
+		fmt.Fprintln(os.Stderr, "hidomon: need exactly one of -fit, -score or -convert")
+		flag.Usage()
+		os.Exit(2)
+	case *convert != "" && *out == "":
+		fmt.Fprintln(os.Stderr, "hidomon: -convert needs -out")
+		flag.Usage()
+		os.Exit(2)
+	case *convert == "" && *model == "":
 		fmt.Fprintln(os.Stderr, "hidomon: need -model plus exactly one of -fit or -score")
 		flag.Usage()
 		os.Exit(2)
 	}
 	var err error
-	if *fit != "" {
+	switch {
+	case *fit != "":
 		err = runFit(*fit, *model, *phi, *s, *m, *seed, *header, *label, *verbose)
-	} else {
+	case *score != "":
 		err = runScore(*score, *model, *header, *label, *explain, *jsonOut)
+	default:
+		err = runConvert(*convert, *out, *header, *label)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hidomon: %v\n", err)
@@ -101,6 +128,25 @@ func runFit(in, modelPath string, phi int, s float64, m int, seed uint64,
 	}
 	fmt.Printf("fitted %d projections at k=%d over %d records; model saved to %s\n",
 		len(mon.Projections()), mon.K(), ds.N(), modelPath)
+	return nil
+}
+
+// runConvert rewrites a CSV batch as a hib1 binary frame. The parse is
+// strict for the same reason scoring is: hib1 carries numbers, so a
+// token that is neither numeric nor a missing marker must abort rather
+// than be reinterpreted.
+func runConvert(in, outPath string, header bool, label int) error {
+	ds, err := dataset.ReadCSVFile(in, dataset.ReadCSVOptions{
+		Header: header, LabelColumn: label, Strict: true,
+	})
+	if err != nil {
+		return err
+	}
+	b := batchwire.Encode(ds)
+	if err := os.WriteFile(outPath, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d records x %d attributes to %s (%d bytes)\n", ds.N(), ds.D(), outPath, len(b))
 	return nil
 }
 

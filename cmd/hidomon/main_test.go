@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"hido/internal/batchwire"
 	"hido/internal/dataset"
 	"hido/internal/stream"
 	"hido/internal/synth"
@@ -184,5 +185,45 @@ func TestScoreErrors(t *testing.T) {
 	}
 	if err := runScore(st, bad, true, -1, false, false); err == nil {
 		t.Error("corrupt model accepted")
+	}
+}
+
+// TestConvert checks -convert produces a hib1 frame that decodes back
+// to exactly the CSV's numeric content and labels.
+func TestConvert(t *testing.T) {
+	st := fixtureCSV(t, "stream.csv", streamDS)
+	out := filepath.Join(t.TempDir(), "stream.hib1")
+	if err := runConvert(st, out, true, 6); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := batchwire.Decode(nil, b, 0)
+	if err != nil {
+		t.Fatalf("converted file does not decode: %v", err)
+	}
+	want := streamDS()
+	if got.N() != want.N() || got.D() != want.D() {
+		t.Fatalf("converted shape %dx%d, want %dx%d", got.N(), got.D(), want.N(), want.D())
+	}
+	for i := 0; i < want.N(); i++ {
+		for j := 0; j < want.D(); j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("value (%d,%d) = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+		if got.Label(i) != want.Label(i) {
+			t.Fatalf("label %d = %q, want %q", i, got.Label(i), want.Label(i))
+		}
+	}
+	// A malformed numeric token aborts the conversion.
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("a,b,c,d,e,f\n1,2,x,4,5,6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConvert(bad, out, true, -1); err == nil {
+		t.Fatal("non-numeric CSV converted silently")
 	}
 }

@@ -1,0 +1,68 @@
+package batchwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzBinaryBatchDecode drives the hib1 decoder with hostile frames:
+// it must never panic, never accept a frame whose declared lengths
+// exceed the bytes present (so allocation is always bounded by the
+// input size), and every accepted frame must re-encode byte-identically
+// — hib1 is a canonical format.
+func FuzzBinaryBatchDecode(f *testing.F) {
+	ds := sample(false)
+	f.Add(Encode(ds), 0)
+	f.Add(Encode(ds), 3)
+	f.Add(Encode(sample(true)), 3)
+	f.Add([]byte("hib1"), 0)
+	f.Add([]byte{}, -1)
+
+	// Truncated length: header promises more values than the body holds.
+	trunc := Encode(ds)
+	f.Add(trunc[:headerLen+7], 0)
+	// Oversized pre-allocation bait: 4 billion declared records on a
+	// tiny payload.
+	huge := append([]byte(nil), trunc[:headerLen]...)
+	binary.BigEndian.PutUint32(huge[5:], math.MaxUint32)
+	f.Add(huge, 0)
+	// NaN/Inf payloads: every special bit pattern as a value.
+	var spec []byte
+	spec = append(spec, magic...)
+	spec = append(spec, 0)
+	spec = binary.BigEndian.AppendUint32(spec, 4)
+	spec = binary.BigEndian.AppendUint32(spec, 1)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0} {
+		spec = binary.BigEndian.AppendUint64(spec, math.Float64bits(v))
+	}
+	f.Add(spec, 1)
+	// Signalling-NaN bit patterns and a labels flag with garbage tail.
+	f.Add(append(append([]byte(nil), "hib1\x01"...), 0, 0, 0, 1, 0, 0, 0, 1, 0x7f, 0xf0, 0, 0, 0, 0, 0, 1, 0xff), 0)
+
+	f.Fuzz(func(t *testing.T, b []byte, wantD int) {
+		ds, err := Decode(nil, b, wantD)
+		if err != nil {
+			return
+		}
+		if ds.N() == 0 || ds.D() < 1 || ds.D() > maxDims {
+			t.Fatalf("accepted batch with shape %dx%d", ds.N(), ds.D())
+		}
+		if wantD > 0 && ds.D() != wantD {
+			t.Fatalf("accepted %d dims with wantD=%d", ds.D(), wantD)
+		}
+		back := Encode(ds)
+		if !bytes.Equal(back, b) {
+			t.Fatalf("accepted frame does not re-encode canonically:\n in: %x\nout: %x", b, back)
+		}
+		// Decoding into a reused dataset must agree bit for bit.
+		again, err := Decode(ds, b, wantD)
+		if err != nil {
+			t.Fatalf("reused decode rejected an accepted frame: %v", err)
+		}
+		if !bytes.Equal(Encode(again), back) {
+			t.Fatal("reused decode disagrees with fresh decode")
+		}
+	})
+}

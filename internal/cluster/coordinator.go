@@ -307,8 +307,7 @@ func (co *Coordinator) ScoreBatch(ctx context.Context, model string, mon *stream
 		if lo >= hi {
 			return nil
 		}
-		alerts, err := co.scoreChunk(ctx, peer, wm, ds, lo, hi, workers)
-		if err != nil {
+		if err := co.scoreChunkInto(ctx, peer, wm, ds, lo, hi, workers, out); err != nil {
 			co.logger.Warn("score chunk failing over to local scoring",
 				"peer", peer, "rows", hi-lo, "error", err)
 			if co.m != nil {
@@ -316,7 +315,6 @@ func (co *Coordinator) ScoreBatch(ctx context.Context, model string, mon *stream
 			}
 			return scoreLocalInto(ctx, mon, ds, lo, hi, out)
 		}
-		copy(out[lo:hi], alerts)
 		return nil
 	})
 	if err := ctx.Err(); err != nil {
@@ -330,41 +328,55 @@ func (co *Coordinator) ScoreBatch(ctx context.Context, model string, mon *stream
 	return out, nil
 }
 
-// scoreChunk ships rows [lo,hi) to one peer and decodes its alerts.
-func (co *Coordinator) scoreChunk(ctx context.Context, peer string, wm wireEntry, ds *dataset.Dataset, lo, hi, workers int) ([]stream.Alert, error) {
+// chunkScratch pools the row-flattening buffer scoreChunkInto builds
+// each request frame from, so steady scatter-gather traffic reuses one
+// buffer per concurrent chunk instead of allocating per request.
+var chunkScratch = sync.Pool{New: func() any { return new([]float64) }}
+
+// scoreChunkInto ships rows [lo,hi) to one peer and decodes its alerts
+// straight into out[lo:hi].
+func (co *Coordinator) scoreChunkInto(ctx context.Context, peer string, wm wireEntry, ds *dataset.Dataset, lo, hi, workers int, out []stream.Alert) error {
 	d := ds.D()
-	req := scoreReq{ModelFP: wm.fp, N: hi - lo, D: d, Workers: workers,
-		Values: make([]float64, 0, (hi-lo)*d)}
+	vp := chunkScratch.Get().(*[]float64)
+	vals := (*vp)[:0]
 	for i := lo; i < hi; i++ {
-		req.Values = append(req.Values, ds.RowView(i)...)
+		vals = append(vals, ds.RowView(i)...)
 	}
-	payload, err := co.callWithModel(ctx, peer, "score", req.encode(), msgScoreResp, wm)
+	req := scoreReq{ModelFP: wm.fp, N: hi - lo, D: d, Workers: workers, Values: vals}
+	frame := req.encode()
+	// The frame owns its own bytes; the scratch can go back before the
+	// network round-trip.
+	*vp = vals
+	chunkScratch.Put(vp)
+	payload, err := co.callWithModel(ctx, peer, "score", frame, msgScoreResp, wm)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	var resp scoreResp
 	if err := resp.decode(payload); err != nil {
-		return nil, err
+		return err
 	}
 	if len(resp.Alerts) != hi-lo {
-		return nil, fmt.Errorf("cluster: peer %s scored %d of %d rows", peer, len(resp.Alerts), hi-lo)
+		return fmt.Errorf("cluster: peer %s scored %d of %d rows", peer, len(resp.Alerts), hi-lo)
 	}
-	alerts := make([]stream.Alert, len(resp.Alerts))
 	for i, a := range resp.Alerts {
-		alerts[i] = stream.Alert{Score: a.Score, Matches: a.Matches}
+		out[lo+i] = stream.Alert{Score: a.Score, Matches: a.Matches}
 	}
-	return alerts, nil
+	return nil
 }
 
 // scoreLocalInto scores rows [lo,hi) on the local model copy — the
 // failover path. Alert content is identical to what the shard would
-// have returned: scoring is a pure function of (model, record).
+// have returned: scoring is a pure function of (model, record). One
+// scorer serves the whole range, so the per-record scratch is
+// allocated once.
 func scoreLocalInto(ctx context.Context, mon *stream.Monitor, ds *dataset.Dataset, lo, hi int, out []stream.Alert) error {
+	sc := mon.NewScorer()
 	for i := lo; i < hi; i++ {
 		if (i-lo)%256 == 0 && ctx.Err() != nil {
 			return ctx.Err()
 		}
-		out[i] = mon.Score(ds.RowView(i))
+		out[i] = sc.Score(ds.RowView(i))
 	}
 	return nil
 }

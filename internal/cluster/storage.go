@@ -364,8 +364,9 @@ func (st *Storage) rpcScore(payload []byte) ([]byte, error) {
 			"cluster: score rows have %d dims, model has %d", req.D, mon.D())
 	}
 	resp := scoreResp{Alerts: make([]wireAlert, req.N)}
+	sc := mon.NewScorer()
 	for i := 0; i < req.N; i++ {
-		a := mon.Score(req.Values[i*req.D : (i+1)*req.D])
+		a := sc.Score(req.Values[i*req.D : (i+1)*req.D])
 		resp.Alerts[i] = wireAlert{Score: a.Score, Matches: a.Matches}
 	}
 	return resp.encode(), nil
@@ -389,8 +390,9 @@ func (st *Storage) rpcTopN(payload []byte) ([]byte, error) {
 	}
 	n := st.ds.N()
 	items := make([]topNItem, n)
+	sc := mon.NewScorer()
 	for i := 0; i < n; i++ {
-		a := mon.Score(st.ds.RowView(i))
+		a := sc.Score(st.ds.RowView(i))
 		items[i] = topNItem{Index: i, Score: a.Score, Flagged: a.Flagged()}
 	}
 	// Most outlying first: ascending score (sparsity coefficients are

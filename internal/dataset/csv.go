@@ -37,6 +37,19 @@ type ReadCSVOptions struct {
 // the paper's cleaning of categorical attributes; missing tokens
 // become NaN.
 func ReadCSV(r io.Reader, opts ReadCSVOptions) (*Dataset, error) {
+	return ReadCSVInto(nil, r, opts)
+}
+
+// ReadCSVInto is ReadCSV parsing into dst, which is Reset in place (a
+// nil dst allocates a fresh dataset) — the pooled-decode form of the
+// hidod server. In Strict mode records stream through one reused parse
+// buffer (csv.Reader.ReuseRecord) instead of being materialized, so
+// parse garbage is O(1) in the row count; lenient mode still buffers
+// all records because categorical detection needs two passes.
+func ReadCSVInto(dst *Dataset, r io.Reader, opts ReadCSVOptions) (*Dataset, error) {
+	if opts.Strict {
+		return readCSVStrict(dst, r, opts)
+	}
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
@@ -50,14 +63,7 @@ func ReadCSV(r io.Reader, opts ReadCSVOptions) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: empty csv input")
 	}
 
-	missing := map[string]bool{"": true}
-	tokens := opts.Missing
-	if tokens == nil {
-		tokens = []string{"?", "NA"}
-	}
-	for _, tok := range tokens {
-		missing[tok] = true
-	}
+	missing := missingSet(opts)
 
 	var header []string
 	body := records
@@ -103,16 +109,12 @@ func ReadCSV(r io.Reader, opts ReadCSVOptions) (*Dataset, error) {
 	numeric := make([]bool, len(featCols))
 	for i, j := range featCols {
 		numeric[i] = true
-		for ri, rec := range body {
+		for _, rec := range body {
 			f := strings.TrimSpace(rec[j])
 			if missing[f] {
 				continue
 			}
 			if _, err := strconv.ParseFloat(f, 64); err != nil {
-				if opts.Strict {
-					return nil, fmt.Errorf("dataset: row %d column %s: %q is not numeric (strict mode)",
-						ri+1, names[i], f)
-				}
 				numeric[i] = false
 				break
 			}
@@ -125,7 +127,7 @@ func ReadCSV(r io.Reader, opts ReadCSVOptions) (*Dataset, error) {
 		codes[i] = map[string]float64{}
 	}
 
-	ds := New(names, len(body))
+	ds := resetOrNew(dst, names, len(body))
 	row := make([]float64, len(featCols))
 	for _, rec := range body {
 		for i, j := range featCols {
@@ -167,6 +169,139 @@ func ReadCSV(r io.Reader, opts ReadCSVOptions) (*Dataset, error) {
 		ds.SetCategories(i, rev)
 	}
 	return ds, nil
+}
+
+// readCSVStrict is the streaming Strict-mode reader: every feature
+// token must be numeric or a missing marker, so no categorical
+// detection pass is needed and each record can be parsed straight out
+// of the csv.Reader's reused buffer. Error messages match the buffered
+// reader's spellings.
+func readCSVStrict(dst *Dataset, r io.Reader, opts ReadCSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1
+	// Records alias one parse buffer; anything that outlives the loop
+	// iteration (header names, labels) is cloned explicitly.
+	cr.ReuseRecord = true
+
+	missing := missingSet(opts)
+	var header []string
+	if opts.Header {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil, fmt.Errorf("dataset: empty csv input")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading csv: %w", err)
+		}
+		header = make([]string, len(rec))
+		for j, f := range rec {
+			header[j] = strings.Clone(strings.TrimSpace(f))
+		}
+	}
+
+	ds := dst
+	width := -1
+	var (
+		featCols []int
+		names    []string
+		row      []float64
+	)
+	for ri := 1; ; ri++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading csv: %w", err)
+		}
+		if width < 0 {
+			width = len(rec)
+			if header != nil && len(header) != width {
+				return nil, fmt.Errorf("dataset: header has %d fields, data rows have %d", len(header), width)
+			}
+			if opts.LabelColumn >= width {
+				return nil, fmt.Errorf("dataset: label column %d out of range (width %d)", opts.LabelColumn, width)
+			}
+			featCols = make([]int, 0, width)
+			for j := 0; j < width; j++ {
+				if j != opts.LabelColumn || opts.LabelColumn < 0 {
+					featCols = append(featCols, j)
+				}
+			}
+			if header == nil && opts.LabelColumn < 0 {
+				names = GenericNames(width)
+			} else {
+				names = make([]string, len(featCols))
+				for i, j := range featCols {
+					if header != nil {
+						names[i] = header[j]
+					}
+					if names[i] == "" {
+						names[i] = fmt.Sprintf("c%d", j)
+					}
+				}
+			}
+			ds = resetOrNew(dst, names, 0)
+			row = make([]float64, len(featCols))
+		}
+		if len(rec) != width {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", ri, len(rec), width)
+		}
+		for i, j := range featCols {
+			f := strings.TrimSpace(rec[j])
+			if missing[f] {
+				row[i] = math.NaN()
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d column %s: %q is not numeric (strict mode)",
+					ri, names[i], f)
+			}
+			row[i] = v
+		}
+		label := ""
+		if opts.LabelColumn >= 0 {
+			label = strings.Clone(strings.TrimSpace(rec[opts.LabelColumn]))
+		}
+		ds.AppendRow(row, label)
+	}
+	if width < 0 {
+		if header != nil {
+			return nil, fmt.Errorf("dataset: csv has header but no data rows")
+		}
+		return nil, fmt.Errorf("dataset: empty csv input")
+	}
+	return ds, nil
+}
+
+// defaultMissing is the shared token set when ReadCSVOptions.Missing
+// is nil; read-only.
+var defaultMissing = map[string]bool{"": true, "?": true, "NA": true}
+
+// missingSet resolves the missing-token set for a read.
+func missingSet(opts ReadCSVOptions) map[string]bool {
+	if opts.Missing == nil {
+		return defaultMissing
+	}
+	m := map[string]bool{"": true}
+	for _, tok := range opts.Missing {
+		m[tok] = true
+	}
+	return m
+}
+
+// resetOrNew points dst at the given columns, allocating a fresh
+// dataset when dst is nil.
+func resetOrNew(dst *Dataset, names []string, rowCap int) *Dataset {
+	if dst == nil {
+		return New(names, rowCap)
+	}
+	dst.Reset(names)
+	return dst
 }
 
 // ReadCSVFile is ReadCSV over a file path.

@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hido/internal/testutil"
+)
+
+// TestStrictCSVPerRecordAllocs guards the streaming strict parser:
+// the record slice and the destination storage are reused, so the only
+// per-record allocations left are encoding/csv's own field-string
+// conversion (~2 per record, inherent to its API). The old two-pass
+// parser retained every record and field (8+ allocations per record);
+// a regression toward that shape trips the bound.
+func TestStrictCSVPerRecordAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are unreliable under -race")
+	}
+	build := func(n int) []byte {
+		var b strings.Builder
+		b.WriteString("a,b,c,d,e,f\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "%d.5,?,0.25,%d,-1e3,NA\n", i%7, i%13)
+		}
+		return []byte(b.String())
+	}
+	small, big := build(100), build(5000)
+	var dst *Dataset
+	parse := func(body []byte) {
+		var err error
+		dst, err = ReadCSVInto(dst, bytes.NewReader(body), ReadCSVOptions{Header: true, Strict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	parse(big) // size the reused dataset once
+	aSmall := testing.AllocsPerRun(20, func() { parse(small) })
+	aBig := testing.AllocsPerRun(20, func() { parse(big) })
+	perRow := (aBig - aSmall) / 4900
+	if perRow > 3 {
+		t.Fatalf("strict CSV parse allocates %.2f per record (%v allocs for 100 rows, %v for 5000), want <= 3",
+			perRow, aSmall, aBig)
+	}
+	t.Logf("strict parse: %v allocs (100 rows), %v allocs (5000 rows), %.2f per record", aSmall, aBig, perRow)
+}

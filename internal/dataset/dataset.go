@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Dataset is an N×D table of float64 features with optional labels.
@@ -40,6 +42,50 @@ func New(names []string, rowCap int) *Dataset {
 	}
 	ds.vals = make([]float64, 0, rowCap*ds.d)
 	return ds
+}
+
+// Reset empties the dataset in place for reuse with the given column
+// names, keeping the value storage's capacity — the pooled-decode path
+// of the hidod server. Unlike New, the names slice is retained as-is
+// (not copied), so callers passing a shared slice such as GenericNames
+// must not mutate it afterwards.
+func (ds *Dataset) Reset(names []string) {
+	ds.Names = names
+	ds.d = len(names)
+	ds.n = 0
+	ds.vals = ds.vals[:0]
+	ds.Labels = nil
+	ds.cats = nil
+}
+
+// genericNames caches the canonical positional column names c0, c1, …
+// — the spelling of headerless CSV and JSON-lines ingestion. The names
+// are prefix-stable, so one monotonically grown shared slice serves
+// every width.
+var genericNames struct {
+	mu    sync.Mutex
+	cache atomic.Value // []string, read lock-free
+}
+
+// GenericNames returns the positional column names c0 … c{d-1} as a
+// shared read-only slice; callers must not mutate it.
+func GenericNames(d int) []string {
+	cur, _ := genericNames.cache.Load().([]string)
+	if len(cur) < d {
+		genericNames.mu.Lock()
+		cur, _ = genericNames.cache.Load().([]string)
+		if len(cur) < d {
+			grown := make([]string, d)
+			copy(grown, cur)
+			for j := len(cur); j < d; j++ {
+				grown[j] = fmt.Sprintf("c%d", j)
+			}
+			genericNames.cache.Store(grown)
+			cur = grown
+		}
+		genericNames.mu.Unlock()
+	}
+	return cur[:d:d]
 }
 
 // FromRows builds a dataset from a slice of rows. Every row must have
@@ -75,6 +121,34 @@ func (ds *Dataset) AppendRow(row []float64, label string) {
 	if ds.Labels != nil {
 		ds.Labels = append(ds.Labels, label)
 	}
+}
+
+// AppendRows extends the dataset by n zero rows (empty-labeled when
+// the dataset is labeled) and returns the appended block as a writable
+// row-major view — the bulk-fill path of the binary batch decoder,
+// which writes values column by column and so cannot use AppendRow.
+// The view is invalidated by the next append.
+func (ds *Dataset) AppendRows(n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("dataset: AppendRows(%d)", n))
+	}
+	start := len(ds.vals)
+	need := start + n*ds.d
+	if cap(ds.vals) < need {
+		grown := make([]float64, need)
+		copy(grown, ds.vals)
+		ds.vals = grown
+	} else {
+		ds.vals = ds.vals[:need]
+		clear(ds.vals[start:])
+	}
+	ds.n += n
+	if ds.Labels != nil {
+		for i := 0; i < n; i++ {
+			ds.Labels = append(ds.Labels, "")
+		}
+	}
+	return ds.vals[start:need:need]
 }
 
 // At returns the value at row i, column j. NaN means missing.

@@ -234,10 +234,19 @@ func (g *Grid) AssignValue(j int, v float64) uint16 {
 // (0 where the attribute is missing). The result slice is freshly
 // allocated.
 func (g *Grid) AssignRow(row []float64) []uint16 {
+	return g.AssignRowInto(row, make([]uint16, g.D))
+}
+
+// AssignRowInto is AssignRow writing into a caller-owned slice of
+// length D — the allocation-free form the serving hot path uses with
+// per-worker scratch. It returns out.
+func (g *Grid) AssignRowInto(row []float64, out []uint16) []uint16 {
 	if len(row) != g.D {
 		panic(fmt.Sprintf("discretize: AssignRow with %d values, want %d", len(row), g.D))
 	}
-	out := make([]uint16, g.D)
+	if len(out) != g.D {
+		panic(fmt.Sprintf("discretize: AssignRowInto scratch has %d cells, want %d", len(out), g.D))
+	}
 	for j, v := range row {
 		out[j] = g.assign(j, v)
 	}

@@ -178,6 +178,37 @@ func (c *Counter) Value(labelValues ...string) float64 {
 	return c.f.get(labelValues).value
 }
 
+// Bind resolves the series for one label-value combination up front
+// and returns a handle whose Inc/Add skip the label join and variadic
+// boxing on every call — the allocation-free form for hot paths that
+// touch the same series per request. Series are never removed, so the
+// resolved pointer stays valid for the registry's lifetime. The series
+// appears in the text exposition immediately (value 0).
+func (c *Counter) Bind(labelValues ...string) *BoundCounter {
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	return &BoundCounter{f: c.f, s: c.f.get(labelValues)}
+}
+
+// BoundCounter is a Counter pinned to one label-value combination.
+type BoundCounter struct {
+	f *family
+	s *series
+}
+
+// Inc adds 1 without allocating.
+func (b *BoundCounter) Inc() { b.Add(1) }
+
+// Add adds v (must be >= 0) without allocating.
+func (b *BoundCounter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("metrics: counter %s decreased by %v", b.f.name, v))
+	}
+	b.f.mu.Lock()
+	b.s.value += v
+	b.f.mu.Unlock()
+}
+
 // Gauge is a metric that can go up and down.
 type Gauge struct{ f *family }
 
@@ -225,6 +256,33 @@ func (h *Histogram) Count(labelValues ...string) uint64 {
 	h.f.mu.Lock()
 	defer h.f.mu.Unlock()
 	return h.f.get(labelValues).count
+}
+
+// Bind resolves the series for one label-value combination up front;
+// see Counter.Bind for the contract.
+func (h *Histogram) Bind(labelValues ...string) *BoundHistogram {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	return &BoundHistogram{f: h.f, s: h.f.get(labelValues)}
+}
+
+// BoundHistogram is a Histogram pinned to one label-value combination.
+type BoundHistogram struct {
+	f *family
+	s *series
+}
+
+// Observe records one observation without allocating.
+func (b *BoundHistogram) Observe(v float64) {
+	b.f.mu.Lock()
+	for i, ub := range b.f.bounds {
+		if v <= ub {
+			b.s.buckets[i]++
+		}
+	}
+	b.s.sum += v
+	b.s.count++
+	b.f.mu.Unlock()
 }
 
 // WriteText renders every registered family in the Prometheus text

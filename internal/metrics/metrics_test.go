@@ -180,3 +180,55 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("lost increments: %v, want %d", total, workers*iters)
 	}
 }
+
+func TestBoundSeries(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bound_total", "bound counter", "path", "code")
+	b := c.Bind("/score", "200")
+	b.Inc()
+	b.Add(2)
+	c.Inc("/score", "200") // unbound writes land on the same series
+	if got := c.Value("/score", "200"); got != 4 {
+		t.Fatalf("bound counter = %v, want 4", got)
+	}
+	if got := c.Value("/score", "500"); got != 0 {
+		t.Fatalf("sibling series = %v, want 0", got)
+	}
+
+	h := r.Histogram("bound_seconds", "bound histogram", []float64{1, 10}, "path")
+	hb := h.Bind("/score")
+	hb.Observe(0.5)
+	hb.Observe(5)
+	h.Observe(20, "/score")
+	if got := h.Count("/score"); got != 3 {
+		t.Fatalf("bound histogram count = %v, want 3", got)
+	}
+
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`bound_total{path="/score",code="200"} 4`,
+		`bound_seconds_bucket{path="/score",le="1"} 1`,
+		`bound_seconds_bucket{path="/score",le="10"} 2`,
+		`bound_seconds_count{path="/score"} 3`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestBoundAllocFree(t *testing.T) {
+	r := NewRegistry()
+	b := r.Counter("hot_total", "", "a").Bind("x")
+	hb := r.Histogram("hot_seconds", "", nil, "a").Bind("x")
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Inc()
+		hb.Observe(0.01)
+	})
+	if allocs != 0 {
+		t.Fatalf("bound metric ops allocate %v per run, want 0", allocs)
+	}
+}

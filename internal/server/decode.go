@@ -9,13 +9,19 @@ import (
 	"math"
 	"mime"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 
+	"hido/internal/batchwire"
 	"hido/internal/dataset"
 )
 
 // Ingestion formats for record bodies (/api/v1/score and /api/v1/fit).
 //
+//   - Binary batch (Content-Type application/x-hido-batch): the hib1
+//     columnar frame produced by batchwire.Encode / `hidomon -convert`.
+//     Densest and cheapest to decode; NaN encodes a missing attribute.
 //   - CSV (Content-Type text/csv): parsed exactly like the hidomon CLI
 //     input; `?header=0` for headerless files, `?label=N` to mark a
 //     label column. Scoring bodies are parsed strictly — a token that
@@ -40,31 +46,64 @@ const maxDecodeErrLine = 120
 
 // decodeRecords parses a request body into a dataset. d is the
 // expected dimensionality (0 = infer from the first record, the fit
-// path). strict applies to CSV bodies only; JSON lines are inherently
-// typed.
-func decodeRecords(r *http.Request, d int, strict bool) (*dataset.Dataset, error) {
+// path). strict applies to CSV bodies only; the binary and JSON forms
+// are inherently typed. ar supplies reusable decode scratch and may be
+// nil (the fit path), in which case everything is freshly allocated;
+// q carries the already-parsed query parameters (nil when the request
+// had none).
+func decodeRecords(ar *scoreArena, r *http.Request, q url.Values, d int, strict bool) (*dataset.Dataset, error) {
 	ct := r.Header.Get("Content-Type")
-	if mt, _, err := mime.ParseMediaType(ct); err == nil {
-		ct = mt
+	switch ct {
+	case batchwire.ContentType, "text/csv", "application/csv",
+		"application/x-ndjson", "application/jsonl", "application/json", "":
+		// Exact matches skip the mime parse on the hot path.
+	default:
+		if mt, _, err := mime.ParseMediaType(ct); err == nil {
+			ct = mt
+		}
 	}
 	switch ct {
+	case batchwire.ContentType:
+		return decodeBinary(ar, r.Body, d)
 	case "text/csv", "application/csv":
-		return decodeCSV(r, d, strict)
+		return decodeCSV(ar, r.Body, q, d, strict)
 	default:
-		return decodeJSONLines(r.Body, d)
+		return decodeJSONLines(ar, r.Body, d)
 	}
 }
 
-func decodeCSV(r *http.Request, d int, strict bool) (*dataset.Dataset, error) {
-	q := r.URL.Query()
+// decodeBinary reads a hib1 columnar batch. The whole body is buffered
+// (it is length-prefixed and was capped by MaxBytesReader) and decoded
+// into the arena's dataset.
+func decodeBinary(ar *scoreArena, body io.Reader, d int) (*dataset.Dataset, error) {
+	var buf *bytes.Buffer
+	if ar != nil {
+		buf = &ar.body
+		buf.Reset()
+	} else {
+		buf = new(bytes.Buffer)
+	}
+	if _, err := buf.ReadFrom(body); err != nil {
+		return nil, err
+	}
+	ds, err := batchwire.Decode(ar.dst(), buf.Bytes(), d)
+	if err != nil {
+		return nil, err
+	}
+	return ar.keep(ds), nil
+}
+
+func decodeCSV(ar *scoreArena, body io.Reader, q url.Values, d int, strict bool) (*dataset.Dataset, error) {
 	header := q.Get("header") != "0"
 	label := -1
 	if v := q.Get("label"); v != "" {
-		if _, err := fmt.Sscanf(v, "%d", &label); err != nil {
+		n, err := strconv.Atoi(v)
+		if err != nil {
 			return nil, fmt.Errorf("bad label column %q", v)
 		}
+		label = n
 	}
-	ds, err := dataset.ReadCSV(r.Body, dataset.ReadCSVOptions{
+	ds, err := dataset.ReadCSVInto(ar.dst(), body, dataset.ReadCSVOptions{
 		Header: header, LabelColumn: label, Strict: strict,
 	})
 	if err != nil {
@@ -73,7 +112,7 @@ func decodeCSV(r *http.Request, d int, strict bool) (*dataset.Dataset, error) {
 	if d > 0 && ds.D() != d {
 		return nil, fmt.Errorf("body has %d attributes, model expects %d (check ?label=)", ds.D(), d)
 	}
-	return ds, nil
+	return ar.keep(ds), nil
 }
 
 // errTrackReader remembers the first non-EOF error its inner reader
@@ -94,12 +133,22 @@ func (e *errTrackReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-func decodeJSONLines(body io.Reader, d int) (*dataset.Dataset, error) {
+func decodeJSONLines(ar *scoreArena, body io.Reader, d int) (*dataset.Dataset, error) {
 	tr := &errTrackReader{r: body}
 	sc := bufio.NewScanner(tr)
-	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	if ar != nil {
+		if ar.scan == nil {
+			ar.scan = make([]byte, 0, 64*1024)
+		}
+		sc.Buffer(ar.scan, 8*1024*1024)
+	} else {
+		sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	}
 	var ds *dataset.Dataset
-	row := []float64(nil)
+	var row, values = []float64(nil), []*float64(nil)
+	if ar != nil {
+		row, values = ar.row[:0], ar.values
+	}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -107,10 +156,10 @@ func decodeJSONLines(body io.Reader, d int) (*dataset.Dataset, error) {
 		if len(raw) == 0 {
 			continue
 		}
-		var values []*float64
 		var label string
+		values = values[:0]
 		if raw[0] == '{' {
-			var rec jsonRecord
+			rec := jsonRecord{Values: values}
 			if err := strictUnmarshal(raw, &rec); err != nil {
 				if tr.err != nil {
 					return nil, tr.err
@@ -131,12 +180,17 @@ func decodeJSONLines(body io.Reader, d int) (*dataset.Dataset, error) {
 			if d > 0 {
 				width = d
 			}
-			names := make([]string, width)
-			for j := range names {
-				names[j] = fmt.Sprintf("c%d", j)
+			names := dataset.GenericNames(width)
+			if reuse := ar.dst(); reuse != nil {
+				reuse.Reset(names)
+				ds = reuse
+			} else {
+				ds = dataset.New(names, 64)
 			}
-			ds = dataset.New(names, 64)
-			row = make([]float64, width)
+			if cap(row) < width {
+				row = make([]float64, width)
+			}
+			row = row[:width]
 		}
 		if len(values) != ds.D() {
 			return nil, fmt.Errorf("line %d: record has %d values, want %d", line, len(values), ds.D())
@@ -150,6 +204,9 @@ func decodeJSONLines(body io.Reader, d int) (*dataset.Dataset, error) {
 		}
 		ds.AppendRow(row, label)
 	}
+	if ar != nil {
+		ar.row, ar.values = row, values
+	}
 	if err := sc.Err(); err != nil {
 		if err == bufio.ErrTooLong {
 			return nil, fmt.Errorf("line %d exceeds the per-line limit", line+1)
@@ -159,7 +216,7 @@ func decodeJSONLines(body io.Reader, d int) (*dataset.Dataset, error) {
 	if ds == nil || ds.N() == 0 {
 		return nil, fmt.Errorf("empty body")
 	}
-	return ds, nil
+	return ar.keep(ds), nil
 }
 
 // strictUnmarshal decodes one JSON value rejecting trailing garbage.

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"hido/internal/batchwire"
+	"hido/internal/dataset"
+	"hido/internal/stream"
+	"hido/internal/testutil"
+	"hido/internal/xrand"
+)
+
+// diffWindow builds a labeled scoring batch with planted contrarians
+// and missing values, sized to order.
+func diffWindow(t testing.TB, n int, seed uint64) *dataset.Dataset {
+	t.Helper()
+	r := xrand.New(seed)
+	ds := dataset.New([]string{"a", "b", "c", "d", "e", "f", "g", "h"}, n)
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		row := []float64{f, f, f, r.Float64(), r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+		label := "ok"
+		switch {
+		case i%11 == 3:
+			row[1] = 1 - row[0] // break the planted correlation
+			label = "bad"
+		case i%13 == 7:
+			row[4] = math.NaN() // missing attribute
+			label = ""
+		}
+		ds.AppendRow(row, label)
+	}
+	return ds
+}
+
+// jsonLinesBody renders a dataset as the JSON-lines request format,
+// alternating the object and bare-array forms; NaN becomes null.
+func jsonLinesBody(t testing.TB, ds *dataset.Dataset) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	for i := 0; i < ds.N(); i++ {
+		obj := i%2 == 0 || ds.Label(i) != ""
+		if obj {
+			b.WriteString(`{"values":[`)
+		} else {
+			b.WriteString("[")
+		}
+		for j := 0; j < ds.D(); j++ {
+			if j > 0 {
+				b.WriteString(",")
+			}
+			if v := ds.At(i, j); math.IsNaN(v) {
+				b.WriteString("null")
+			} else {
+				b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		if obj {
+			fmt.Fprintf(&b, `],"label":%q}`, ds.Label(i))
+		} else {
+			b.WriteString("]")
+		}
+		b.WriteString("\n")
+	}
+	return b.Bytes()
+}
+
+// diffServers builds a pooled server and an allocation-per-request
+// reference server sharing the exact same model instances, so any
+// response difference is the pooling's fault.
+func diffServers(t testing.TB, workers int) (pooled, ref *Server) {
+	t.Helper()
+	base := time.Unix(1_700_000_000, 0)
+	now := func() time.Time { return base }
+	single := fitMonitor(t, 600, 40)
+	ens, err := stream.NewMonitor(refWindow(t, 600, 40), stream.Options{
+		Phi: 5, Seed: 41, Ensemble: &stream.EnsembleOptions{Members: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(disable bool) *Server {
+		s := New(Config{DisablePooling: disable, ScoreWorkers: workers, Now: now})
+		for name, mon := range map[string]*stream.Monitor{"default": single, "ens": ens} {
+			if err := s.registry.Set(name, Entry{Monitor: mon, FittedAt: base.Add(-time.Hour), Source: "test"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	return mk(false), mk(true)
+}
+
+func scoreOnce(t testing.TB, s *Server, url, contentType string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", url, bytes.NewReader(body))
+	req.Header.Set("Content-Type", contentType)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestScoreDifferentialPooling replays identical score requests
+// against a pooled and an unpooled server — every format, batch size,
+// model kind and worker fan-out — and requires byte-identical
+// responses. The pooled server is hit repeatedly so requests land on
+// recycled arenas, not just fresh ones.
+func TestScoreDifferentialPooling(t *testing.T) {
+	sizes := []int{1, 7, 100}
+	if !testing.Short() {
+		sizes = append(sizes, 10000)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		pooled, ref := diffServers(t, workers)
+		for _, model := range []string{"default", "ens"} {
+			for _, size := range sizes {
+				if size == 10000 && workers != 8 {
+					continue
+				}
+				batch := diffWindow(t, size, uint64(size)*7+uint64(workers))
+				var csvB bytes.Buffer
+				if err := batch.WriteCSV(&csvB); err != nil {
+					t.Fatal(err)
+				}
+				bodies := map[string][]byte{
+					"text/csv":            csvB.Bytes(),
+					"application/jsonl":   jsonLinesBody(t, batch),
+					batchwire.ContentType: batchwire.Encode(batch),
+				}
+				variants := []string{"", "&explain=1", "&all=1&explain=1"}
+				if size > 7 {
+					variants = []string{"", "&explain=1"}
+				}
+				for ct, body := range bodies {
+					for _, extra := range variants {
+						url := "/api/v1/score?model=" + model + extra
+						if ct == "text/csv" {
+							url += "&label=8"
+						}
+						name := fmt.Sprintf("w%d/%s/n%d/%s%s", workers, model, size, ct, extra)
+
+						// Three pooled passes: the first may build the arena,
+						// the rest must reuse it without drift.
+						var first *httptest.ResponseRecorder
+						for pass := 0; pass < 3; pass++ {
+							rec := scoreOnce(t, pooled, url, ct, body)
+							if rec.Code != http.StatusOK {
+								t.Fatalf("%s: pooled pass %d: %d %s", name, pass, rec.Code, rec.Body.String())
+							}
+							if first == nil {
+								first = rec
+							} else if !bytes.Equal(rec.Body.Bytes(), first.Body.Bytes()) {
+								t.Fatalf("%s: pooled pass %d drifted from pass 0", name, pass)
+							}
+						}
+
+						stream.DisableScratchPooling(true)
+						want := scoreOnce(t, ref, url, ct, body)
+						stream.DisableScratchPooling(false)
+						if want.Code != http.StatusOK {
+							t.Fatalf("%s: reference: %d %s", name, want.Code, want.Body.String())
+						}
+						if !bytes.Equal(first.Body.Bytes(), want.Body.Bytes()) {
+							t.Fatalf("%s: pooled response differs from unpooled reference\npooled: %.300s\nref:    %.300s",
+								name, first.Body.String(), want.Body.String())
+						}
+						if g, w := first.Header().Get("Content-Type"), want.Header().Get("Content-Type"); g != w {
+							t.Fatalf("%s: content-type %q, want %q", name, g, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// replayBody is a reusable request body (Reset re-arms it without
+// allocating).
+type replayBody struct{ r bytes.Reader }
+
+func (b *replayBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *replayBody) Close() error               { return nil }
+
+// nullResponseWriter discards the response without per-request
+// allocation, so AllocsPerRun sees only the server's own work.
+type nullResponseWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// TestScoreSteadyStateAllocs is the tentpole's regression guard: a
+// steady stream of single-record binary batches through the full
+// middleware + handler stack must stay within the allocation budget.
+// The budget is dominated by net/http plumbing the handler cannot
+// avoid (request clone, deadline timer, header writes); the decode,
+// score and encode phases themselves run allocation-free.
+func TestScoreSteadyStateAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are unreliable under -race")
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	s := newTestServer(t, Config{Logger: quiet})
+	body := batchwire.Encode(diffWindow(t, 1, 9))
+
+	req := httptest.NewRequest("POST", "/api/v1/score", nil)
+	req.Header.Set("Content-Type", batchwire.ContentType)
+	req.Header.Set("X-Request-Id", "req-alloc-test")
+	rb := &replayBody{}
+	w := &nullResponseWriter{h: make(http.Header)}
+	h := s.Handler()
+
+	run := func() {
+		rb.r.Reset(body)
+		req.Body = rb
+		h.ServeHTTP(w, req)
+	}
+	for i := 0; i < 50; i++ { // warm the pools
+		run()
+	}
+	allocs := testing.AllocsPerRun(200, run)
+	const budget = 24
+	if allocs > budget {
+		t.Fatalf("score request allocates %v per op, budget %d", allocs, budget)
+	}
+	t.Logf("steady-state allocs per scored batch-1 request: %v", allocs)
+}

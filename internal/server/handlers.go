@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
 	"time"
@@ -54,35 +55,44 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 // modelParam returns the model name a request addresses, defaulting to
-// "default" so single-model deployments need no query parameter.
-func modelParam(r *http.Request) string {
-	if name := r.URL.Query().Get("model"); name != "" {
+// "default" so single-model deployments need no query parameter. q is
+// the request's parsed query; nil (a request with no query string)
+// yields every default.
+func modelParam(q url.Values) string {
+	if name := q.Get("model"); name != "" {
 		return name
 	}
 	return "default"
 }
 
-func boolParam(r *http.Request, name string) bool {
-	v := r.URL.Query().Get(name)
+func boolParam(q url.Values, name string) bool {
+	v := q.Get(name)
 	return v != "" && v != "0" && v != "false"
 }
 
 // handleScore scores one uploaded batch against a registered model.
 // Each phase — decode, score, encode — is timed into the per-phase
-// latency histogram.
+// latency histogram (through series bound at construction). All
+// request-scoped scratch — decode buffers, the dataset, alert and
+// result slices, the response encoding — comes from a pooled
+// scoreArena, so steady-state scoring allocates nothing beyond what
+// net/http itself needs.
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	const endpoint = "/api/v1/score"
-	name := modelParam(r)
+	var q url.Values
+	if r.URL.RawQuery != "" {
+		q = r.URL.Query()
+	}
+	name := modelParam(q)
 	e, ok := s.registry.Get(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not loaded", name))
 		return
 	}
-	var ds *dataset.Dataset
-	var err error
-	s.phase(endpoint, "decode", func() {
-		ds, err = decodeRecords(r, e.Monitor.D(), true)
-	})
+	ar := s.getArena()
+	defer s.putArena(ar)
+	t := s.cfg.Now()
+	ds, err := decodeRecords(ar, r, q, e.Monitor.D(), true)
+	s.phScoreDecode.Observe(s.cfg.Now().Sub(t).Seconds())
 	if err != nil {
 		writeError(w, httpStatusFromErr(err), err.Error())
 		return
@@ -90,41 +100,45 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if s.testHookScoring != nil {
 		s.testHookScoring()
 	}
+	t = s.cfg.Now()
 	var alerts []stream.Alert
-	s.phase(endpoint, "score", func() {
-		if s.cfg.BatchScorer != nil {
-			alerts, err = s.cfg.BatchScorer.ScoreBatch(r.Context(), name, e.Monitor, ds, s.cfg.ScoreWorkers)
-		} else {
-			alerts, err = e.Monitor.ScoreBatchContext(r.Context(), ds, s.cfg.ScoreWorkers)
+	if s.cfg.BatchScorer != nil {
+		alerts, err = s.cfg.BatchScorer.ScoreBatch(r.Context(), name, e.Monitor, ds, s.cfg.ScoreWorkers)
+	} else {
+		alerts, err = e.Monitor.ScoreBatchBuf(r.Context(), ds, s.cfg.ScoreWorkers, ar.alerts)
+		if alerts != nil {
+			ar.alerts = alerts
 		}
-	})
+	}
+	s.phScoreScore.Observe(s.cfg.Now().Sub(t).Seconds())
 	if err != nil {
 		writeError(w, httpStatusFromErr(err), "scoring aborted: "+err.Error())
 		return
 	}
 	flagged := 0
-	for _, a := range alerts {
-		if a.Flagged() {
+	for i := range alerts {
+		if alerts[i].Flagged() {
 			flagged++
 		}
 	}
 	s.mRecords.Add(float64(len(alerts)))
 	s.mAlerts.Add(float64(flagged))
-	s.phase(endpoint, "encode", func() {
-		writeJSON(w, http.StatusOK, scoreResponse{
-			Model:   name,
-			Records: len(alerts),
-			Flagged: flagged,
-			Results: e.Monitor.Results(ds, alerts, boolParam(r, "explain"), !boolParam(r, "all")),
-		})
+	t = s.cfg.Now()
+	ar.results = e.Monitor.ResultsAppend(ar.results, ds, alerts, boolParam(q, "explain"), !boolParam(q, "all"))
+	writeJSONArena(w, ar, http.StatusOK, scoreResponse{
+		Model:   name,
+		Records: len(alerts),
+		Flagged: flagged,
+		Results: ar.results,
 	})
+	s.phScoreEncode.Observe(s.cfg.Now().Sub(t).Seconds())
 }
 
 // handleFit fits a model asynchronously from an uploaded reference
 // window and installs it in the registry on success.
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
-	name := modelParam(r)
 	q := r.URL.Query()
+	name := modelParam(q)
 	opt := stream.Options{Phi: 5, TargetS: -3, M: 100, Seed: 1}
 	var err error
 	if v := q.Get("phi"); v != "" {
@@ -185,7 +199,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	// here where the scoring path is strict.
 	var ds *dataset.Dataset
 	s.phase("/api/v1/fit", "decode", func() {
-		ds, err = decodeRecords(r, 0, false)
+		ds, err = decodeRecords(nil, r, q, 0, false)
 	})
 	if err != nil {
 		writeError(w, httpStatusFromErr(err), err.Error())

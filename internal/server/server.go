@@ -45,6 +45,8 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"hido/internal/metrics"
@@ -90,6 +92,11 @@ type Config struct {
 	// rows (a local -data window, or a cluster's shards). nil answers
 	// 404 on that endpoint.
 	TopNer TopNer
+	// DisablePooling turns off the request-scoped arena reuse on the
+	// scoring path: every request decodes, scores and encodes on fresh
+	// allocations. Test seam for the pooled-vs-unpooled differential
+	// suite; production deployments never set it.
+	DisablePooling bool
 }
 
 // ModelStore persists registry mutations. Implementations must be safe
@@ -138,9 +145,16 @@ type Server struct {
 	reqIDs  *obs.IDSource
 	started time.Time
 
-	mRequests    *metrics.Counter
-	mLatency     *metrics.Histogram
-	mPhase       *metrics.Histogram
+	mRequests *metrics.Counter
+	mLatency  *metrics.Histogram
+	mPhase    *metrics.Histogram
+
+	// Pre-bound phase series for the scoring hot path: observing
+	// through them does no label lookup and no allocation.
+	phScoreDecode *metrics.BoundHistogram
+	phScoreScore  *metrics.BoundHistogram
+	phScoreEncode *metrics.BoundHistogram
+
 	mInFlight    *metrics.Gauge
 	mSaturated   *metrics.Counter
 	mRecords     *metrics.Counter
@@ -231,6 +245,9 @@ func New(cfg Config) *Server {
 			"Model-store operations that failed (durability degraded, serving unaffected), by operation.",
 			"op"),
 	}
+	s.phScoreDecode = s.mPhase.Bind("/api/v1/score", "decode")
+	s.phScoreScore = s.mPhase.Bind("/api/v1/score", "score")
+	s.phScoreEncode = s.mPhase.Bind("/api/v1/score", "encode")
 	s.mux = http.NewServeMux()
 	s.route("POST /api/v1/score", "/api/v1/score", true, s.handleScore)
 	s.route("GET /api/v1/topn", "/api/v1/topn", true, s.handleTopN)
@@ -302,10 +319,35 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// routeMetrics caches the metric series one route writes on every
+// request, so the middleware does no label joins in steady state: the
+// latency histogram is bound at mount time, and one counter per status
+// code is bound the first time that code is served.
+type routeMetrics struct {
+	latency *metrics.BoundHistogram
+	codes   [600]atomic.Pointer[metrics.BoundCounter]
+}
+
+func (rm *routeMetrics) counter(s *Server, endpoint, method string, code int) *metrics.BoundCounter {
+	if code < 100 || code >= len(rm.codes) {
+		return nil
+	}
+	if c := rm.codes[code].Load(); c != nil {
+		return c
+	}
+	c := s.mRequests.Bind(endpoint, method, strconv.Itoa(code))
+	// A racing Store targets the same underlying series; either
+	// BoundCounter is correct.
+	rm.codes[code].Store(c)
+	return c
+}
+
 // route mounts a handler with the shared middleware stack: request-ID
 // assignment, body limits, access logging, request metrics, and — for
 // heavy endpoints — the in-flight semaphore and per-request deadline.
 func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc) {
+	method, _, _ := strings.Cut(pattern, " ")
+	rm := &routeMetrics{latency: s.mLatency.Bind(endpoint)}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := s.cfg.Now()
 		sw := &statusWriter{ResponseWriter: w}
@@ -318,7 +360,13 @@ func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc)
 			reqID = s.reqIDs.Next()
 		}
 		sw.Header().Set("X-Request-Id", reqID)
-		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		if heavy {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		r = r.WithContext(ctx)
 		s.mInFlight.Add(1)
 		defer func() {
 			s.mInFlight.Add(-1)
@@ -327,14 +375,22 @@ func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc)
 			if code == 0 {
 				code = http.StatusOK
 			}
-			s.mRequests.Inc(endpoint, r.Method, strconv.Itoa(code))
-			s.mLatency.Observe(elapsed.Seconds(), endpoint)
-			s.cfg.Logger.Info("request",
-				"req", reqID,
-				"method", r.Method, "path", r.URL.Path, "endpoint", endpoint,
-				"code", code, "bytes", sw.bytes,
-				"duration_ms", float64(elapsed.Microseconds())/1000,
-				"remote", r.RemoteAddr)
+			// GET patterns also match HEAD requests; those take the
+			// label-joining slow path so the method label stays truthful.
+			if c := rm.counter(s, endpoint, method, code); c != nil && r.Method == method {
+				c.Inc()
+			} else {
+				s.mRequests.Inc(endpoint, r.Method, strconv.Itoa(code))
+			}
+			rm.latency.Observe(elapsed.Seconds())
+			if s.cfg.Logger.Enabled(context.Background(), slog.LevelInfo) {
+				s.cfg.Logger.Info("request",
+					"req", reqID,
+					"method", r.Method, "path", r.URL.Path, "endpoint", endpoint,
+					"code", code, "bytes", sw.bytes,
+					"duration_ms", float64(elapsed.Microseconds())/1000,
+					"remote", r.RemoteAddr)
+			}
 		}()
 
 		if r.Body != nil {
@@ -349,9 +405,6 @@ func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc)
 				writeError(sw, http.StatusTooManyRequests, "server saturated: max in-flight requests reached")
 				return
 			}
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
 		}
 		h(sw, r)
 	})

@@ -107,7 +107,8 @@ type topNResponse struct {
 // 503 when the attached TopNer cannot reach a quorum of its shards.
 func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 	const endpoint = "/api/v1/topn"
-	name := modelParam(r)
+	q := r.URL.Query()
+	name := modelParam(q)
 	e, ok := s.registry.Get(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not loaded", name))
@@ -119,7 +120,7 @@ func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := 10
-	if v := r.URL.Query().Get("n"); v != "" {
+	if v := q.Get("n"); v != "" {
 		parsed, err := strconv.Atoi(v)
 		if err != nil || parsed < 1 {
 			writeError(w, http.StatusBadRequest, "bad n: "+v)

@@ -195,17 +195,20 @@ func buildUnion(members []memberModel) []core.Projection {
 // reference window. Alert.Score is the negated combined score (lower =
 // more outlying, like the single-model path); Matches lists the union
 // indices of every member projection covering the record, ascending.
-func (v view) scoreEnsemble(cells []uint16) Alert {
-	var a Alert
-	matched := make(map[int]bool)
+// Dedup across members runs on the scorer's matched scratch instead of
+// a per-record map; the marks are restored to all false on return.
+func (s *Scorer) scoreEnsemble(cells []uint16, matches []int) Alert {
+	v := s.v
+	a := Alert{Matches: matches[:0]}
 	sum := 0.0
 	best := math.Inf(-1)
-	for _, mm := range v.members {
+	for i := range v.members {
+		mm := &v.members[i]
 		memberBest := 0.0
 		for pi, p := range mm.projections {
 			if p.Cube.Covers(cells) {
-				if ui := mm.unionIdx[pi]; !matched[ui] {
-					matched[ui] = true
+				if ui := mm.unionIdx[pi]; !s.matched[ui] {
+					s.matched[ui] = true
 					a.Matches = append(a.Matches, ui)
 				}
 				if p.Sparsity < memberBest {
@@ -234,6 +237,9 @@ func (v view) scoreEnsemble(cells []uint16) Alert {
 		combined = sum / float64(len(v.members))
 	}
 	a.Score = -combined
+	for _, ui := range a.Matches {
+		s.matched[ui] = false
+	}
 	sort.Ints(a.Matches)
 	return a
 }

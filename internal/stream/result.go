@@ -29,8 +29,21 @@ type RecordResult struct {
 // shape); otherwise every record appears. With explain set, each
 // flagged result carries its projection descriptions.
 func (m *Monitor) Results(ds *dataset.Dataset, alerts []Alert, explain, flaggedOnly bool) []RecordResult {
+	return m.ResultsAppend(nil, ds, alerts, explain, flaggedOnly)
+}
+
+// ResultsAppend is Results writing into dst's backing storage (dst is
+// truncated first) — the allocation-free form the hidod scoring arena
+// reuses across requests. Ownership of dst transfers to the returned
+// slice.
+func (m *Monitor) ResultsAppend(dst []RecordResult, ds *dataset.Dataset, alerts []Alert, explain, flaggedOnly bool) []RecordResult {
 	v := m.snapshot() // one consistent model for every explanation
-	out := make([]RecordResult, 0, len(alerts))
+	if dst == nil {
+		// Never return a nil slice: the score response encodes an empty
+		// result set as [], not null.
+		dst = make([]RecordResult, 0, len(alerts))
+	}
+	out := dst[:0]
 	for i, a := range alerts {
 		if flaggedOnly && !a.Flagged() {
 			continue

@@ -93,6 +93,10 @@ func (o Options) withDefaults() Options {
 type Monitor struct {
 	opt Options
 
+	// scorers recycles per-batch scoring scratch (grid cells, ensemble
+	// dedup marks) so steady-state serving does not allocate per record.
+	scorers sync.Pool
+
 	mu          sync.RWMutex
 	grid        *discretize.Grid
 	names       []string
@@ -201,16 +205,71 @@ func (v view) explain(a Alert) []string {
 	return out
 }
 
-// score evaluates one record against the snapshot.
-func (v view) score(record []float64) Alert {
+// Scorer evaluates records against one immutable model snapshot with
+// reusable scratch (grid cells, ensemble dedup marks), so steady-state
+// scoring allocates only when a flagged record's match list must grow.
+// A Scorer is not safe for concurrent use; batch scoring gives each
+// worker its own. It keeps serving its snapshot even across a
+// concurrent Refit — take a new one to pick up a newer model.
+type Scorer struct {
+	v     view
+	cells []uint16
+	// matched holds per-union-projection dedup marks for ensemble
+	// scoring. Invariant: all false between records (ScoreInto restores
+	// the marks it set), so a record costs O(its matches), not
+	// O(projections).
+	matched []bool
+}
+
+// NewScorer snapshots the current model into a reusable scorer — the
+// form for callers that score many individual records (cluster storage
+// RPCs) without paying a snapshot plus scratch allocation per record.
+func (m *Monitor) NewScorer() *Scorer {
+	s := &Scorer{}
+	s.reset(m.snapshot())
+	return s
+}
+
+// reset points the scorer at a model snapshot, resizing scratch only
+// when the model got wider.
+func (s *Scorer) reset(v view) {
+	s.v = v
+	d := v.grid.D
+	if cap(s.cells) < d {
+		s.cells = make([]uint16, d)
+	}
+	s.cells = s.cells[:d]
+	if len(v.members) > 0 {
+		if cap(s.matched) < len(v.projections) {
+			s.matched = make([]bool, len(v.projections))
+		}
+		s.matched = s.matched[:len(v.projections)]
+		// ScoreInto leaves the marks all false, but a scorer from the
+		// pool may carry marks for a different model; never trust them.
+		clear(s.matched)
+	}
+}
+
+// Score evaluates one record. The record must have the model's
+// dimensionality; NaN marks missing attributes.
+func (s *Scorer) Score(record []float64) Alert {
+	return s.ScoreInto(record, nil)
+}
+
+// ScoreInto is Score appending matches into matches[:0] — the
+// allocation-free form batch scoring uses to recycle each alert's
+// match backing across batches. The returned alert's Matches stays nil
+// when matches is nil and nothing covered the record, matching Score.
+func (s *Scorer) ScoreInto(record []float64, matches []int) Alert {
+	v := s.v
 	if len(record) != v.grid.D {
 		panic(fmt.Sprintf("stream: record has %d values, model has %d dims", len(record), v.grid.D))
 	}
-	cells := v.grid.AssignRow(record)
+	cells := v.grid.AssignRowInto(record, s.cells)
 	if len(v.members) > 0 {
-		return v.scoreEnsemble(cells)
+		return s.scoreEnsemble(cells, matches)
 	}
-	var a Alert
+	a := Alert{Matches: matches[:0]}
 	for pi, p := range v.projections {
 		if p.Cube.Covers(cells) {
 			a.Matches = append(a.Matches, pi)
@@ -222,10 +281,46 @@ func (v view) score(record []float64) Alert {
 	return a
 }
 
+// scratchPoolOff globally bypasses the monitors' scorer pools: every
+// batch then scores on freshly allocated scratch. It exists purely as
+// the unpooled reference for the differential test suite — production
+// never sets it.
+var scratchPoolOff atomic.Bool
+
+// DisableScratchPooling toggles the test-only pool bypass; see
+// scratchPoolOff.
+func DisableScratchPooling(off bool) { scratchPoolOff.Store(off) }
+
+// scorer hands out a pooled scorer bound to the given snapshot.
+func (m *Monitor) scorer(v view) *Scorer {
+	var s *Scorer
+	if !scratchPoolOff.Load() {
+		s, _ = m.scorers.Get().(*Scorer)
+	}
+	if s == nil {
+		s = &Scorer{}
+	}
+	s.reset(v)
+	return s
+}
+
+// recycle returns a scorer to the pool, dropping its model reference
+// so the pool never pins a replaced model in memory.
+func (m *Monitor) recycle(s *Scorer) {
+	if scratchPoolOff.Load() {
+		return
+	}
+	s.v = view{}
+	m.scorers.Put(s)
+}
+
 // Score evaluates one record against the current model. The record
 // must have the model's dimensionality; NaN marks missing attributes.
 func (m *Monitor) Score(record []float64) Alert {
-	return m.snapshot().score(record)
+	s := m.scorer(m.snapshot())
+	a := s.Score(record)
+	m.recycle(s)
+	return a
 }
 
 // ScoreBatch scores every row of a dataset, returning one alert per
@@ -249,9 +344,26 @@ const scoreChunk = 256
 // pass their per-request context so timeouts and client disconnects
 // abandon the batch instead of burning the worker pool.
 func (m *Monitor) ScoreBatchContext(ctx context.Context, ds *dataset.Dataset, workers int) ([]Alert, error) {
+	return m.ScoreBatchBuf(ctx, ds, workers, nil)
+}
+
+// ScoreBatchBuf is ScoreBatchContext scoring into buf's backing
+// storage when its capacity allows, recycling both the alert slice and
+// each alert's Matches backing array — the allocation-free steady
+// state of the hidod scoring arena. Ownership of buf transfers to the
+// returned slice; results are identical to ScoreBatchContext.
+func (m *Monitor) ScoreBatchBuf(ctx context.Context, ds *dataset.Dataset, workers int, buf []Alert) ([]Alert, error) {
 	v := m.snapshot()
 	n := ds.N()
-	out := make([]Alert, n)
+	var out []Alert
+	if cap(buf) >= n {
+		// Every index below n is overwritten before return; the stale
+		// alerts only donate their Matches backing arrays.
+		out = buf[:n]
+	} else {
+		out = make([]Alert, n)
+		copy(out, buf[:cap(buf)])
+	}
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -259,11 +371,13 @@ func (m *Monitor) ScoreBatchContext(ctx context.Context, ds *dataset.Dataset, wo
 		workers = chunks
 	}
 	if workers <= 1 {
+		sc := m.scorer(v)
+		defer m.recycle(sc)
 		for i := 0; i < n; i++ {
 			if i%scoreChunk == 0 && ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			out[i] = v.score(ds.RowView(i))
+			out[i] = sc.ScoreInto(ds.RowView(i), out[i].Matches)
 		}
 		return out, nil
 	}
@@ -273,6 +387,8 @@ func (m *Monitor) ScoreBatchContext(ctx context.Context, ds *dataset.Dataset, wo
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := m.scorer(v)
+			defer m.recycle(sc)
 			for {
 				lo := int(cursor.Add(scoreChunk)) - scoreChunk
 				if lo >= n || ctx.Err() != nil {
@@ -283,7 +399,7 @@ func (m *Monitor) ScoreBatchContext(ctx context.Context, ds *dataset.Dataset, wo
 					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					out[i] = v.score(ds.RowView(i))
+					out[i] = sc.ScoreInto(ds.RowView(i), out[i].Matches)
 				}
 			}
 		}()

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil holds tiny cross-package test helpers.
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race.
+// Allocation-count assertions (testing.AllocsPerRun) skip themselves
+// under the race detector, whose instrumentation allocates.
+const RaceEnabled = false
