@@ -28,6 +28,7 @@ import (
 	"hido/internal/cube"
 	"hido/internal/dataset"
 	"hido/internal/grid"
+	"hido/internal/obs"
 	"hido/internal/server"
 	"hido/internal/stream"
 	"hido/internal/synth"
@@ -634,6 +635,52 @@ func BenchmarkServerScoreHandler(b *testing.B) {
 		for _, c := range cases {
 			b.Run(fmt.Sprintf("%s_batch%d", c.format, batch), func(b *testing.B) {
 				benchServerScoreHandler(b, h, c.ct, c.body, batch)
+			})
+		}
+	}
+}
+
+// BenchmarkTracedScoreHandler prices distributed tracing on the same
+// serving path the bench gate pins. "off" is the gated configuration
+// (no recorder — the nil path must stay free); "sampled" records every
+// request's span tree (root + decode/score/encode) into the ring, the
+// worst case a production -trace-sample 1 deployment pays. Kept out of
+// the CI gate on purpose: the gate pins the untraced series, and this
+// one exists to measure the delta, not to freeze it.
+func BenchmarkTracedScoreHandler(b *testing.B) {
+	build := func(spans *obs.SpanRecorder) http.Handler {
+		ref, err := synth.Generate(synth.Config{
+			Name: "ref", N: 800, D: 8,
+			Groups: []synth.Group{{Dims: []int{0, 1, 2}, Noise: 0.03}},
+		}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon, err := stream.NewMonitor(ref, stream.Options{Phi: 5, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		quiet := slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelWarn}))
+		s := server.New(server.Config{Logger: quiet, Spans: spans})
+		if err := s.Registry().Set("default", server.Entry{Monitor: mon, FittedAt: time.Now()}); err != nil {
+			b.Fatal(err)
+		}
+		return s.Handler()
+	}
+	modes := []struct {
+		name  string
+		spans *obs.SpanRecorder
+	}{
+		{"off", nil},
+		{"sampled", obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "bench"})},
+	}
+	for _, m := range modes {
+		h := build(m.spans)
+		for _, batch := range []int{1, 100} {
+			ds := benchBatchDS(batch)
+			body := batchwire.Encode(ds)
+			b.Run(fmt.Sprintf("%s_binary_batch%d", m.name, batch), func(b *testing.B) {
+				benchServerScoreHandler(b, h, batchwire.ContentType, body, batch)
 			})
 		}
 	}

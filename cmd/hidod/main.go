@@ -50,6 +50,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -163,7 +164,13 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "json", "log format: json or text")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
+		pprofMtx  = flag.Int("pprof-mutex", 0, "mutex profile fraction (runtime.SetMutexProfileFraction): 1 samples every contention event, 0 disables")
+		pprofBlk  = flag.Int("pprof-block", 0, "block profile rate in nanoseconds (runtime.SetBlockProfileRate): 1 samples every blocking event, 0 disables")
 		version   = flag.Bool("version", false, "print version and exit")
+
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests to record as distributed traces, in [0,1]; 0 disables tracing entirely")
+		traceRing   = flag.Int("trace-ring", 4096, "completed spans retained for the debug endpoints (oldest evicted)")
+		slowReq     = flag.Duration("slow-request", 0, "log requests slower than this threshold at warn level with their trace ID; 0 disables")
 
 		role       = flag.String("role", "single", "node role: single, storage (own a row shard, answer cluster RPCs) or select (fan out to -storage-nodes)")
 		dataPath   = flag.String("data", "", "reference data CSV: the row shard for -role storage, or the local top-n reference set for -role single")
@@ -190,6 +197,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hidod: %v\n", err)
 		os.Exit(2)
 	}
+	if *traceSample < 0 || *traceSample > 1 {
+		fmt.Fprintf(os.Stderr, "hidod: -trace-sample %v outside [0,1]\n", *traceSample)
+		os.Exit(2)
+	}
+
+	// Contention profiling is opt-in: both profilers tax every
+	// lock/block event, so they stay off unless asked for.
+	if *pprofMtx > 0 {
+		runtime.SetMutexProfileFraction(*pprofMtx)
+	}
+	if *pprofBlk > 0 {
+		runtime.SetBlockProfileRate(*pprofBlk)
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -197,8 +217,21 @@ func main() {
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logFormat != "text")
+
+	// One span recorder per process, labeled with role+address so a
+	// cross-node trace says which node ran each span. nil when tracing
+	// is off — the recorder's nil path is free.
+	var spans *obs.SpanRecorder
+	if *traceSample > 0 {
+		spans = obs.NewSpanRecorder(obs.SpanRecorderConfig{
+			Node:   copts.role + " " + *addr,
+			Ring:   *traceRing,
+			Sample: *traceSample,
+		})
+	}
+
 	if copts.role == "storage" {
-		if err := runStorage(*addr, copts, *drain, logger); err != nil {
+		if err := runStorage(*addr, copts, spans, *drain, logger); err != nil {
 			fmt.Fprintf(os.Stderr, "hidod: %v\n", err)
 			os.Exit(1)
 		}
@@ -211,6 +244,8 @@ func main() {
 		RequestTimeout: *timeout,
 		ScoreWorkers:   *workers,
 		Logger:         logger,
+		Spans:          spans,
+		SlowRequest:    *slowReq,
 	}, *drain, logger); err != nil {
 		fmt.Fprintf(os.Stderr, "hidod: %v\n", err)
 		os.Exit(1)
@@ -280,7 +315,7 @@ func loadData(o clusterOpts) (*dataset.Dataset, error) {
 // then drains: http.Server.Shutdown waits for in-flight count/score
 // RPCs before the process exits, so a rolling restart never truncates
 // a fan-out mid-merge.
-func runStorage(addr string, o clusterOpts, drain time.Duration, logger *slog.Logger) error {
+func runStorage(addr string, o clusterOpts, spans *obs.SpanRecorder, drain time.Duration, logger *slog.Logger) error {
 	b := obs.Build()
 	logger.Info("starting", "binary", "hidod", "role", "storage",
 		"version", b.Version, "go", b.GoVersion, "revision", b.Revision)
@@ -289,6 +324,7 @@ func runStorage(addr string, o clusterOpts, drain time.Duration, logger *slog.Lo
 		return err
 	}
 	st := cluster.NewStorage(ds, logger)
+	st.SetSpans(spans)
 	logger.Info("shard loaded", "data", o.dataPath, "rows", ds.N(), "dims", ds.D(),
 		"fingerprint", st.Fingerprint())
 
@@ -372,6 +408,7 @@ func run(addr, pprofAddr, stateDir string, models modelFlags, copts clusterOpts,
 		// the public API bytes cannot drift from single-node.
 		s.SetBatchScorer(co)
 		s.SetTopNer(co)
+		s.SetTraceFetcher(co)
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
 		mux.HandleFunc("POST /api/v1/cluster/fit", handleClusterFit(s, co, st, logger))

@@ -111,19 +111,52 @@ func IsGridMiss(err error) bool {
 	return errors.As(err, &se) && se.Code == http.StatusConflict
 }
 
+// peerCap is what the client has learned about a peer's protocol
+// vintage, for trace-envelope negotiation.
+type peerCap uint8
+
+const (
+	capUnknown peerCap = iota // not probed yet: try the envelope
+	capModern                 // parsed a wrapped frame: keep wrapping
+	capLegacy                 // rejected the envelope magic: send bare frames
+)
+
 // Client issues framed RPCs to storage peers with per-peer attempt
 // timeouts, bounded retries with exponential backoff, and in-flight
-// tracking for graceful drain.
+// tracking for graceful drain. When the calling context carries a
+// span (obs.SpanFrom), every attempt gets a child span and the
+// request frame is wrapped in the trace envelope — unless the peer
+// has been learned to predate it.
 type Client struct {
 	cfg   ClientConfig
 	httpc *http.Client
 	wg    sync.WaitGroup
+
+	capMu sync.Mutex
+	caps  map[string]peerCap
 }
 
 // NewClient builds a peer client.
 func NewClient(cfg ClientConfig) *Client {
 	cfg = cfg.withDefaults()
-	return &Client{cfg: cfg, httpc: &http.Client{}}
+	return &Client{cfg: cfg, httpc: &http.Client{}, caps: map[string]peerCap{}}
+}
+
+func (c *Client) peerCap(peer string) peerCap {
+	c.capMu.Lock()
+	defer c.capMu.Unlock()
+	return c.caps[peer]
+}
+
+func (c *Client) setPeerCap(peer string, pc peerCap) {
+	c.capMu.Lock()
+	if c.caps[peer] != pc {
+		c.caps[peer] = pc
+		c.capMu.Unlock()
+		c.cfg.Logger.Info("peer trace capability learned", "peer", peer, "modern", pc == capModern)
+		return
+	}
+	c.capMu.Unlock()
 }
 
 // Call posts one request frame to peer's rpc endpoint and returns the
@@ -134,6 +167,11 @@ func (c *Client) Call(ctx context.Context, peer, rpc string, reqFrame []byte, wa
 	c.wg.Add(1)
 	defer c.wg.Done()
 
+	// Each attempt — including every retry — gets its own child span of
+	// whatever span the request context carries, so a retried RPC shows
+	// up in the trace as distinct attempts with their own durations.
+	// parent is nil when tracing is off; all span calls are then no-ops.
+	parent := obs.SpanFrom(ctx)
 	var lastErr error
 	backoff := c.cfg.Backoff
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
@@ -149,14 +187,20 @@ func (c *Client) Call(ctx context.Context, peer, rpc string, reqFrame []byte, wa
 			backoff *= 2
 		}
 		start := time.Now()
-		payload, err := c.attempt(ctx, peer, rpc, reqFrame, wantResp)
+		sp := parent.Child("rpc:" + rpc)
+		sp.SetAttr("peer", peer)
+		sp.SetAttrInt("attempt", int64(attempt+1))
+		payload, err := c.attempt(ctx, peer, rpc, reqFrame, wantResp, sp)
 		if err == nil {
+			sp.End()
 			if c.cfg.Metrics != nil {
 				c.cfg.Metrics.RPCs.Inc(peer, rpc, "ok")
 				c.cfg.Metrics.Latency.Observe(time.Since(start).Seconds(), peer, rpc)
 			}
 			return payload, nil
 		}
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		lastErr = err
 		if c.cfg.Metrics != nil {
 			c.cfg.Metrics.RPCs.Inc(peer, rpc, "error")
@@ -175,11 +219,50 @@ func (c *Client) Call(ctx context.Context, peer, rpc string, reqFrame []byte, wa
 		peer, rpc, c.cfg.Retries+1, lastErr)
 }
 
-func (c *Client) attempt(ctx context.Context, peer, rpc string, reqFrame []byte, wantResp msgType) ([]byte, error) {
+// attempt runs one RPC exchange, negotiating the trace envelope. With
+// a span in hand and a peer not known to be legacy, the frame goes
+// out wrapped; a 400 from an unprobed peer triggers one bare-frame
+// fallback in the same attempt — if that gets a definitive answer the
+// peer is remembered as legacy, so the probe costs one extra exchange
+// per peer per process lifetime, not per request.
+func (c *Client) attempt(ctx context.Context, peer, rpc string, reqFrame []byte, wantResp msgType, sp *obs.Span) ([]byte, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodPost,
-		peer+"/rpc/v1/"+rpc, bytes.NewReader(reqFrame))
+	sc := sp.Context()
+	if sc.TraceID == "" || c.peerCap(peer) == capLegacy {
+		return c.post(actx, peer, rpc, reqFrame, wantResp)
+	}
+	payload, err := c.post(actx, peer, rpc, wrapTraceFrame(sc.TraceID, sc.SpanID, reqFrame), wantResp)
+	var se *StatusError
+	switch {
+	case err == nil:
+		c.setPeerCap(peer, capModern)
+		return payload, nil
+	case errors.As(err, &se) && se.Code == http.StatusBadRequest && c.peerCap(peer) == capUnknown:
+		// Either a pre-tracing server choked on the envelope magic, or
+		// the inner request is genuinely bad. The bare retry separates
+		// the two: a non-400 verdict means the envelope was the problem.
+		payload, err = c.post(actx, peer, rpc, reqFrame, wantResp)
+		var bare *StatusError
+		if err == nil || (errors.As(err, &bare) && bare.Code != http.StatusBadRequest && bare.Code < 500) {
+			c.setPeerCap(peer, capLegacy)
+		}
+		return payload, err
+	case errors.As(err, &se) && (se.Code == http.StatusConflict || se.Code == http.StatusPreconditionFailed):
+		// Grid-miss and model-miss verdicts come from the inner handler:
+		// the peer unwrapped the envelope fine.
+		c.setPeerCap(peer, capModern)
+		return nil, err
+	default:
+		return nil, err
+	}
+}
+
+// post runs one HTTP exchange: request frame out, response frame (or
+// *StatusError) back.
+func (c *Client) post(ctx context.Context, peer, rpc string, body []byte, wantResp msgType) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		peer+"/rpc/v1/"+rpc, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -189,14 +272,14 @@ func (c *Client) attempt(ctx context.Context, peer, rpc string, reqFrame []byte,
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFramePayload+64))
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxFramePayload+64))
 	if err != nil {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, &StatusError{Code: resp.StatusCode, Msg: string(body)}
+		return nil, &StatusError{Code: resp.StatusCode, Msg: string(respBody)}
 	}
-	t, payload, err := decodeFrame(body)
+	t, payload, err := decodeFrame(respBody)
 	if err != nil {
 		return nil, err
 	}

@@ -313,7 +313,15 @@ func (co *Coordinator) ScoreBatch(ctx context.Context, model string, mon *stream
 			if co.m != nil {
 				co.m.Fallback.Inc()
 			}
-			return scoreLocalInto(ctx, mon, ds, lo, hi, out)
+			// The failover is its own span, so a trace of a degraded
+			// request shows both the failed RPC attempts and the local
+			// re-scoring that replaced them.
+			sp := obs.SpanFrom(ctx).Child("failover:score")
+			sp.SetAttr("peer", peer)
+			sp.SetAttrInt("rows", int64(hi-lo))
+			ferr := scoreLocalInto(ctx, mon, ds, lo, hi, out)
+			sp.End()
+			return ferr
 		}
 		return nil
 	})
@@ -439,6 +447,45 @@ func (co *Coordinator) TopN(ctx context.Context, model string, mon *stream.Monit
 		co.m.Partials.Inc()
 	}
 	return server.TopNResult{Rows: rows, Partial: partial, Results: entries}, nil
+}
+
+// FetchTrace implements server.TraceFetcher: it fans the trace RPC
+// out to every storage peer and concatenates whatever spans their
+// rings still hold. Per-peer failures are tolerated — a dead shard or
+// a pre-tracing binary (whose strict decoder 400s the unknown message
+// type) contributes nothing, and the select node still serves the
+// spans it has. The error reports the first per-peer failure for the
+// caller's log; spans and error can both be non-nil.
+func (co *Coordinator) FetchTrace(ctx context.Context, traceID string) ([]obs.SpanData, error) {
+	req := traceReq{TraceID: traceID}
+	frame := req.encode()
+	perPeer := make([][]obs.SpanData, len(co.cfg.Peers))
+	errs := co.eachPeer(func(i int, peer string) error {
+		payload, err := co.client.Call(ctx, peer, "trace", frame, msgTraceResp)
+		if err != nil {
+			return err
+		}
+		var resp traceResp
+		if err := resp.decode(payload); err != nil {
+			return err
+		}
+		perPeer[i] = resp.Spans
+		return nil
+	})
+	var out []obs.SpanData
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			co.logger.Debug("trace fetch skipped peer", "peer", co.cfg.Peers[i],
+				"trace", traceID, "error", err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("peer %s: %w", co.cfg.Peers[i], err)
+			}
+			continue
+		}
+		out = append(out, perPeer[i]...)
+	}
+	return out, firstErr
 }
 
 // FitOptions mirror the single-node fit parameters

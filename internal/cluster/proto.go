@@ -23,8 +23,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"hido/internal/cube"
+	"hido/internal/obs"
 )
 
 // Frame layout: 4-byte magic, 1-byte message type, 4-byte big-endian
@@ -60,6 +62,8 @@ const (
 	msgScoreResp
 	msgTopNReq
 	msgTopNResp
+	msgTraceReq
+	msgTraceResp
 	msgTypeEnd // sentinel: first invalid type
 )
 
@@ -671,6 +675,138 @@ func (m *topNResp) decode(p []byte) error {
 			m.Items[i].Index = int(d.u32())
 			m.Items[i].Score = d.f64()
 			m.Items[i].Flagged = d.u8() != 0
+		}
+	}
+	return d.err()
+}
+
+// ---- trace envelope ----
+
+// The trace envelope carries distributed-tracing context around an
+// unmodified hcp1 frame: "hct1" magic, length-prefixed trace ID,
+// length-prefixed parent span ID, then the complete inner frame
+// (which self-validates through decodeFrame, so it needs no second
+// length prefix).
+//
+// An out-of-band wrapper — rather than any in-band frame extension —
+// is what keeps the protocol change backward compatible in both
+// directions: the strict hcp1 decoder rejects unknown types, length
+// mismatches and trailing bytes, so there is no in-band slot to hide
+// context in. An old server answers a wrapped frame with 400 ("bad
+// frame magic"); the client hears that once, falls back to the bare
+// frame, and remembers the peer is pre-tracing (see Client.attempt).
+// An old client's bare frames pass through a new server untouched.
+const traceMagic = "hct1"
+
+// maxTraceField bounds the envelope's ID strings; real IDs are ~20
+// bytes, so anything bigger is hostile.
+const maxTraceField = 256
+
+// wrapTraceFrame wraps a frame in the trace envelope.
+func wrapTraceFrame(traceID, parentSpan string, frame []byte) []byte {
+	e := enc{b: make([]byte, 0, len(traceMagic)+8+len(traceID)+len(parentSpan)+len(frame))}
+	e.b = append(e.b, traceMagic...)
+	e.str(traceID)
+	e.str(parentSpan)
+	e.b = append(e.b, frame...)
+	return e.b
+}
+
+// unwrapTraceFrame strips the trace envelope if present. A body that
+// does not start with the envelope magic — an old client, or tracing
+// off — is returned unchanged with a zero context. A body that
+// claims the magic but truncates the header is an error.
+func unwrapTraceFrame(b []byte) (obs.SpanContext, []byte, error) {
+	if len(b) < len(traceMagic) || string(b[:len(traceMagic)]) != traceMagic {
+		return obs.SpanContext{}, b, nil
+	}
+	d := dec{b: b, off: len(traceMagic)}
+	sc := obs.SpanContext{
+		TraceID: d.str(maxTraceField),
+		SpanID:  d.str(maxTraceField),
+	}
+	if d.fail != "" {
+		return obs.SpanContext{}, nil, fmt.Errorf("cluster: trace envelope: %s", d.fail)
+	}
+	return sc, b[d.off:], nil
+}
+
+// ---- trace ----
+
+// traceReq asks a node for the completed spans it still holds for one
+// trace — the cross-node assembly behind
+// GET /api/v1/debug/traces/{id} on the select node.
+type traceReq struct {
+	TraceID string
+}
+
+func (m *traceReq) encode() []byte {
+	var e enc
+	e.str(m.TraceID)
+	return encodeFrame(msgTraceReq, e.b)
+}
+
+func (m *traceReq) decode(p []byte) error {
+	d := dec{b: p}
+	m.TraceID = d.str(maxTraceField)
+	return d.err()
+}
+
+// traceResp carries a node's retained spans for the requested trace.
+// Span times travel as UTC unix nanoseconds; durations as exact
+// float64 milliseconds.
+type traceResp struct {
+	Spans []obs.SpanData
+}
+
+func (m *traceResp) encode() []byte {
+	var e enc
+	e.u32(uint32(len(m.Spans)))
+	for i := range m.Spans {
+		s := &m.Spans[i]
+		e.str(s.TraceID)
+		e.str(s.SpanID)
+		e.str(s.ParentID)
+		e.str(s.Name)
+		e.str(s.Node)
+		e.u64(uint64(s.Start.UnixNano()))
+		e.f64(s.DurMS)
+		e.u32(uint32(len(s.Attrs)))
+		for _, a := range s.Attrs {
+			e.str(a.Key)
+			e.str(a.Value)
+		}
+	}
+	return encodeFrame(msgTraceResp, e.b)
+}
+
+func (m *traceResp) decode(p []byte) error {
+	d := dec{b: p}
+	// Minimum span encoding: five empty strings (5×4), start (8),
+	// duration (8), attr count (4).
+	n := d.count(40, "span")
+	if d.fail == "" && n > 0 {
+		m.Spans = make([]obs.SpanData, n)
+		for i := range m.Spans {
+			s := &m.Spans[i]
+			s.TraceID = d.str(maxWireString)
+			s.SpanID = d.str(maxWireString)
+			s.ParentID = d.str(maxWireString)
+			s.Name = d.str(maxWireString)
+			s.Node = d.str(maxWireString)
+			s.Start = time.Unix(0, int64(d.u64())).UTC()
+			s.DurMS = d.f64()
+			na := d.count(8, "attr")
+			if d.fail != "" {
+				break
+			}
+			if na > 0 {
+				s.Attrs = make(obs.SpanAttrs, na)
+				for j := range s.Attrs {
+					s.Attrs[j].Key = d.str(maxWireString)
+					s.Attrs[j].Value = d.str(maxWireString)
+				}
+			}
 		}
 	}
 	return d.err()

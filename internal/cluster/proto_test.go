@@ -5,8 +5,10 @@ import (
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"hido/internal/cube"
+	"hido/internal/obs"
 )
 
 // TestProtoRoundTrip drives every message through encode → frame →
@@ -189,6 +191,32 @@ func TestDecodeRejectsHostileFrames(t *testing.T) {
 	if err := req.decode(payload); err == nil {
 		t.Error("trailing garbage accepted")
 	}
+
+	// Every strict prefix of a trace-response payload must error: span
+	// and attr lists truncate at arbitrary byte positions.
+	tvalid := (&traceResp{Spans: []obs.SpanData{{TraceID: "t-1", SpanID: "s-1",
+		ParentID: "s-0", Name: "storage:score", Node: "storage :9001",
+		Start: time.Unix(1700000000, 0).UTC(), DurMS: 1.25,
+		Attrs: obs.SpanAttrs{{Key: "code", Value: "200"}}}}}).encode()
+	_, tpayload, err := decodeFrame(tvalid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(tpayload); i++ {
+		var tr traceResp
+		if err := tr.decode(tpayload[:i]); err == nil {
+			t.Errorf("truncated traceResp payload of %d/%d bytes decoded", i, len(tpayload))
+		}
+	}
+
+	// A declared span count far beyond the payload must be rejected
+	// before any allocation.
+	var te enc
+	te.u32(0xffffffff)
+	var tr traceResp
+	if err := tr.decode(te.b); err == nil {
+		t.Error("billion-span trace response decoded")
+	}
 }
 
 // FuzzClusterDecode throws hostile bytes at the frame parser and
@@ -210,6 +238,10 @@ func FuzzClusterDecode(f *testing.F) {
 		(&scoreResp{Alerts: []wireAlert{{Score: nan, Matches: []int{1}}}}).encode(),
 		(&topNReq{ModelFP: "m-1", N: 5}).encode(),
 		(&topNResp{Rows: 7, Items: []topNItem{{Index: 1, Score: -1, Flagged: true}}}).encode(),
+		(&traceReq{TraceID: "t-1"}).encode(),
+		(&traceResp{Spans: []obs.SpanData{{TraceID: "t-1", SpanID: "s-1", Name: "storage:score",
+			Start: time.Unix(1700000000, 0).UTC(), DurMS: 0.5,
+			Attrs: obs.SpanAttrs{{Key: "code", Value: "200"}}}}}).encode(),
 		emptyFrame(msgInfoReq),
 		{},
 		[]byte("hcp1"),
@@ -259,6 +291,12 @@ func FuzzClusterDecode(f *testing.F) {
 			_ = m.decode(payload)
 		case msgTopNResp:
 			var m topNResp
+			_ = m.decode(payload)
+		case msgTraceReq:
+			var m traceReq
+			_ = m.decode(payload)
+		case msgTraceResp:
+			var m traceResp
 			_ = m.decode(payload)
 		}
 	})

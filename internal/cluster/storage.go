@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -44,6 +45,7 @@ type Storage struct {
 	fp     string
 	logger *slog.Logger
 	reg    *metrics.Registry
+	spans  *obs.SpanRecorder
 
 	mRPCs *metrics.Counter
 	mLat  *metrics.Histogram
@@ -84,6 +86,13 @@ func NewStorage(ds *dataset.Dataset, logger *slog.Logger) *Storage {
 // Fingerprint returns the shard data fingerprint.
 func (st *Storage) Fingerprint() string { return st.fp }
 
+// SetSpans enables distributed tracing on this node: RPCs arriving
+// with a trace envelope continue the caller's trace as spans in r's
+// ring, served back through the trace RPC and the node's own debug
+// endpoints. nil (the default) disables tracing. Must be set before
+// the node starts serving.
+func (st *Storage) SetSpans(r *obs.SpanRecorder) { st.spans = r }
+
 // DataFingerprint hashes a dataset's shape, attribute names and exact
 // value bits. It is the shard-compatibility check: a coordinator
 // records it at connect time and a grid push names it, so a shard
@@ -116,12 +125,18 @@ func (st *Storage) Handler() http.Handler {
 	rpc := func(name string, want msgType, h func(payload []byte) ([]byte, error)) {
 		mux.HandleFunc("POST /rpc/v1/"+name, func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
-			code := st.serveRPC(w, r, want, h)
+			code, traceID := st.serveRPC(w, r, name, want, h)
 			st.mRPCs.Inc(name, fmt.Sprint(code))
 			st.mLat.Observe(time.Since(start).Seconds(), name)
-			st.logger.Debug("rpc", "rpc", name, "code", code,
-				"duration_ms", float64(time.Since(start).Microseconds())/1000,
-				"remote", r.RemoteAddr)
+			if traceID == "" {
+				st.logger.Debug("rpc", "rpc", name, "code", code,
+					"duration_ms", float64(time.Since(start).Microseconds())/1000,
+					"remote", r.RemoteAddr)
+			} else {
+				st.logger.Debug("rpc", "rpc", name, "code", code, "trace", traceID,
+					"duration_ms", float64(time.Since(start).Microseconds())/1000,
+					"remote", r.RemoteAddr)
+			}
 		})
 	}
 	rpc("info", msgInfoReq, st.rpcInfo)
@@ -132,6 +147,32 @@ func (st *Storage) Handler() http.Handler {
 	rpc("model", msgModelPush, st.rpcModel)
 	rpc("score", msgScoreReq, st.rpcScore)
 	rpc("topn", msgTopNReq, st.rpcTopN)
+	rpc("trace", msgTraceReq, st.rpcTrace)
+	// Local debug introspection, mirroring the select node's endpoints:
+	// an operator can ask any storage node directly what it holds.
+	mux.HandleFunc("GET /api/v1/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeStorageJSON(w, http.StatusOK, map[string]any{
+			"enabled": st.spans.Enabled(), "node": st.spans.Node(),
+			"traces": st.spans.Recent(0),
+		})
+	})
+	mux.HandleFunc("GET /api/v1/debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		spans := st.spans.Trace(id)
+		if len(spans) == 0 {
+			writeStorageJSON(w, http.StatusNotFound, map[string]string{"error": "trace not held on this node"})
+			return
+		}
+		writeStorageJSON(w, http.StatusOK, map[string]any{
+			"trace": id, "spans": len(spans), "tree": obs.BuildSpanTree(spans),
+		})
+	})
+	mux.HandleFunc("GET /api/v1/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		writeStorageJSON(w, http.StatusOK, map[string]any{
+			"enabled": st.spans.Enabled(), "node": st.spans.Node(),
+			"requests": st.spans.Live(),
+		})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		b := obs.Build()
 		w.Header().Set("Content-Type", "application/json")
@@ -162,20 +203,33 @@ func rpcErrorf(code int, format string, args ...any) error {
 }
 
 // serveRPC reads, validates and dispatches one frame, writing either
-// the handler's response frame or a plain-text error. Returns the
-// status code for metrics.
-func (st *Storage) serveRPC(w http.ResponseWriter, r *http.Request, want msgType, h func([]byte) ([]byte, error)) int {
+// the handler's response frame or a plain-text error. A trace
+// envelope around the frame continues the caller's trace as a span on
+// this node. Returns the status code for metrics and the trace ID
+// (if any) for the debug log.
+func (st *Storage) serveRPC(w http.ResponseWriter, r *http.Request, name string, want msgType, h func([]byte) ([]byte, error)) (int, string) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxFramePayload+64))
 	if err != nil {
-		return writeRPCError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return writeRPCError(w, http.StatusRequestEntityTooLarge, err.Error()), ""
 	}
+	sc, body, err := unwrapTraceFrame(body)
+	if err != nil {
+		return writeRPCError(w, http.StatusBadRequest, err.Error()), ""
+	}
+	// Continue the select node's trace; nil st.spans or a bare frame
+	// yields a nil span and every call below is a no-op.
+	sp := st.spans.Continue("storage:"+name, sc)
 	t, payload, err := decodeFrame(body)
 	if err != nil {
-		return writeRPCError(w, http.StatusBadRequest, err.Error())
+		code := writeRPCError(w, http.StatusBadRequest, err.Error())
+		endRPCSpan(sp, code)
+		return code, sc.TraceID
 	}
 	if t != want {
-		return writeRPCError(w, http.StatusBadRequest,
+		code := writeRPCError(w, http.StatusBadRequest,
 			fmt.Sprintf("cluster: message type %d on a type-%d endpoint", t, want))
+		endRPCSpan(sp, code)
+		return code, sc.TraceID
 	}
 	resp, err := h(payload)
 	if err != nil {
@@ -184,12 +238,27 @@ func (st *Storage) serveRPC(w http.ResponseWriter, r *http.Request, want msgType
 		if errors.As(err, &re) {
 			code = re.code
 		}
-		return writeRPCError(w, code, err.Error())
+		code = writeRPCError(w, code, err.Error())
+		endRPCSpan(sp, code)
+		return code, sc.TraceID
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
 	w.Write(resp)
-	return http.StatusOK
+	endRPCSpan(sp, http.StatusOK)
+	return http.StatusOK, sc.TraceID
+}
+
+// endRPCSpan stamps the outcome on a storage-side span. Nil-safe.
+func endRPCSpan(sp *obs.Span, code int) {
+	sp.SetAttrInt("code", int64(code))
+	sp.End()
+}
+
+func writeStorageJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func writeRPCError(w http.ResponseWriter, code int, msg string) int {
@@ -409,6 +478,20 @@ func (st *Storage) rpcTopN(payload []byte) ([]byte, error) {
 		items = items[:req.N]
 	}
 	resp := topNResp{Rows: n, Items: items}
+	return resp.encode(), nil
+}
+
+// rpcTrace answers with this node's retained spans for one trace —
+// the scatter half of cross-node span-tree assembly. A node without
+// tracing enabled (or whose ring evicted the trace) answers an empty
+// list, never an error: observability gaps degrade the tree, not the
+// request.
+func (st *Storage) rpcTrace(payload []byte) ([]byte, error) {
+	var req traceReq
+	if err := req.decode(payload); err != nil {
+		return nil, rpcErrorf(http.StatusBadRequest, "%v", err)
+	}
+	resp := traceResp{Spans: st.spans.Trace(req.TraceID)}
 	return resp.encode(), nil
 }
 

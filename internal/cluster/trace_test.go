@@ -1,0 +1,482 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hido/internal/obs"
+	"hido/internal/server"
+	"hido/internal/stream"
+)
+
+// TestTraceProtoRoundTrip drives the trace messages and the envelope
+// through encode → decode and requires them back unchanged.
+func TestTraceProtoRoundTrip(t *testing.T) {
+	req := &traceReq{TraceID: "t-cafe"}
+	typ, payload, err := decodeFrame(req.encode())
+	if err != nil || typ != msgTraceReq {
+		t.Fatalf("traceReq frame: type %d err %v", typ, err)
+	}
+	var gotReq traceReq
+	if err := gotReq.decode(payload); err != nil || gotReq.TraceID != "t-cafe" {
+		t.Fatalf("traceReq: got %+v err %v", gotReq, err)
+	}
+
+	// Starts built via time.Unix: the wire carries UTC unix nanos, so
+	// monotonic-clock-free times round-trip exactly.
+	resp := &traceResp{Spans: []obs.SpanData{
+		{TraceID: "t-1", SpanID: "s-1", Name: "storage:score", Node: "storage :9001",
+			Start: time.Unix(1700000000, 12345).UTC(), DurMS: 1.5,
+			Attrs: obs.SpanAttrs{{Key: "code", Value: "200"}, {Key: "rows", Value: "80"}}},
+		{TraceID: "t-1", SpanID: "s-2", ParentID: "s-1", Name: "storage:count",
+			Start: time.Unix(1700000001, 0).UTC(), DurMS: math.Inf(1)},
+	}}
+	typ, payload, err = decodeFrame(resp.encode())
+	if err != nil || typ != msgTraceResp {
+		t.Fatalf("traceResp frame: type %d err %v", typ, err)
+	}
+	var gotResp traceResp
+	if err := gotResp.decode(payload); err != nil {
+		t.Fatalf("traceResp decode: %v", err)
+	}
+	if !reflect.DeepEqual(resp.Spans, gotResp.Spans) {
+		t.Errorf("traceResp: got %+v want %+v", gotResp.Spans, resp.Spans)
+	}
+
+	// Envelope: wrap → unwrap returns the context and the inner frame.
+	inner := (&traceReq{TraceID: "t-1"}).encode()
+	sc, body, err := unwrapTraceFrame(wrapTraceFrame("t-1", "s-root", inner))
+	if err != nil || sc.TraceID != "t-1" || sc.SpanID != "s-root" {
+		t.Fatalf("unwrap: sc %+v err %v", sc, err)
+	}
+	if !reflect.DeepEqual(body, inner) {
+		t.Errorf("unwrap did not return the inner frame")
+	}
+
+	// A bare frame — an old client, or tracing off — passes through
+	// unchanged with a zero context.
+	sc, body, err = unwrapTraceFrame(inner)
+	if err != nil || sc.TraceID != "" || !reflect.DeepEqual(body, inner) {
+		t.Errorf("bare frame: sc %+v err %v", sc, err)
+	}
+
+	// Claiming the magic but truncating the header is an error, for
+	// every strict prefix.
+	wrapped := wrapTraceFrame("t-1", "s-root", inner)
+	for i := len(traceMagic); i < len(traceMagic)+12; i++ {
+		if _, _, err := unwrapTraceFrame(wrapped[:i]); err == nil {
+			t.Errorf("truncated envelope of %d bytes accepted", i)
+		}
+	}
+
+	// Hostile ID length: longer than maxTraceField must be rejected.
+	long := wrapTraceFrame(strings.Repeat("x", maxTraceField+1), "s", inner)
+	if _, _, err := unwrapTraceFrame(long); err == nil {
+		t.Error("oversized trace ID accepted")
+	}
+}
+
+// FuzzUnwrapTraceFrame throws hostile bytes at the envelope parser.
+// Total property: no panic, and a body without the envelope magic is
+// always passed through byte-identical.
+func FuzzUnwrapTraceFrame(f *testing.F) {
+	inner := (&traceReq{TraceID: "t-1"}).encode()
+	f.Add(wrapTraceFrame("t-1", "s-1", inner))
+	f.Add(wrapTraceFrame("", "", nil))
+	f.Add([]byte(traceMagic))
+	f.Add(append([]byte(traceMagic), 0xff, 0xff, 0xff, 0xff))
+	f.Add(inner)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, body, err := unwrapTraceFrame(data)
+		if len(data) < len(traceMagic) || string(data[:len(traceMagic)]) != traceMagic {
+			if err != nil || sc.TraceID != "" || sc.SpanID != "" || !reflect.DeepEqual(body, data) {
+				t.Fatalf("bare body not passed through: sc %+v err %v", sc, err)
+			}
+		}
+	})
+}
+
+// spanTreeJSON mirrors the debug endpoint's tree nodes.
+type spanTreeJSON struct {
+	Trace    string         `json:"trace"`
+	Span     string         `json:"span"`
+	Parent   string         `json:"parent"`
+	Name     string         `json:"name"`
+	Node     string         `json:"node"`
+	Children []spanTreeJSON `json:"children"`
+}
+
+// flattenTree lists every node in the forest.
+func flattenTree(nodes []spanTreeJSON) []spanTreeJSON {
+	var out []spanTreeJSON
+	for _, n := range nodes {
+		out = append(out, n)
+		out = append(out, flattenTree(n.Children)...)
+	}
+	return out
+}
+
+// TestClusterTraceEndToEnd is the tentpole acceptance test: one score
+// request against a traced 3-shard cluster yields, via a single GET
+// on the select node's debug endpoint, a span tree under one trace ID
+// holding the root, the serving phases, a per-peer RPC span per
+// shard, and the storage-side spans each shard recorded. After a
+// shard dies, the next trace shows the local failover span.
+func TestClusterTraceEndToEnd(t *testing.T) {
+	full := testData(t, 240)
+	mon, err := stream.NewMonitor(full, stream.Options{Phi: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shards := splitAt(full, []int{70, 151})
+	var peers []string
+	var storageSrvs []*httptest.Server
+	var storageRecs []*obs.SpanRecorder
+	for i, sh := range shards {
+		rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "storage-" + string(rune('a'+i))})
+		st := NewStorage(sh, nil)
+		st.SetSpans(rec)
+		srv := httptest.NewServer(st.Handler())
+		t.Cleanup(srv.Close)
+		storageSrvs = append(storageSrvs, srv)
+		storageRecs = append(storageRecs, rec)
+		peers = append(peers, srv.URL)
+	}
+	co, err := NewCoordinator(CoordinatorConfig{
+		Peers:  peers,
+		Quorum: 1,
+		Client: ClientConfig{Timeout: 10 * time.Second, Retries: -1, Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	selRec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "select"})
+	sSel := server.New(server.Config{Spans: selRec})
+	sSel.SetBatchScorer(co)
+	sSel.SetTopNer(co)
+	sSel.SetTraceFetcher(co)
+	installModel(t, sSel, mon)
+	sel := httptest.NewServer(sSel.Handler())
+	defer sel.Close()
+
+	scoreOnce := func() string {
+		t.Helper()
+		resp, err := http.Post(sel.URL+"/api/v1/score?all=1", "application/x-ndjson",
+			strings.NewReader(scoreBody(t, full)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("score: %d", resp.StatusCode)
+		}
+		traceID := resp.Header.Get("X-Trace-Id")
+		if traceID == "" {
+			t.Fatal("score response carries no X-Trace-Id")
+		}
+		return traceID
+	}
+
+	// fetchTree pulls the assembled cross-node tree, polling briefly:
+	// the root span lands in the ring in the middleware's deferred
+	// cleanup, which can trail the response by a scheduler beat.
+	fetchTree := func(traceID string) []spanTreeJSON {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			code, body := get(t, sel.URL+"/api/v1/debug/traces/"+traceID)
+			if code == http.StatusOK {
+				var tr struct {
+					Trace string         `json:"trace"`
+					Spans int            `json:"spans"`
+					Tree  []spanTreeJSON `json:"tree"`
+				}
+				if err := json.Unmarshal([]byte(body), &tr); err != nil {
+					t.Fatalf("trace response not JSON: %v in %q", err, body)
+				}
+				flat := flattenTree(tr.Tree)
+				rooted := false
+				for _, n := range flat {
+					if n.Parent == "" && n.Name == "/api/v1/score" {
+						rooted = true
+					}
+				}
+				if rooted {
+					return tr.Tree
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("trace %s never became complete (last: %d)", traceID, code)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	traceID := scoreOnce()
+	flat := flattenTree(fetchTree(traceID))
+
+	names := map[string]int{}
+	for _, n := range flat {
+		if n.Trace != traceID {
+			t.Fatalf("span %s carries trace %s, want %s", n.Span, n.Trace, traceID)
+		}
+		names[n.Name]++
+	}
+	for _, want := range []string{"/api/v1/score", "decode", "score", "encode"} {
+		if names[want] == 0 {
+			t.Errorf("trace lacks a %q span (have %v)", want, names)
+		}
+	}
+	// One score RPC per shard, each continued on its shard: the
+	// storage-side span rode back through the trace RPC.
+	if names["rpc:score"] < len(shards) {
+		t.Errorf("trace has %d rpc:score spans, want >= %d (have %v)", names["rpc:score"], len(shards), names)
+	}
+	if names["storage:score"] < len(shards) {
+		t.Errorf("trace has %d storage:score spans, want >= %d (have %v)", names["storage:score"], len(shards), names)
+	}
+	// Storage spans must say which node ran them, and each shard must
+	// actually hold its own spans locally.
+	for i, rec := range storageRecs {
+		if len(rec.Trace(traceID)) == 0 {
+			t.Errorf("shard %d retained no spans for trace %s", i, traceID)
+		}
+	}
+	for _, n := range flat {
+		if strings.HasPrefix(n.Name, "storage:") && !strings.HasPrefix(n.Node, "storage-") {
+			t.Errorf("storage span %q attributed to node %q", n.Name, n.Node)
+		}
+	}
+	// Parentage: storage:score spans hang under rpc:score spans — the
+	// tree is connected across the process boundary.
+	var checkParent func(nodes []spanTreeJSON, parent string)
+	checkParent = func(nodes []spanTreeJSON, parent string) {
+		for _, n := range nodes {
+			if n.Name == "storage:score" && parent != "rpc:score" {
+				t.Errorf("storage:score parented under %q, want rpc:score", parent)
+			}
+			checkParent(n.Children, n.Name)
+		}
+	}
+	checkParent(fetchTree(traceID), "")
+
+	// Kill a shard: scoring fails over to a local chunk, and the trace
+	// shows it.
+	storageSrvs[1].Close()
+	failTrace := scoreOnce()
+	flat = flattenTree(fetchTree(failTrace))
+	found := false
+	for _, n := range flat {
+		if n.Name == "failover:score" {
+			found = true
+			if n.Node != "select" {
+				t.Errorf("failover span attributed to %q, want select", n.Node)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("trace after shard death lacks a failover:score span")
+	}
+
+	// The listing endpoint knows both traces.
+	code, body := get(t, sel.URL+"/api/v1/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("debug/traces: %d %s", code, body)
+	}
+	var listing struct {
+		Enabled bool `json:"enabled"`
+		Traces  []struct {
+			TraceID string `json:"trace"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("traces listing not JSON: %v", err)
+	}
+	if !listing.Enabled {
+		t.Error("traces listing says tracing disabled")
+	}
+	got := map[string]bool{}
+	for _, tr := range listing.Traces {
+		got[tr.TraceID] = true
+	}
+	if !got[traceID] || !got[failTrace] {
+		t.Errorf("traces listing lacks %s or %s: %+v", traceID, failTrace, listing.Traces)
+	}
+}
+
+// TestClientRetrySpans requires every attempt — including retries — to
+// appear in the trace as its own RPC span with an attempt counter.
+func TestClientRetrySpans(t *testing.T) {
+	ds := testData(t, 40)
+	st := NewStorage(ds, nil)
+	real := st.Handler()
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "select"})
+	root := rec.StartRoot("test", "t-retry")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
+	client := NewClient(ClientConfig{Timeout: 5 * time.Second, Retries: 1, Backoff: time.Millisecond})
+	if _, err := client.Call(ctx, flaky.URL, "info", emptyFrame(msgInfoReq), msgInfoResp); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := rec.Trace("t-retry")
+	attempts := map[string]bool{}
+	erred := 0
+	for _, sd := range spans {
+		if sd.Name != "rpc:info" {
+			continue
+		}
+		for _, a := range sd.Attrs {
+			if a.Key == "attempt" {
+				attempts[a.Value] = true
+			}
+			if a.Key == "error" {
+				erred++
+			}
+		}
+		if sd.ParentID == "" {
+			t.Error("rpc span has no parent")
+		}
+	}
+	if !attempts["1"] || !attempts["2"] {
+		t.Errorf("retry attempts missing from trace: %v", spans)
+	}
+	if erred != 1 {
+		t.Errorf("%d rpc spans carry an error attr, want exactly the failed first attempt", erred)
+	}
+}
+
+// TestTraceEnvelopeCompat pins both directions of wire compatibility:
+// a new client against a pre-tracing server falls back to bare frames
+// and caches the verdict; an old client's bare frames work against a
+// new server; and a genuine bad request through the envelope stays a
+// bad request without poisoning the capability cache.
+func TestTraceEnvelopeCompat(t *testing.T) {
+	ds := testData(t, 40)
+
+	t.Run("new-client-old-server", func(t *testing.T) {
+		// A pre-tracing storage node: decodes the frame directly, so the
+		// envelope magic is a 400, exactly like the old serveRPC.
+		var bare, wrapped atomic.Int32
+		old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			body, _ := io.ReadAll(r.Body)
+			if strings.HasPrefix(string(body), traceMagic) {
+				wrapped.Add(1)
+			} else {
+				bare.Add(1)
+			}
+			if _, _, err := decodeFrame(body); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write((&infoResp{N: ds.N(), Names: ds.Names, Fingerprint: "d-x"}).encode())
+		}))
+		defer old.Close()
+
+		rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "select"})
+		root := rec.StartRoot("test", "t-compat")
+		defer root.End()
+		ctx := obs.ContextWithSpan(context.Background(), root)
+		client := NewClient(ClientConfig{Timeout: 5 * time.Second, Retries: -1})
+
+		for i := 0; i < 3; i++ {
+			payload, err := client.Call(ctx, old.URL, "info", emptyFrame(msgInfoReq), msgInfoResp)
+			if err != nil {
+				t.Fatalf("call %d: %v", i, err)
+			}
+			var info infoResp
+			if err := info.decode(payload); err != nil || info.N != ds.N() {
+				t.Fatalf("call %d: bad answer %+v %v", i, info, err)
+			}
+		}
+		// The probe costs exactly one wrapped exchange; every call after
+		// the verdict goes bare directly.
+		if wrapped.Load() != 1 || bare.Load() != 3 {
+			t.Errorf("wrapped=%d bare=%d, want 1 probe then bare-only", wrapped.Load(), bare.Load())
+		}
+		if client.peerCap(old.URL) != capLegacy {
+			t.Errorf("peer cap = %d, want capLegacy", client.peerCap(old.URL))
+		}
+	})
+
+	t.Run("old-client-new-server", func(t *testing.T) {
+		rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "storage"})
+		st := NewStorage(ds, nil)
+		st.SetSpans(rec)
+		srv := httptest.NewServer(st.Handler())
+		defer srv.Close()
+
+		// An old client has no envelope: post the bare frame raw.
+		resp, err := http.Post(srv.URL+"/rpc/v1/info", "application/octet-stream",
+			strings.NewReader(string(emptyFrame(msgInfoReq))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("bare frame against new server: %d", resp.StatusCode)
+		}
+		// No envelope, no trace: nothing lands in the ring.
+		if n := rec.TotalSpans(); n != 0 {
+			t.Errorf("bare RPC recorded %d spans, want 0", n)
+		}
+	})
+
+	t.Run("genuine-bad-request", func(t *testing.T) {
+		st := NewStorage(ds, nil)
+		st.SetSpans(obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "storage"}))
+		srv := httptest.NewServer(st.Handler())
+		defer srv.Close()
+
+		rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "select"})
+		root := rec.StartRoot("test", "t-bad")
+		defer root.End()
+		ctx := obs.ContextWithSpan(context.Background(), root)
+		client := NewClient(ClientConfig{Timeout: 5 * time.Second, Retries: -1})
+
+		// An info frame on the count endpoint is a 400 from the inner
+		// dispatcher whether or not the envelope is understood, so the
+		// bare retry answers 400 too: the capability stays unknown.
+		_, err := client.Call(ctx, srv.URL, "count", emptyFrame(msgInfoReq), msgCountResp)
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+			t.Fatalf("got %v, want a 400 StatusError", err)
+		}
+		if client.peerCap(srv.URL) != capUnknown {
+			t.Errorf("genuine 400 poisoned the capability cache: %d", client.peerCap(srv.URL))
+		}
+
+		// The next well-formed call still negotiates modern.
+		if _, err := client.Call(ctx, srv.URL, "info", emptyFrame(msgInfoReq), msgInfoResp); err != nil {
+			t.Fatal(err)
+		}
+		if client.peerCap(srv.URL) != capModern {
+			t.Errorf("peer cap = %d after clean call, want capModern", client.peerCap(srv.URL))
+		}
+	})
+}

@@ -46,6 +46,15 @@ func (t *Tracer) RunID(prefix string) string {
 // Emit writes one event line. fields must not contain the reserved
 // keys ts_ms, run and ev (they would be overwritten).
 func (t *Tracer) Emit(run, ev string, fields map[string]any) {
+	// Once the error is sticky (or there is no writer) every later event
+	// is dropped anyway — skip the map copy and marshal, not just the
+	// write, so a dead tracer stops costing allocations.
+	t.mu.Lock()
+	dead := t.w == nil || t.err != nil
+	t.mu.Unlock()
+	if dead {
+		return
+	}
 	line := make(map[string]any, len(fields)+3)
 	for k, v := range fields {
 		line[k] = v

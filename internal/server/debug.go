@@ -1,0 +1,107 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"hido/internal/obs"
+)
+
+// This file serves the request-introspection endpoints backed by the
+// span recorder (Config.Spans):
+//
+//	GET /api/v1/debug/traces          recent completed traces
+//	GET /api/v1/debug/traces/{id}     one trace as a span tree
+//	GET /api/v1/debug/requests        live in-flight requests
+//
+// On a select node the single-trace endpoint additionally fans out
+// through Config.TraceFetcher, so one curl returns the full
+// cross-node tree: root and phase spans from this node, per-peer RPC
+// spans, and the storage-side spans each shard recorded.
+
+// tracesResponse is the body of GET /api/v1/debug/traces.
+type tracesResponse struct {
+	Enabled bool               `json:"enabled"`
+	Node    string             `json:"node,omitempty"`
+	Traces  []obs.TraceSummary `json:"traces"`
+}
+
+// traceResponse is the body of GET /api/v1/debug/traces/{id}.
+type traceResponse struct {
+	Trace string          `json:"trace"`
+	Spans int             `json:"spans"`
+	Tree  []*obs.SpanNode `json:"tree"`
+}
+
+// requestsResponse is the body of GET /api/v1/debug/requests.
+type requestsResponse struct {
+	Enabled  bool              `json:"enabled"`
+	Node     string            `json:"node,omitempty"`
+	Requests []obs.LiveRequest `json:"requests"`
+}
+
+// handleDebugTraces lists recently completed traces, newest first.
+// ?limit=N caps the listing (default 20).
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit: "+v)
+			return
+		}
+		limit = n
+	}
+	traces := s.cfg.Spans.Recent(limit)
+	if traces == nil {
+		traces = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, tracesResponse{
+		Enabled: s.cfg.Spans.Enabled(),
+		Node:    s.cfg.Spans.Node(),
+		Traces:  traces,
+	})
+}
+
+// handleDebugTrace serves one trace's full span tree, merging local
+// ring spans with whatever the cluster's storage nodes still hold.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.Spans.Enabled() {
+		writeError(w, http.StatusNotFound, "tracing disabled: start with -trace-sample > 0")
+		return
+	}
+	id := r.PathValue("id")
+	spans := s.cfg.Spans.Trace(id)
+	if s.cfg.TraceFetcher != nil {
+		remote, err := s.cfg.TraceFetcher.FetchTrace(r.Context(), id)
+		if err != nil {
+			// Partial answers beat no answers: serve the local spans and
+			// say why the rest are missing.
+			s.cfg.Logger.Warn("cross-node trace fetch incomplete",
+				"trace", id, "error", err)
+		}
+		spans = append(spans, remote...)
+	}
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "trace not found (evicted from the ring, sampled out, or never existed)")
+		return
+	}
+	writeJSON(w, http.StatusOK, traceResponse{
+		Trace: id,
+		Spans: len(spans),
+		Tree:  obs.BuildSpanTree(spans),
+	})
+}
+
+// handleDebugRequests snapshots in-flight requests, oldest first.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	reqs := s.cfg.Spans.Live()
+	if reqs == nil {
+		reqs = []obs.LiveRequest{}
+	}
+	writeJSON(w, http.StatusOK, requestsResponse{
+		Enabled:  s.cfg.Spans.Enabled(),
+		Node:     s.cfg.Spans.Node(),
+		Requests: reqs,
+	})
+}

@@ -90,26 +90,35 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	ar := s.getArena()
 	defer s.putArena(ar)
+	// sp is nil when tracing is off; every span call below is then a
+	// nil-receiver no-op, keeping this path allocation-free.
+	sp := obs.SpanFrom(r.Context())
+	sp.SetAttr("model", name)
 	t := s.cfg.Now()
+	csp := sp.Child("decode")
 	ds, err := decodeRecords(ar, r, q, e.Monitor.D(), true)
+	csp.End()
 	s.phScoreDecode.Observe(s.cfg.Now().Sub(t).Seconds())
 	if err != nil {
 		writeError(w, httpStatusFromErr(err), err.Error())
 		return
 	}
+	sp.SetAttrInt("records", int64(ds.N()))
 	if s.testHookScoring != nil {
 		s.testHookScoring()
 	}
 	t = s.cfg.Now()
+	csp = sp.Child("score")
 	var alerts []stream.Alert
 	if s.cfg.BatchScorer != nil {
-		alerts, err = s.cfg.BatchScorer.ScoreBatch(r.Context(), name, e.Monitor, ds, s.cfg.ScoreWorkers)
+		alerts, err = s.cfg.BatchScorer.ScoreBatch(obs.ContextWithSpan(r.Context(), csp), name, e.Monitor, ds, s.cfg.ScoreWorkers)
 	} else {
 		alerts, err = e.Monitor.ScoreBatchBuf(r.Context(), ds, s.cfg.ScoreWorkers, ar.alerts)
 		if alerts != nil {
 			ar.alerts = alerts
 		}
 	}
+	csp.End()
 	s.phScoreScore.Observe(s.cfg.Now().Sub(t).Seconds())
 	if err != nil {
 		writeError(w, httpStatusFromErr(err), "scoring aborted: "+err.Error())
@@ -124,6 +133,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.mRecords.Add(float64(len(alerts)))
 	s.mAlerts.Add(float64(flagged))
 	t = s.cfg.Now()
+	csp = sp.Child("encode")
 	ar.results = e.Monitor.ResultsAppend(ar.results, ds, alerts, boolParam(q, "explain"), !boolParam(q, "all"))
 	writeJSONArena(w, ar, http.StatusOK, scoreResponse{
 		Model:   name,
@@ -131,6 +141,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		Flagged: flagged,
 		Results: ar.results,
 	})
+	csp.End()
 	s.phScoreEncode.Observe(s.cfg.Now().Sub(t).Seconds())
 }
 
@@ -391,6 +402,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mHeapBytes.Set(float64(ms.HeapAlloc))
 	s.mGCPauses.Set(float64(ms.PauseTotalNs) / 1e9)
 	s.mGCCycles.Set(float64(ms.NumGC))
+	s.refreshRuntimeMetrics()
+	s.mTraceSpans.Set(float64(s.cfg.Spans.TotalSpans()))
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WriteText(w); err != nil {

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"math"
+	rtmetrics "runtime/metrics"
+
+	"hido/internal/metrics"
+)
+
+// refreshRuntimeMetrics reads the scheduler/GC pressure samples from
+// runtime/metrics and refreshes the quantile gauges. Called at scrape
+// time from handleMetrics, like the MemStats gauges.
+func (s *Server) refreshRuntimeMetrics() {
+	s.runtimeMu.Lock()
+	defer s.runtimeMu.Unlock()
+	rtmetrics.Read(s.runtimeSamples)
+	for i := range s.runtimeSamples {
+		sm := &s.runtimeSamples[i]
+		switch sm.Name {
+		case "/sched/latencies:seconds":
+			if sm.Value.Kind() == rtmetrics.KindFloat64Histogram {
+				setQuantileGauges(s.mSchedLat, sm.Value.Float64Histogram())
+			}
+		case "/gc/pauses:seconds":
+			if sm.Value.Kind() == rtmetrics.KindFloat64Histogram {
+				setQuantileGauges(s.mGCPauseQ, sm.Value.Float64Histogram())
+			}
+		case "/sync/mutex/wait/total:seconds":
+			if sm.Value.Kind() == rtmetrics.KindFloat64 {
+				s.mMutexWait.Set(sm.Value.Float64())
+			}
+		}
+	}
+}
+
+func setQuantileGauges(g *metrics.Gauge, h *rtmetrics.Float64Histogram) {
+	g.Set(histQuantile(h, 0.5), "0.5")
+	g.Set(histQuantile(h, 0.9), "0.9")
+	g.Set(histQuantile(h, 0.99), "0.99")
+}
+
+// histQuantile returns an upper bound on the q-quantile of a
+// runtime/metrics histogram: the upper edge of the bucket the
+// quantile falls in (its finite lower edge when that bucket is
+// unbounded above). Returns 0 for an empty histogram.
+func histQuantile(h *rtmetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	// Counts[i] holds values in [Buckets[i], Buckets[i+1]); the first
+	// lower edge may be -Inf and the last upper edge +Inf.
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			ub := h.Buckets[i+1]
+			if !math.IsInf(ub, 1) {
+				return ub
+			}
+			if lb := h.Buckets[i]; !math.IsInf(lb, -1) {
+				return lb
+			}
+			return 0
+		}
+	}
+	return 0 // unreachable: cum == total >= target by the loop's end
+}

@@ -44,8 +44,10 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	rtmetrics "runtime/metrics"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -97,6 +99,30 @@ type Config struct {
 	// allocations. Test seam for the pooled-vs-unpooled differential
 	// suite; production deployments never set it.
 	DisablePooling bool
+	// Spans, when set, enables distributed request tracing: the
+	// middleware opens a root span per API request (honoring an inbound
+	// X-Trace-Id, else reusing the request ID as trace ID), handlers
+	// add phase child spans, and the debug endpoints serve the
+	// recorder's ring. nil (the default) disables tracing with zero
+	// cost on the serving path. cmd/hidod wires it behind -trace-sample.
+	Spans *obs.SpanRecorder
+	// SlowRequest, when positive, logs any request slower than this
+	// threshold at warn level (JSON-lines via Logger) with its trace ID
+	// so the trace can be pulled from /api/v1/debug/traces/{id}.
+	SlowRequest time.Duration
+	// TraceFetcher, when set, lets GET /api/v1/debug/traces/{id}
+	// assemble spans recorded on other nodes — the cluster
+	// coordinator's trace RPC seam. nil serves local spans only. See
+	// SetTraceFetcher for late binding.
+	TraceFetcher TraceFetcher
+}
+
+// TraceFetcher gathers one trace's spans from the rest of the
+// cluster. Implementations fan out to storage peers and tolerate
+// partial answers: an unreachable or pre-tracing peer contributes no
+// spans, not an error.
+type TraceFetcher interface {
+	FetchTrace(ctx context.Context, traceID string) ([]obs.SpanData, error)
 }
 
 // ModelStore persists registry mutations. Implementations must be safe
@@ -169,6 +195,18 @@ type Server struct {
 	mGCPauses   *metrics.Gauge
 	mGCCycles   *metrics.Gauge
 
+	// Scheduler/GC pressure from runtime/metrics, refreshed at scrape
+	// time; runtimeSamples is the reusable sample batch (guarded by
+	// runtimeMu — scrapes are rare, contention is nil).
+	mSchedLat      *metrics.Gauge
+	mGCPauseQ      *metrics.Gauge
+	mMutexWait     *metrics.Gauge
+	runtimeMu      sync.Mutex
+	runtimeSamples []rtmetrics.Sample
+
+	mSlow       *metrics.Counter
+	mTraceSpans *metrics.Gauge
+
 	mFitCacheHits   *metrics.Gauge
 	mFitCacheMisses *metrics.Gauge
 	mFitCacheSize   *metrics.Gauge
@@ -231,6 +269,21 @@ func New(cfg Config) *Server {
 		mGCCycles: reg.Gauge("hidod_gc_cycles_total",
 			"Completed GC cycles."),
 
+		mSchedLat: reg.Gauge("hidod_sched_latency_seconds",
+			"Goroutine scheduling latency (time runnable before running) since process start, by quantile, from runtime/metrics /sched/latencies:seconds.",
+			"quantile"),
+		mGCPauseQ: reg.Gauge("hidod_gc_pause_seconds",
+			"GC stop-the-world pause duration since process start, by quantile, from runtime/metrics /gc/pauses:seconds.",
+			"quantile"),
+		mMutexWait: reg.Gauge("hidod_mutex_wait_seconds_total",
+			"Approximate cumulative seconds goroutines have spent blocked on runtime-internal and sync mutexes, from runtime/metrics /sync/mutex/wait/total:seconds."),
+
+		mSlow: reg.Counter("hidod_slow_requests_total",
+			"Requests slower than the -slow-request threshold, by endpoint.",
+			"endpoint"),
+		mTraceSpans: reg.Gauge("hidod_trace_spans_recorded_total",
+			"Spans completed into the trace ring since process start (0 when tracing is disabled)."),
+
 		mFitCacheHits: reg.Gauge("hidod_fit_cache_hits",
 			"Projection-count cache hits during each model's last in-process fit.", "model"),
 		mFitCacheMisses: reg.Gauge("hidod_fit_cache_misses",
@@ -248,6 +301,11 @@ func New(cfg Config) *Server {
 	s.phScoreDecode = s.mPhase.Bind("/api/v1/score", "decode")
 	s.phScoreScore = s.mPhase.Bind("/api/v1/score", "score")
 	s.phScoreEncode = s.mPhase.Bind("/api/v1/score", "encode")
+	s.runtimeSamples = []rtmetrics.Sample{
+		{Name: "/sched/latencies:seconds"},
+		{Name: "/gc/pauses:seconds"},
+		{Name: "/sync/mutex/wait/total:seconds"},
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST /api/v1/score", "/api/v1/score", true, s.handleScore)
 	s.route("GET /api/v1/topn", "/api/v1/topn", true, s.handleTopN)
@@ -257,10 +315,25 @@ func New(cfg Config) *Server {
 	s.route("GET /api/v1/models/{name}", "/api/v1/models/{name}", false, s.handleModelGet)
 	s.route("PUT /api/v1/models/{name}", "/api/v1/models/{name}", false, s.handleModelPut)
 	s.route("DELETE /api/v1/models/{name}", "/api/v1/models/{name}", false, s.handleModelDelete)
+	s.route("GET /api/v1/debug/traces", "/api/v1/debug/traces", false, s.handleDebugTraces)
+	s.route("GET /api/v1/debug/traces/{id}", "/api/v1/debug/traces/{id}", false, s.handleDebugTrace)
+	s.route("GET /api/v1/debug/requests", "/api/v1/debug/requests", false, s.handleDebugRequests)
 	s.route("GET /healthz", "/healthz", false, s.handleHealthz)
 	s.route("GET /readyz", "/readyz", false, s.handleReadyz)
 	s.route("GET /metrics", "/metrics", false, s.handleMetrics)
 	return s
+}
+
+// traced reports whether requests to an endpoint get a root span.
+// Observability endpoints don't: tracing the trace reader (or the
+// metrics scrape loop) would fill the span ring with its own
+// introspection traffic.
+func traced(endpoint string) bool {
+	switch endpoint {
+	case "/metrics", "/healthz", "/readyz":
+		return false
+	}
+	return !strings.HasPrefix(endpoint, "/api/v1/debug/")
 }
 
 // Registry exposes the model store (cmd/hidod preloads models into it).
@@ -281,6 +354,15 @@ func (s *Server) SetBatchScorer(b BatchScorer) { s.cfg.BatchScorer = b }
 // SetTopNer installs the top-n seam after construction; same late
 // binding contract as SetBatchScorer.
 func (s *Server) SetTopNer(t TopNer) { s.cfg.TopNer = t }
+
+// SetTraceFetcher installs the cross-node trace seam after
+// construction; same late binding contract as SetBatchScorer.
+func (s *Server) SetTraceFetcher(f TraceFetcher) { s.cfg.TraceFetcher = f }
+
+// Spans exposes the server's span recorder (nil when tracing is off);
+// cmd/hidod hands it to the cluster coordinator so RPC spans land in
+// the same ring.
+func (s *Server) Spans() *obs.SpanRecorder { return s.cfg.Spans }
 
 // DrainJobs blocks until running fit jobs finish, or ctx expires.
 // Graceful shutdown calls it after http.Server.Shutdown has drained
@@ -348,6 +430,7 @@ func (rm *routeMetrics) counter(s *Server, endpoint, method string, code int) *m
 func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc) {
 	method, _, _ := strings.Cut(pattern, " ")
 	rm := &routeMetrics{latency: s.mLatency.Bind(endpoint)}
+	spannable := traced(endpoint)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := s.cfg.Now()
 		sw := &statusWriter{ResponseWriter: w}
@@ -361,6 +444,22 @@ func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc)
 		}
 		sw.Header().Set("X-Request-Id", reqID)
 		ctx := obs.WithRequestID(r.Context(), reqID)
+		// Root span for the trace: an inbound X-Trace-Id joins the
+		// caller's trace, otherwise the request ID doubles as trace ID.
+		// The response echoes the trace ID so clients can pull the span
+		// tree from /api/v1/debug/traces/{id}. All of this is skipped —
+		// span stays nil, zero allocations — when tracing is off.
+		var span *obs.Span
+		if spannable && s.cfg.Spans != nil {
+			traceID := r.Header.Get("X-Trace-Id")
+			if traceID == "" {
+				traceID = reqID
+			}
+			if span = s.cfg.Spans.StartRoot(endpoint, traceID); span != nil {
+				sw.Header().Set("X-Trace-Id", traceID)
+				ctx = obs.ContextWithSpan(ctx, span)
+			}
+		}
 		if heavy {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
@@ -374,6 +473,21 @@ func (s *Server) route(pattern, endpoint string, heavy bool, h http.HandlerFunc)
 			code := sw.code
 			if code == 0 {
 				code = http.StatusOK
+			}
+			if s.cfg.SlowRequest > 0 && elapsed >= s.cfg.SlowRequest {
+				s.mSlow.Inc(endpoint)
+				s.cfg.Logger.Warn("slow request",
+					"req", reqID, "trace", span.TraceID(),
+					"method", r.Method, "endpoint", endpoint,
+					"code", code,
+					"duration_ms", float64(elapsed.Microseconds())/1000,
+					"threshold_ms", float64(s.cfg.SlowRequest.Microseconds())/1000,
+					"remote", r.RemoteAddr)
+			}
+			// End after the slow-request log: End recycles the span.
+			if span != nil {
+				span.SetAttrInt("code", int64(code))
+				span.End()
 			}
 			// GET patterns also match HEAD requests; those take the
 			// label-joining slow path so the method label stays truthful.

@@ -1,0 +1,359 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hido/internal/dataset"
+	"hido/internal/obs"
+	"hido/internal/stream"
+)
+
+// traceNode mirrors the debug endpoint's tree JSON.
+type traceNode struct {
+	Trace    string            `json:"trace"`
+	Span     string            `json:"span"`
+	Parent   string            `json:"parent"`
+	Name     string            `json:"name"`
+	Node     string            `json:"node"`
+	Attrs    map[string]string `json:"attrs"`
+	Children []traceNode       `json:"children"`
+}
+
+type traceBody struct {
+	Trace string      `json:"trace"`
+	Spans int         `json:"spans"`
+	Tree  []traceNode `json:"tree"`
+}
+
+// TestScoreTraceTree scores one batch on a traced server and requires
+// the debug endpoint to serve the full request tree: a root span for
+// the endpoint with decode, score and encode children, the model and
+// record-count attributes, and the response's X-Trace-Id pointing at
+// it.
+func TestScoreTraceTree(t *testing.T) {
+	rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "test-node"})
+	s := newTestServer(t, Config{Spans: rec})
+	h := s.Handler()
+
+	batch := scoreWindow(t, 25, 120)
+	resp := doJSON(t, h, "POST", "/api/v1/score?label=8", "text/csv", csvBody(t, batch), nil)
+	if resp.Code != http.StatusOK {
+		t.Fatalf("score: %d %s", resp.Code, resp.Body.String())
+	}
+	traceID := resp.Header().Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("traced score response carries no X-Trace-Id")
+	}
+	if traceID != resp.Header().Get("X-Request-Id") {
+		t.Errorf("without an inbound trace, trace ID %q should reuse request ID %q",
+			traceID, resp.Header().Get("X-Request-Id"))
+	}
+
+	var tb traceBody
+	if got := doJSON(t, h, "GET", "/api/v1/debug/traces/"+traceID, "", nil, &tb); got.Code != http.StatusOK {
+		t.Fatalf("debug trace: %d %s", got.Code, got.Body.String())
+	}
+	if len(tb.Tree) != 1 {
+		t.Fatalf("trace forest has %d roots, want 1: %+v", len(tb.Tree), tb.Tree)
+	}
+	root := tb.Tree[0]
+	if root.Name != "/api/v1/score" || root.Parent != "" || root.Node != "test-node" {
+		t.Errorf("bad root span: %+v", root)
+	}
+	if root.Attrs["model"] != "default" || root.Attrs["code"] != "200" || root.Attrs["records"] != "25" {
+		t.Errorf("root attrs = %v", root.Attrs)
+	}
+	var phases []string
+	for _, c := range root.Children {
+		phases = append(phases, c.Name)
+		if c.Trace != traceID || c.Parent != root.Span {
+			t.Errorf("phase span %q not parented under root: %+v", c.Name, c)
+		}
+	}
+	want := []string{"decode", "score", "encode"}
+	if strings.Join(phases, ",") != strings.Join(want, ",") {
+		t.Errorf("phases = %v, want %v (start-sorted)", phases, want)
+	}
+}
+
+// TestTraceJoinsInboundID pins trace propagation into the server: an
+// inbound X-Trace-Id becomes the trace, is echoed back, and the span
+// lands under it.
+func TestTraceJoinsInboundID(t *testing.T) {
+	rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "n"})
+	s := newTestServer(t, Config{Spans: rec})
+	h := s.Handler()
+
+	req := httptest.NewRequest("GET", "/api/v1/models", nil)
+	req.Header.Set("X-Trace-Id", "upstream-trace-7")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if got := rr.Header().Get("X-Trace-Id"); got != "upstream-trace-7" {
+		t.Errorf("inbound trace ID not echoed: %q", got)
+	}
+	if spans := rec.Trace("upstream-trace-7"); len(spans) != 1 || spans[0].Name != "/api/v1/models" {
+		t.Errorf("inbound trace not continued: %+v", spans)
+	}
+}
+
+// TestObservabilityEndpointsNotTraced keeps the ring free of the
+// introspection traffic itself: metrics scrapes, health probes and
+// the debug endpoints must not mint spans or trace IDs.
+func TestObservabilityEndpointsNotTraced(t *testing.T) {
+	rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "n"})
+	s := newTestServer(t, Config{Spans: rec})
+	h := s.Handler()
+
+	for _, url := range []string{"/metrics", "/healthz", "/readyz", "/api/v1/debug/traces", "/api/v1/debug/requests"} {
+		resp := doJSON(t, h, "GET", url, "", nil, nil)
+		if resp.Code != http.StatusOK {
+			t.Fatalf("%s: %d", url, resp.Code)
+		}
+		if got := resp.Header().Get("X-Trace-Id"); got != "" {
+			t.Errorf("%s minted trace %q", url, got)
+		}
+	}
+	if n := rec.TotalSpans(); n != 0 {
+		t.Errorf("observability endpoints recorded %d spans", n)
+	}
+}
+
+// TestDebugEndpointsDisabled pins the untraced server's debug
+// surface: listings answer enabled=false with empty arrays (not
+// null), and the single-trace endpoint 404s with a hint.
+func TestDebugEndpointsDisabled(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	var listing struct {
+		Enabled bool  `json:"enabled"`
+		Traces  []any `json:"traces"`
+	}
+	resp := doJSON(t, h, "GET", "/api/v1/debug/traces", "", nil, &listing)
+	if resp.Code != http.StatusOK || listing.Enabled || listing.Traces == nil {
+		t.Errorf("disabled traces listing: %d %s", resp.Code, resp.Body.String())
+	}
+
+	resp = doJSON(t, h, "GET", "/api/v1/debug/traces/whatever", "", nil, nil)
+	if resp.Code != http.StatusNotFound || !strings.Contains(resp.Body.String(), "tracing disabled") {
+		t.Errorf("disabled single trace: %d %s", resp.Code, resp.Body.String())
+	}
+
+	var reqs struct {
+		Enabled  bool  `json:"enabled"`
+		Requests []any `json:"requests"`
+	}
+	resp = doJSON(t, h, "GET", "/api/v1/debug/requests", "", nil, &reqs)
+	if resp.Code != http.StatusOK || reqs.Enabled || reqs.Requests == nil {
+		t.Errorf("disabled requests listing: %d %s", resp.Code, resp.Body.String())
+	}
+
+	// Bad ?limit is a client error even when tracing is off.
+	resp = doJSON(t, h, "GET", "/api/v1/debug/traces?limit=bogus", "", nil, nil)
+	if resp.Code != http.StatusBadRequest {
+		t.Errorf("bad limit: %d", resp.Code)
+	}
+}
+
+// stubFetcher is a TraceFetcher returning canned remote spans and an
+// error, like a cluster with one live and one dead shard.
+type stubFetcher struct {
+	spans []obs.SpanData
+	err   error
+}
+
+func (f *stubFetcher) FetchTrace(ctx context.Context, traceID string) ([]obs.SpanData, error) {
+	var out []obs.SpanData
+	for _, sd := range f.spans {
+		if sd.TraceID == traceID {
+			out = append(out, sd)
+		}
+	}
+	return out, f.err
+}
+
+// TestDebugTraceMergesRemoteSpans requires the single-trace endpoint
+// to graft TraceFetcher spans into the local tree, and to serve the
+// partial tree when the fetch also reports an error.
+func TestDebugTraceMergesRemoteSpans(t *testing.T) {
+	rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "select"})
+	var logs bytes.Buffer
+	s := newTestServer(t, Config{
+		Spans:  rec,
+		Logger: obs.NewLogger(&logs, slog.LevelDebug, true),
+	})
+
+	root := rec.StartRoot("/api/v1/score", "t-merge")
+	rpcSpan := root.Child("rpc:score")
+	rpcCtx := rpcSpan.Context()
+	rpcSpan.End()
+	root.End()
+
+	s.SetTraceFetcher(&stubFetcher{
+		spans: []obs.SpanData{{
+			TraceID: "t-merge", SpanID: "remote-1", ParentID: rpcCtx.SpanID,
+			Name: "storage:score", Node: "storage :9001",
+			Start: time.Unix(1700000000, 0).UTC(), DurMS: 2,
+		}},
+		err: errors.New("peer :9002: connection refused"),
+	})
+
+	var tb traceBody
+	resp := doJSON(t, s.Handler(), "GET", "/api/v1/debug/traces/t-merge", "", nil, &tb)
+	if resp.Code != http.StatusOK {
+		t.Fatalf("merged trace: %d %s", resp.Code, resp.Body.String())
+	}
+	if tb.Spans != 3 {
+		t.Errorf("merged %d spans, want 3", tb.Spans)
+	}
+	if len(tb.Tree) != 1 || len(tb.Tree[0].Children) != 1 || len(tb.Tree[0].Children[0].Children) != 1 {
+		t.Fatalf("remote span not grafted under the rpc span: %+v", tb.Tree)
+	}
+	if got := tb.Tree[0].Children[0].Children[0]; got.Name != "storage:score" || got.Node != "storage :9001" {
+		t.Errorf("grafted span: %+v", got)
+	}
+	if !strings.Contains(logs.String(), "cross-node trace fetch incomplete") {
+		t.Error("partial fetch error not logged")
+	}
+}
+
+// TestSlowRequestLog drives a request past the -slow-request
+// threshold on a synthetic clock and requires the warn line with the
+// trace ID plus the counter increment.
+func TestSlowRequestLog(t *testing.T) {
+	rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "n"})
+	var logs bytes.Buffer
+	base := time.Unix(1_700_000_000, 0)
+	calls := 0
+	s := newTestServer(t, Config{
+		Spans:       rec,
+		SlowRequest: 250 * time.Millisecond,
+		Logger:      obs.NewLogger(&logs, slog.LevelDebug, true),
+		// Each clock read advances half a second: every request measures
+		// as slower than the threshold without any real sleeping.
+		Now: func() time.Time {
+			calls++
+			return base.Add(time.Duration(calls) * 500 * time.Millisecond)
+		},
+	})
+	h := s.Handler()
+
+	resp := doJSON(t, h, "GET", "/api/v1/models", "", nil, nil)
+	traceID := resp.Header().Get("X-Trace-Id")
+	out := logs.String()
+	if !strings.Contains(out, `"msg":"slow request"`) {
+		t.Fatalf("no slow-request warn line in %q", out)
+	}
+	if traceID == "" || !strings.Contains(out, traceID) {
+		t.Errorf("slow-request line lacks trace ID %q: %q", traceID, out)
+	}
+	if !strings.Contains(out, `"endpoint":"/api/v1/models"`) {
+		t.Errorf("slow-request line lacks endpoint: %q", out)
+	}
+
+	metricsOut := doJSON(t, h, "GET", "/metrics", "", nil, nil).Body.String()
+	if !strings.Contains(metricsOut, `hidod_slow_requests_total{endpoint="/api/v1/models"} 1`) {
+		t.Error("slow-request counter missing from /metrics")
+	}
+}
+
+// TestRuntimeAndTraceMetricsSeries requires the scheduler/GC quantile
+// gauges, the mutex-wait total and the span-count gauge to appear in
+// the exposition.
+func TestRuntimeAndTraceMetricsSeries(t *testing.T) {
+	rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "n"})
+	s := newTestServer(t, Config{Spans: rec})
+	h := s.Handler()
+	doJSON(t, h, "POST", "/api/v1/score?label=8", "text/csv", csvBody(t, scoreWindow(t, 10, 9)), nil)
+
+	out := doJSON(t, h, "GET", "/metrics", "", nil, nil).Body.String()
+	for _, want := range []string{
+		"# TYPE hidod_sched_latency_seconds gauge",
+		`hidod_sched_latency_seconds{quantile="0.5"}`,
+		`hidod_sched_latency_seconds{quantile="0.99"}`,
+		"# TYPE hidod_gc_pause_seconds gauge",
+		"# TYPE hidod_mutex_wait_seconds_total gauge",
+		"# TYPE hidod_trace_spans_recorded_total gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// One scored request = a root span plus three phase spans.
+	if !strings.Contains(out, "hidod_trace_spans_recorded_total 4") {
+		t.Errorf("span gauge wrong: want 4 recorded spans in %q", grepLine(out, "hidod_trace_spans_recorded_total"))
+	}
+}
+
+// grepLine returns the exposition lines mentioning name, for error
+// messages.
+func grepLine(out, name string) string {
+	var hits []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, name) && !strings.HasPrefix(line, "#") {
+			hits = append(hits, line)
+		}
+	}
+	return strings.Join(hits, " | ")
+}
+
+// TestLiveRequestsSnapshot catches a request mid-flight: while the
+// handler blocks, /api/v1/debug/requests must list it with its phase.
+func TestLiveRequestsSnapshot(t *testing.T) {
+	rec := obs.NewSpanRecorder(obs.SpanRecorderConfig{Node: "n"})
+	s := newTestServer(t, Config{Spans: rec})
+	h := s.Handler()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.SetBatchScorer(blockingScorer{entered: entered, release: release})
+
+	done := make(chan *httptest.ResponseRecorder)
+	go func() {
+		done <- doJSON(t, h, "POST", "/api/v1/score?label=8", "text/csv", csvBody(t, scoreWindow(t, 5, 3)), nil)
+	}()
+	<-entered
+
+	var reqs struct {
+		Requests []struct {
+			Trace string `json:"trace"`
+			Name  string `json:"name"`
+			Phase string `json:"phase"`
+		} `json:"requests"`
+	}
+	resp := doJSON(t, h, "GET", "/api/v1/debug/requests", "", nil, &reqs)
+	if resp.Code != http.StatusOK || len(reqs.Requests) != 1 {
+		t.Fatalf("live requests: %d %s", resp.Code, resp.Body.String())
+	}
+	live := reqs.Requests[0]
+	if live.Name != "/api/v1/score" || live.Phase != "score" || live.Trace == "" {
+		t.Errorf("live request: %+v", live)
+	}
+	close(release)
+	if rr := <-done; rr.Code != http.StatusOK {
+		t.Fatalf("blocked score finished %d: %s", rr.Code, rr.Body.String())
+	}
+	if got := rec.Live(); len(got) != 0 {
+		t.Errorf("%d requests still live after completion", len(got))
+	}
+}
+
+// blockingScorer parks inside the score phase until released.
+type blockingScorer struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b blockingScorer) ScoreBatch(ctx context.Context, model string, mon *stream.Monitor, ds *dataset.Dataset, workers int) ([]stream.Alert, error) {
+	close(b.entered)
+	<-b.release
+	return mon.ScoreBatchContext(ctx, ds, workers)
+}
