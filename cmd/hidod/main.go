@@ -12,7 +12,8 @@
 //	curl -X POST --data-binary @ref.csv -H 'Content-Type: text/csv' \
 //	    'localhost:8080/api/v1/fit?model=default&phi=5'
 //
-// Endpoints: POST /api/v1/score, POST /api/v1/fit, GET /api/v1/jobs/{id},
+// Endpoints: POST /api/v1/score, POST /api/v1/ingest (with
+// -ingest-window), POST /api/v1/fit, GET /api/v1/jobs/{id},
 // GET|PUT|DELETE /api/v1/models/{name}, GET /api/v1/models, /healthz,
 // /readyz, /metrics (Prometheus text format).
 //
@@ -102,7 +103,16 @@ type clusterOpts struct {
 // responsibilities: storage nodes own rows and never load models
 // (models replicate from the select node); select nodes own models
 // and never load rows (rows live on the shards).
-func validateRoleFlags(o clusterOpts, loads int, stateDir string) error {
+func validateRoleFlags(o clusterOpts, loads int, stateDir string, ingestWindow, refitEvery int) error {
+	if ingestWindow < 0 {
+		return fmt.Errorf("-ingest-window %d must be positive (or 0 to disable)", ingestWindow)
+	}
+	if refitEvery != 0 && ingestWindow == 0 {
+		return fmt.Errorf("-refit-every is only meaningful with -ingest-window")
+	}
+	if refitEvery < 0 {
+		return fmt.Errorf("-refit-every %d must be positive (or 0 for the default: the ingest window)", refitEvery)
+	}
 	switch o.role {
 	case "", "single":
 		if len(o.peers) > 0 {
@@ -121,6 +131,9 @@ func validateRoleFlags(o clusterOpts, loads int, stateDir string) error {
 		if stateDir != "" {
 			return fmt.Errorf("-role storage cannot take -state-dir: shards hold rows, not durable models")
 		}
+		if ingestWindow > 0 {
+			return fmt.Errorf("-role storage cannot take -ingest-window: shards own rows, models ingest on the serving node")
+		}
 	case "select":
 		if o.dataPath != "" {
 			return fmt.Errorf("-role select cannot take -data: reference rows live on the storage nodes")
@@ -130,6 +143,9 @@ func validateRoleFlags(o clusterOpts, loads int, stateDir string) error {
 		}
 		if o.quorum < 1 || o.quorum > len(o.peers) {
 			return fmt.Errorf("-quorum %d outside [1,%d]", o.quorum, len(o.peers))
+		}
+		if ingestWindow > 0 {
+			return fmt.Errorf("-role select cannot take -ingest-window: refitting from a locally buffered window would ignore the shards' rows")
 		}
 	default:
 		return fmt.Errorf("unknown -role %q (want single, storage or select)", o.role)
@@ -172,6 +188,9 @@ func main() {
 		traceRing   = flag.Int("trace-ring", 4096, "completed spans retained for the debug endpoints (oldest evicted)")
 		slowReq     = flag.Duration("slow-request", 0, "log requests slower than this threshold at warn level with their trace ID; 0 disables")
 
+		ingestWindow = flag.Int("ingest-window", 0, "enable POST /api/v1/ingest: buffer this many records per model in a sliding reference window and refit from it in the background (0 disables)")
+		refitEvery   = flag.Int("refit-every", 0, "background refit cadence in ingested records (default: the ingest window)")
+
 		role       = flag.String("role", "single", "node role: single, storage (own a row shard, answer cluster RPCs) or select (fan out to -storage-nodes)")
 		dataPath   = flag.String("data", "", "reference data CSV: the row shard for -role storage, or the local top-n reference set for -role single")
 		dataHeader = flag.Bool("data-header", false, "first row of -data carries column names")
@@ -193,7 +212,7 @@ func main() {
 		peers: parsePeers(*storage), quorum: *quorum,
 		rpcTimeout: *rpcTimeout, rpcRetries: *rpcRetries,
 	}
-	if err := validateRoleFlags(copts, len(models), *stateDir); err != nil {
+	if err := validateRoleFlags(copts, len(models), *stateDir, *ingestWindow, *refitEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "hidod: %v\n", err)
 		os.Exit(2)
 	}
@@ -238,14 +257,16 @@ func main() {
 		return
 	}
 	if err := run(*addr, *pprofAddr, *stateDir, models, copts, server.Config{
-		MaxInFlight:    *inflight,
-		MaxFitJobs:     *fitJobs,
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *timeout,
-		ScoreWorkers:   *workers,
-		Logger:         logger,
-		Spans:          spans,
-		SlowRequest:    *slowReq,
+		MaxInFlight:      *inflight,
+		MaxFitJobs:       *fitJobs,
+		MaxBodyBytes:     *maxBody,
+		RequestTimeout:   *timeout,
+		ScoreWorkers:     *workers,
+		Logger:           logger,
+		Spans:            spans,
+		SlowRequest:      *slowReq,
+		IngestWindow:     *ingestWindow,
+		IngestRefitEvery: *refitEvery,
 	}, *drain, logger); err != nil {
 		fmt.Fprintf(os.Stderr, "hidod: %v\n", err)
 		os.Exit(1)

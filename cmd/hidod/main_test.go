@@ -44,6 +44,8 @@ func TestValidateRoleFlags(t *testing.T) {
 		o        clusterOpts
 		loads    int
 		stateDir string
+		ingestW  int
+		refitN   int
 		wantErr  string // substring; empty = accept
 	}{
 		{name: "single default", o: clusterOpts{role: "single"}},
@@ -75,9 +77,19 @@ func TestValidateRoleFlags(t *testing.T) {
 			o:       clusterOpts{role: "select", peers: []string{"http://a"}, quorum: 0},
 			wantErr: "-quorum"},
 		{name: "unknown role", o: clusterOpts{role: "proxy"}, wantErr: "unknown -role"},
+		{name: "single with ingest", o: clusterOpts{role: "single"}, ingestW: 1000, refitN: 250},
+		{name: "ingest window negative", o: clusterOpts{role: "single"}, ingestW: -1, wantErr: "-ingest-window"},
+		{name: "refit-every without window", o: clusterOpts{role: "single"}, refitN: 250, wantErr: "-refit-every"},
+		{name: "refit-every negative", o: clusterOpts{role: "single"}, ingestW: 1000, refitN: -1, wantErr: "-refit-every"},
+		{name: "storage with ingest",
+			o:       clusterOpts{role: "storage", dataPath: "x.csv"},
+			ingestW: 1000, wantErr: "-ingest-window"},
+		{name: "select with ingest",
+			o:       clusterOpts{role: "select", peers: []string{"http://a"}, quorum: 1},
+			ingestW: 1000, wantErr: "-ingest-window"},
 	}
 	for _, tc := range cases {
-		err := validateRoleFlags(tc.o, tc.loads, tc.stateDir)
+		err := validateRoleFlags(tc.o, tc.loads, tc.stateDir, tc.ingestW, tc.refitN)
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"sync"
@@ -26,7 +27,8 @@ type ClientConfig struct {
 	// Default 2; negative means no retries.
 	Retries int
 	// Backoff is the delay before the first retry; it doubles per
-	// attempt. Default 50ms.
+	// attempt, capped at maxBackoffFactor× this value, with ±25% jitter
+	// so peers that failed together do not retry together. Default 50ms.
 	Backoff time.Duration
 	// Logger receives per-failure structured logs; nil discards.
 	Logger *slog.Logger
@@ -132,6 +134,10 @@ type Client struct {
 	httpc *http.Client
 	wg    sync.WaitGroup
 
+	// jitter yields a uniform value in [0,1) for retry-delay spreading;
+	// swapped for a deterministic source in tests.
+	jitter func() float64
+
 	capMu sync.Mutex
 	caps  map[string]peerCap
 }
@@ -139,7 +145,27 @@ type Client struct {
 // NewClient builds a peer client.
 func NewClient(cfg ClientConfig) *Client {
 	cfg = cfg.withDefaults()
-	return &Client{cfg: cfg, httpc: &http.Client{}, caps: map[string]peerCap{}}
+	return &Client{cfg: cfg, httpc: &http.Client{}, jitter: rand.Float64, caps: map[string]peerCap{}}
+}
+
+// maxBackoffFactor caps the exponential retry backoff at this multiple
+// of the configured initial delay: a caller-raised Retries budget then
+// degrades into steady polling instead of unbounded multi-second waits.
+const maxBackoffFactor = 8
+
+// retryDelay returns the sleep before retry n (1-based): exponential
+// doubling from the configured base, capped at maxBackoffFactor× it,
+// then spread by ±25% jitter so synchronized failures do not produce
+// synchronized retry stampedes.
+func (c *Client) retryDelay(n int) time.Duration {
+	d := c.cfg.Backoff
+	for i := 1; i < n && d < maxBackoffFactor*c.cfg.Backoff; i++ {
+		d *= 2
+	}
+	if capped := maxBackoffFactor * c.cfg.Backoff; d > capped {
+		d = capped
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*c.jitter()))
 }
 
 func (c *Client) peerCap(peer string) peerCap {
@@ -173,18 +199,16 @@ func (c *Client) Call(ctx context.Context, peer, rpc string, reqFrame []byte, wa
 	// parent is nil when tracing is off; all span calls are then no-ops.
 	parent := obs.SpanFrom(ctx)
 	var lastErr error
-	backoff := c.cfg.Backoff
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			if c.cfg.Metrics != nil {
 				c.cfg.Metrics.Retries.Inc(peer, rpc)
 			}
 			select {
-			case <-time.After(backoff):
+			case <-time.After(c.retryDelay(attempt)):
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
-			backoff *= 2
 		}
 		start := time.Now()
 		sp := parent.Child("rpc:" + rpc)

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryDelaySchedule pins the full backoff schedule: doubling from
+// the base, capped at 8× it, jittered by ±25% — the fix for retries
+// that used to double without bound and fire in lockstep.
+func TestRetryDelaySchedule(t *testing.T) {
+	c := NewClient(ClientConfig{Backoff: 100 * time.Millisecond, Retries: 10})
+	base := 100 * time.Millisecond
+	uncapped := []time.Duration{base, 2 * base, 4 * base, 8 * base, 8 * base, 8 * base}
+	// jitter pinned to the midpoint: delays equal the uncapped schedule.
+	c.jitter = func() float64 { return 0.5 }
+	for n, want := range uncapped {
+		if got := c.retryDelay(n + 1); got != want {
+			t.Errorf("retry %d: delay %v, want %v", n+1, got, want)
+		}
+	}
+	// Jitter extremes stay inside the ±25% band around the capped value.
+	for _, j := range []float64{0, 0.999} {
+		j := j
+		c.jitter = func() float64 { return j }
+		for n := 1; n <= 12; n++ {
+			got := c.retryDelay(n)
+			lo := time.Duration(0.75 * float64(base))
+			hi := time.Duration(1.25 * float64(8*base))
+			if got < lo || got > hi {
+				t.Errorf("retry %d with jitter %v: delay %v outside [%v,%v]", n, j, got, lo, hi)
+			}
+			if got > time.Duration(1.25*float64(8*base)) {
+				t.Errorf("retry %d: delay %v exceeds the 8x cap band", n, got)
+			}
+		}
+	}
+	// The default jitter source is live randomness in the band.
+	c2 := NewClient(ClientConfig{Backoff: base})
+	for i := 0; i < 100; i++ {
+		got := c2.retryDelay(1)
+		if got < time.Duration(0.75*float64(base)) || got >= time.Duration(1.25*float64(base)) {
+			t.Fatalf("default jitter delay %v outside ±25%% of %v", got, base)
+		}
+	}
+}
+
+// TestCallRetrySchedule verifies Call actually sleeps the capped
+// schedule end to end: with a tiny base backoff and many retries
+// against an always-500 peer, total wall time must stay near the
+// capped sum, far below what unbounded doubling would take.
+func TestCallRetrySchedule(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	base := 2 * time.Millisecond
+	retries := 12
+	c := NewClient(ClientConfig{Backoff: base, Retries: retries, Timeout: time.Second})
+	start := time.Now()
+	_, err := c.Call(context.Background(), srv.URL, "score", encodeFrame(msgScoreReq, nil), msgScoreResp)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against an always-500 peer succeeded")
+	}
+	if got := attempts.Load(); got != int64(retries+1) {
+		t.Fatalf("%d attempts, want %d", got, retries+1)
+	}
+	// Capped schedule (jitter high bound): 1.25 * (1+2+4+8+8+8+8+8+8+8+8+8)·base ≈ 0.2s.
+	// Unbounded doubling would exceed 2^12·base = 8s on the last sleep alone.
+	var capped time.Duration
+	for n := 1; n <= retries; n++ {
+		d := base
+		for i := 1; i < n && d < maxBackoffFactor*base; i++ {
+			d *= 2
+		}
+		if d > maxBackoffFactor*base {
+			d = maxBackoffFactor * base
+		}
+		capped += time.Duration(1.25 * float64(d))
+	}
+	if elapsed > capped+2*time.Second {
+		t.Fatalf("call took %v; capped schedule allows ~%v plus overhead", elapsed, capped)
+	}
+}

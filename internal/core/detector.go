@@ -48,6 +48,18 @@ func NewDetectorMethod(ds *dataset.Dataset, phi int, method discretize.Method) *
 	return &Detector{Data: ds, Grid: g, Index: grid.Build(g)}
 }
 
+// NewDetectorFromGrid binds a dataset to an externally built grid — the
+// streaming refit path, where the boundaries come from online quantile
+// sketches (discretize.Apply over Sketch.Cuts) instead of the full
+// sorted pass Fit performs. The grid must already carry the dataset's
+// cell assignments: build it with discretize.Apply, not FromCuts.
+func NewDetectorFromGrid(ds *dataset.Dataset, g *discretize.Grid) *Detector {
+	if g.N != ds.N() || g.D != ds.D() {
+		panic(fmt.Sprintf("core: grid is %dx%d, dataset is %dx%d", g.N, g.D, ds.N(), ds.D()))
+	}
+	return &Detector{Data: ds, Grid: g, Index: grid.Build(g)}
+}
+
 // N returns the number of records.
 func (d *Detector) N() int { return d.Grid.N }
 

@@ -392,6 +392,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			s.mFitCacheHits.Set(float64(st.Hits), n)
 			s.mFitCacheMisses.Set(float64(st.Misses), n)
 			s.mFitCacheSize.Set(float64(st.Size), n)
+			if e.Monitor.IngestEnabled() {
+				s.mIngestDrift.Set(e.Monitor.Drift(), n)
+				s.mIngestWindow.Set(float64(e.Monitor.IngestStats().WindowRows), n)
+			}
 		}
 	}
 	s.mJobsRunning.Set(float64(s.jobs.inFlight()))

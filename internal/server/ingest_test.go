@@ -1,0 +1,288 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hido/internal/batchwire"
+	"hido/internal/dataset"
+	"hido/internal/xrand"
+)
+
+// ingestServer is newTestServer with continuous ingestion switched on.
+func ingestServer(t testing.TB, window, refitEvery int) *Server {
+	t.Helper()
+	return newTestServer(t, Config{IngestWindow: window, IngestRefitEvery: refitEvery})
+}
+
+// jsonlBatch builds n correlated 8-dim JSON-lines records.
+func jsonlBatch(n int, seed uint64) *bytes.Buffer {
+	r := xrand.New(seed)
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		fmt.Fprintf(&b, "[%g,%g,%g,%g,%g,%g,%g,%g]\n",
+			f, f, f, r.Float64(), r.Float64(), r.Float64(), r.Float64(), r.Float64())
+	}
+	return &b
+}
+
+// TestIngestDisabled pins the off-by-default behavior: without
+// IngestWindow the endpoint answers 404 and says which flag enables it.
+func TestIngestDisabled(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s.Handler(), "POST", "/api/v1/ingest", "application/x-ndjson",
+		jsonlBatch(5, 1), nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled ingest: %d, want 404", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "-ingest-window") {
+		t.Errorf("404 body does not name the enabling flag: %s", rec.Body.String())
+	}
+}
+
+// TestIngestEndToEnd drives the full loop over HTTP: batches score
+// like /api/v1/score, the window grows, crossing the refit cadence
+// fires a background refit, and the refreshed model is re-stamped in
+// the registry with ingest provenance.
+func TestIngestEndToEnd(t *testing.T) {
+	s := ingestServer(t, 400, 150)
+	h := s.Handler()
+
+	var resp ingestResponse
+	rec := doJSON(t, h, "POST", "/api/v1/ingest?all=1", "application/x-ndjson",
+		jsonlBatch(100, 2), &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.Model != "default" || resp.Records != 100 || len(resp.Results) != 100 {
+		t.Fatalf("resp header wrong: %+v", resp)
+	}
+	if resp.WindowRows != 100 || resp.SinceRefit != 100 || resp.Refits != 0 {
+		t.Fatalf("window state wrong after first batch: %+v", resp)
+	}
+
+	// Second batch crosses RefitEvery: a background refit starts.
+	rec = doJSON(t, h, "POST", "/api/v1/ingest", "application/x-ndjson",
+		jsonlBatch(100, 3), &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.WindowRows != 200 {
+		t.Fatalf("window rows %d, want 200", resp.WindowRows)
+	}
+	e, _ := s.registry.Get("default")
+	e.Monitor.WaitIngest()
+
+	st := e.Monitor.IngestStats()
+	if st.Refits != 1 || st.RefitErrs != 0 {
+		t.Fatalf("refits=%d errs=%d after crossing the cadence, want 1/0", st.Refits, st.RefitErrs)
+	}
+	e, _ = s.registry.Get("default")
+	if e.Source != "ingest-refit" {
+		t.Errorf("registry entry source %q, want ingest-refit", e.Source)
+	}
+
+	// The refit state is visible on the next response and on /metrics.
+	rec = doJSON(t, h, "POST", "/api/v1/ingest", "application/x-ndjson",
+		jsonlBatch(5, 4), &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.Refits != 1 {
+		t.Errorf("response refits %d, want 1", resp.Refits)
+	}
+	mrec := doJSON(t, h, "GET", "/metrics", "", nil, nil)
+	for _, want := range []string{
+		"hidod_ingest_records_total 205",
+		`hidod_ingest_refits_total{model="default",outcome="ok"} 1`,
+		`hidod_ingest_window_rows{model="default"} 205`,
+		`hidod_ingest_drift{model="default"}`,
+	} {
+		if !strings.Contains(mrec.Body.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestIngestUnknownModel rejects without touching any window.
+func TestIngestUnknownModel(t *testing.T) {
+	s := ingestServer(t, 100, 50)
+	rec := doJSON(t, s.Handler(), "POST", "/api/v1/ingest?model=absent", "application/x-ndjson",
+		jsonlBatch(5, 1), nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown model: %d, want 404", rec.Code)
+	}
+}
+
+// TestIngestHostileInputs throws malformed bodies in every supported
+// format at the endpoint: each must be rejected with a 4xx, must not
+// grow the window (partial batches are never buffered), and must leave
+// the endpoint healthy for the next well-formed batch.
+func TestIngestHostileInputs(t *testing.T) {
+	s := ingestServer(t, 1000, 1<<20)
+	h := s.Handler()
+	e, _ := s.registry.Get("default")
+
+	// Truncated hib1: header promises more values than the body holds.
+	good := batchwire.Encode(refWindow(t, 4, 9))
+	truncated := good[:len(good)-5]
+	// Pre-allocation bait: a tiny frame declaring 4 billion records.
+	bait := append([]byte(nil), good[:16]...)
+	bait[5], bait[6], bait[7], bait[8] = 0xff, 0xff, 0xff, 0xff
+
+	cases := []struct {
+		name, ct, body string
+	}{
+		{"csv non-numeric", "text/csv", "a,b,c,d,e,f,g,h\n1,2,three,4,5,6,7,8\n"},
+		{"csv wrong width", "text/csv", "a,b,c\n1,2,3\n"},
+		{"csv empty", "text/csv", ""},
+		{"jsonl bad syntax", "application/x-ndjson", "[1,2,3,4,5,6,7,8\n"},
+		{"jsonl trailing garbage", "application/x-ndjson", "[1,2,3,4,5,6,7,8] extra\n"},
+		{"jsonl wrong width", "application/x-ndjson", "[1,2,3]\n"},
+		{"jsonl width flips mid-body", "application/x-ndjson", "[1,2,3,4,5,6,7,8]\n[1,2]\n"},
+		{"jsonl strings for numbers", "application/x-ndjson", `["a","b","c","d","e","f","g","h"]` + "\n"},
+		{"jsonl object bad values", "application/x-ndjson", `{"values":"nope"}` + "\n"},
+		{"jsonl empty", "application/x-ndjson", ""},
+		{"hib1 garbage", batchwire.ContentType, "not a hib1 frame at all"},
+		{"hib1 truncated", batchwire.ContentType, string(truncated)},
+		{"hib1 length bait", batchwire.ContentType, string(bait)},
+		{"hib1 empty", batchwire.ContentType, ""},
+	}
+	for _, tc := range cases {
+		before := e.Monitor.IngestStats().WindowRows
+		rec := doJSON(t, h, "POST", "/api/v1/ingest", tc.ct, strings.NewReader(tc.body), nil)
+		if rec.Code < 400 || rec.Code >= 500 {
+			t.Errorf("%s: code %d, want 4xx (body %s)", tc.name, rec.Code, rec.Body.String())
+		}
+		if after := e.Monitor.IngestStats().WindowRows; after != before {
+			t.Errorf("%s: rejected batch grew the window %d -> %d", tc.name, before, after)
+		}
+	}
+
+	// The arena-recycled path still works after every rejection.
+	var resp ingestResponse
+	rec := doJSON(t, h, "POST", "/api/v1/ingest", "application/x-ndjson",
+		jsonlBatch(10, 5), &resp)
+	if rec.Code != http.StatusOK || resp.WindowRows != 10 {
+		t.Fatalf("well-formed batch after hostile ones: %d %+v", rec.Code, resp)
+	}
+}
+
+// TestIngestConcurrentWithScore is the serving-layer half of the
+// no-gap guarantee: score requests keep succeeding while ingest
+// batches push the model through background refits.
+func TestIngestConcurrentWithScore(t *testing.T) {
+	s := ingestServer(t, 600, 120)
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 64)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := doJSON(t, h, "POST", "/api/v1/score", "application/x-ndjson",
+					jsonlBatch(5, uint64(100+g*1000+i)), nil)
+				if rec.Code != http.StatusOK {
+					select {
+					case errs <- fmt.Sprintf("score during refit: %d %s", rec.Code, rec.Body.String()):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 8; i++ {
+		rec := doJSON(t, h, "POST", "/api/v1/ingest", "application/x-ndjson",
+			jsonlBatch(60, uint64(10+i)), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	e, _ := s.registry.Get("default")
+	e.Monitor.WaitIngest()
+	if st := e.Monitor.IngestStats(); st.Refits == 0 {
+		t.Fatalf("no background refit fired over %d ingested records: %+v", 8*60, st)
+	}
+}
+
+// FuzzIngestDecode drives the ingest decode path — the same strict
+// decodeRecords the handler calls, through a recycled arena — with
+// hostile bodies in all three formats. It must never panic, and the
+// recycled-arena decode must agree bit for bit with a fresh one: a
+// rejected batch must not poison the arena for the next request.
+func FuzzIngestDecode(f *testing.F) {
+	f.Add(0, []byte("[1,2,3,4,5,6,7,8]\n[8,7,6,5,4,3,2,1]\n"))
+	f.Add(0, []byte(`{"values":[1,null,3,4,5,6,7,8],"label":"x"}`+"\n"))
+	f.Add(0, []byte("[1,2,3,4,5,6,7,8] trailing\n"))
+	f.Add(0, []byte("[1e309,2,3,4,5,6,7,8]\n"))
+	f.Add(1, []byte("a,b,c,d,e,f,g,h\n1,2,3,4,5,6,7,8\n"))
+	f.Add(1, []byte("a,b\n1,notanumber\n"))
+	f.Add(2, []byte("hib1"))
+	f.Add(2, []byte{})
+	seedDS := dataset.New(dataset.GenericNames(8), 2)
+	seedDS.AppendRow([]float64{1, 2, 3, 4, 5, 6, 7, 8}, "")
+	seedDS.AppendRow([]float64{8, 7, 6, 5, 4, 3, 2, 1}, "")
+	seed := batchwire.Encode(seedDS)
+	f.Add(2, seed)
+	f.Add(2, seed[:len(seed)-3])
+
+	ar := newScoreArena()
+	cts := []string{"application/x-ndjson", "text/csv", batchwire.ContentType}
+	f.Fuzz(func(t *testing.T, ct int, body []byte) {
+		if ct < 0 {
+			ct = -ct
+		}
+		contentType := cts[ct%len(cts)]
+		req := httptest.NewRequest("POST", "/api/v1/ingest", bytes.NewReader(body))
+		req.Header.Set("Content-Type", contentType)
+		ds, err := decodeRecords(ar, req, nil, 8, true)
+
+		req2 := httptest.NewRequest("POST", "/api/v1/ingest", bytes.NewReader(body))
+		req2.Header.Set("Content-Type", contentType)
+		fresh, freshErr := decodeRecords(nil, req2, nil, 8, true)
+
+		if (err == nil) != (freshErr == nil) {
+			t.Fatalf("arena decode err=%v, fresh decode err=%v", err, freshErr)
+		}
+		if err != nil {
+			return
+		}
+		if ds.N() == 0 || ds.D() != 8 {
+			t.Fatalf("accepted batch with shape %dx%d", ds.N(), ds.D())
+		}
+		if fresh.N() != ds.N() || fresh.D() != ds.D() {
+			t.Fatalf("arena decode %dx%d, fresh decode %dx%d", ds.N(), ds.D(), fresh.N(), fresh.D())
+		}
+		for i := 0; i < ds.N(); i++ {
+			a, b := ds.RowView(i), fresh.RowView(i)
+			for j := range a {
+				if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+					t.Fatalf("row %d dim %d: arena %v, fresh %v", i, j, a[j], b[j])
+				}
+			}
+		}
+	})
+}

@@ -25,6 +25,7 @@
 // API (all JSON unless noted):
 //
 //	POST   /api/v1/score?model=N[&explain=1][&all=1]   score a batch (CSV or JSON-lines body)
+//	POST   /api/v1/ingest?model=N[&explain=1][&all=1]  score a batch AND feed it into the model's sliding window (needs -ingest-window)
 //	GET    /api/v1/topn?model=N&n=K                    rank stored reference rows (needs -data or -role select)
 //	POST   /api/v1/fit?model=N&phi=..&s=..             async fit -> 202 + job id
 //	GET    /api/v1/jobs/{id}                           fit job status
@@ -115,6 +116,17 @@ type Config struct {
 	// coordinator's trace RPC seam. nil serves local spans only. See
 	// SetTraceFetcher for late binding.
 	TraceFetcher TraceFetcher
+	// IngestWindow, when positive, enables POST /api/v1/ingest: each
+	// model scores arriving records and buffers them in a sliding
+	// reference window of this many rows, refitting in the background
+	// every IngestRefitEvery records (internal/stream's ingest mode).
+	// 0 — the default — keeps the endpoint off (it answers 404 with an
+	// explanation). cmd/hidod wires it behind -ingest-window.
+	IngestWindow int
+	// IngestRefitEvery is the background-refit cadence in ingested
+	// records. Defaults to IngestWindow: refit once per full window's
+	// worth of arrivals.
+	IngestRefitEvery int
 }
 
 // TraceFetcher gathers one trace's spans from the rest of the
@@ -155,6 +167,9 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.IngestWindow > 0 && c.IngestRefitEvery <= 0 {
+		c.IngestRefitEvery = c.IngestWindow
+	}
 	return c
 }
 
@@ -175,11 +190,15 @@ type Server struct {
 	mLatency  *metrics.Histogram
 	mPhase    *metrics.Histogram
 
-	// Pre-bound phase series for the scoring hot path: observing
-	// through them does no label lookup and no allocation.
+	// Pre-bound phase series for the scoring and ingest hot paths:
+	// observing through them does no label lookup and no allocation.
 	phScoreDecode *metrics.BoundHistogram
 	phScoreScore  *metrics.BoundHistogram
 	phScoreEncode *metrics.BoundHistogram
+
+	phIngestDecode *metrics.BoundHistogram
+	phIngestScore  *metrics.BoundHistogram
+	phIngestEncode *metrics.BoundHistogram
 
 	mInFlight    *metrics.Gauge
 	mSaturated   *metrics.Counter
@@ -213,6 +232,11 @@ type Server struct {
 
 	mStoreSaves  *metrics.Counter
 	mStoreErrors *metrics.Counter
+
+	mIngestRecords *metrics.Counter
+	mIngestRefits  *metrics.Counter
+	mIngestDrift   *metrics.Gauge
+	mIngestWindow  *metrics.Gauge
 
 	// testHookScoring, when set, runs while a score request holds its
 	// in-flight slot, letting tests park requests deterministically.
@@ -297,10 +321,25 @@ func New(cfg Config) *Server {
 		mStoreErrors: reg.Counter("hidod_store_errors_total",
 			"Model-store operations that failed (durability degraded, serving unaffected), by operation.",
 			"op"),
+
+		mIngestRecords: reg.Counter("hidod_ingest_records_total",
+			"Records accepted into sliding reference windows across all ingest requests."),
+		mIngestRefits: reg.Counter("hidod_ingest_refits_total",
+			"Completed background refits from ingested windows, by model and outcome.",
+			"model", "outcome"),
+		mIngestDrift: reg.Gauge("hidod_ingest_drift",
+			"Live sketch-vs-grid quantile divergence between each model's buffered window and its serving grid, refreshed at scrape time.",
+			"model"),
+		mIngestWindow: reg.Gauge("hidod_ingest_window_rows",
+			"Records currently buffered in each model's sliding reference window.",
+			"model"),
 	}
 	s.phScoreDecode = s.mPhase.Bind("/api/v1/score", "decode")
 	s.phScoreScore = s.mPhase.Bind("/api/v1/score", "score")
 	s.phScoreEncode = s.mPhase.Bind("/api/v1/score", "encode")
+	s.phIngestDecode = s.mPhase.Bind("/api/v1/ingest", "decode")
+	s.phIngestScore = s.mPhase.Bind("/api/v1/ingest", "score")
+	s.phIngestEncode = s.mPhase.Bind("/api/v1/ingest", "encode")
 	s.runtimeSamples = []rtmetrics.Sample{
 		{Name: "/sched/latencies:seconds"},
 		{Name: "/gc/pauses:seconds"},
@@ -308,6 +347,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /api/v1/score", "/api/v1/score", true, s.handleScore)
+	s.route("POST /api/v1/ingest", "/api/v1/ingest", true, s.handleIngest)
 	s.route("GET /api/v1/topn", "/api/v1/topn", true, s.handleTopN)
 	s.route("POST /api/v1/fit", "/api/v1/fit", true, s.handleFit)
 	s.route("GET /api/v1/jobs/{id}", "/api/v1/jobs/{id}", false, s.handleJob)
@@ -364,12 +404,20 @@ func (s *Server) SetTraceFetcher(f TraceFetcher) { s.cfg.TraceFetcher = f }
 // the same ring.
 func (s *Server) Spans() *obs.SpanRecorder { return s.cfg.Spans }
 
-// DrainJobs blocks until running fit jobs finish, or ctx expires.
-// Graceful shutdown calls it after http.Server.Shutdown has drained
-// request handlers.
+// DrainJobs blocks until running fit jobs and in-flight background
+// ingest refits finish, or ctx expires. Graceful shutdown calls it
+// after http.Server.Shutdown has drained request handlers.
 func (s *Server) DrainJobs(ctx context.Context) error {
 	done := make(chan struct{})
-	go func() { defer close(done); s.jobs.wait() }()
+	go func() {
+		defer close(done)
+		s.jobs.wait()
+		for _, n := range s.registry.Names() {
+			if e, ok := s.registry.Get(n); ok {
+				e.Monitor.WaitIngest()
+			}
+		}
+	}()
 	select {
 	case <-done:
 		return nil

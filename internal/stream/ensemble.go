@@ -72,6 +72,13 @@ type memberModel struct {
 // retention threshold, and calibrate each member's evidence
 // distribution so serving can reproduce the fit-time combine.
 func (m *Monitor) refitEnsemble(reference *dataset.Dataset, det *core.Detector) error {
+	// Same up-front shape check as Refit: never start Members expensive
+	// searches on a window the final swap would reject anyway. (Refit
+	// already checked, but refitDetector callers can reach here with a
+	// detector built off-lock.)
+	if err := m.checkDims(det.D()); err != nil {
+		return err
+	}
 	eo := m.opt.Ensemble
 	algo, err := ensemble.ParseAlgo(eo.Algo)
 	if err != nil {
@@ -120,6 +127,8 @@ func (m *Monitor) refitEnsemble(reference *dataset.Dataset, det *core.Detector) 
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Backstop for the up-front checkDims (a racing Refit could have
+	// swapped the model while this fit ran off-lock).
 	if m.grid != nil && det.D() != m.grid.D {
 		return fmt.Errorf("stream: refit window has %d dims, model has %d", det.D(), m.grid.D)
 	}

@@ -1,0 +1,419 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hido/internal/core"
+	"hido/internal/dataset"
+	"hido/internal/discretize"
+)
+
+// ErrIngestDisabled is returned by the ingestion entry points of a
+// monitor that never ran EnableIngest.
+var ErrIngestDisabled = errors.New("stream: ingest not enabled on this monitor")
+
+// IngestOptions configures continuous ingestion on a fitted Monitor:
+// how many records the sliding reference window retains, and how often
+// the model refits from it.
+type IngestOptions struct {
+	// Window is the maximum number of buffered records (required, > 0).
+	// Records beyond it expire oldest-epoch-first.
+	Window int
+	// RefitEvery triggers a background refit after this many ingested
+	// records (required, > 0).
+	RefitEvery int
+	// Epochs is the ring granularity: the window is stored as this many
+	// fixed-size epochs, and expiry drops whole epochs (default 8).
+	Epochs int
+	// SketchCap is the per-dimension quantile-sketch capacity (default
+	// discretize.DefaultSketchCap). Windows up to this size per epoch
+	// get exact boundaries; larger ones trade memory for bounded rank
+	// error (see discretize.Sketch).
+	SketchCap int
+	// OnRefit, when set, observes every background refit attempt —
+	// success or failure — after the model swap (or the abort). Called
+	// from the refit goroutine; keep it cheap and non-blocking.
+	OnRefit func(RefitResult)
+}
+
+func (o IngestOptions) withDefaults() (IngestOptions, error) {
+	if o.Window <= 0 {
+		return o, fmt.Errorf("stream: ingest window %d must be positive", o.Window)
+	}
+	if o.RefitEvery <= 0 {
+		return o, fmt.Errorf("stream: refit-every %d must be positive", o.RefitEvery)
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 8
+	}
+	if o.Epochs < 1 {
+		return o, fmt.Errorf("stream: ingest epochs %d must be positive", o.Epochs)
+	}
+	if o.SketchCap == 0 {
+		o.SketchCap = discretize.DefaultSketchCap
+	}
+	return o, nil
+}
+
+// RefitResult reports one background refit attempt to OnRefit.
+type RefitResult struct {
+	// Rows is how many buffered records the refit window held.
+	Rows int
+	// Drift is the sketch-vs-grid quantile divergence measured against
+	// the model the refit replaced — the signal that made (or would have
+	// made) the refit worthwhile.
+	Drift float64
+	// Err is nil when the new model was swapped in.
+	Err error
+}
+
+// IngestStats is a point-in-time snapshot of the ingestion state.
+type IngestStats struct {
+	// WindowRows is the number of currently buffered records.
+	WindowRows int
+	// Epochs is the current ring length (including the active epoch).
+	Epochs int
+	// SinceRefit counts records ingested since the last refit snapshot.
+	SinceRefit int
+	// Refits and RefitErrs count completed background refits.
+	Refits, RefitErrs uint64
+	// Drift is the divergence measured at the last refit snapshot (see
+	// Monitor.Drift for a live value).
+	Drift float64
+	// Refitting reports whether a background refit is in flight.
+	Refitting bool
+}
+
+// epoch is one segment of the ring: a row-major block of buffered
+// records plus the per-dimension quantile sketches summarizing them.
+// Sketches travel with their epoch so expiring the epoch forgets its
+// contribution to the window's boundaries exactly.
+type epoch struct {
+	vals     []float64 // row-major rows×d
+	rows     int
+	sketches []*discretize.Sketch
+}
+
+func newEpoch(d, sketchCap, rowCap int) *epoch {
+	e := &epoch{vals: make([]float64, 0, rowCap*d), sketches: make([]*discretize.Sketch, d)}
+	for j := range e.sketches {
+		e.sketches[j] = discretize.NewSketchCap(sketchCap)
+	}
+	return e
+}
+
+// ingestState is the mutable half of continuous ingestion, guarded by
+// its own mutex so buffer appends never contend with scoring (which
+// only touches the monitor's model lock).
+type ingestState struct {
+	opt       IngestOptions
+	d         int
+	epochSize int
+
+	mu         sync.Mutex
+	epochs     []*epoch // oldest first; the last is the active one
+	rows       int      // total buffered records
+	sinceRefit int
+	drift      float64 // divergence at the last refit snapshot
+	refits     uint64
+	refitErrs  uint64
+
+	// refitting gates the single in-flight background refit; refitWG
+	// lets WaitIngest observe its completion.
+	refitting atomic.Bool
+	refitWG   sync.WaitGroup
+}
+
+// EnableIngest switches a fitted monitor into continuous-ingestion
+// mode. It can be called once per monitor; the window starts empty —
+// the current model keeps serving until the first background refit.
+func (m *Monitor) EnableIngest(opt IngestOptions) error {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return err
+	}
+	d := m.D()
+	ing := &ingestState{
+		opt:       opt,
+		d:         d,
+		epochSize: (opt.Window + opt.Epochs - 1) / opt.Epochs,
+	}
+	ing.epochs = append(ing.epochs, newEpoch(d, opt.SketchCap, ing.epochSize))
+	if !m.ingest.CompareAndSwap(nil, ing) {
+		return errors.New("stream: ingest already enabled")
+	}
+	return nil
+}
+
+// IngestEnabled reports whether EnableIngest has run.
+func (m *Monitor) IngestEnabled() bool { return m.ingest.Load() != nil }
+
+// Ingest scores one arriving record against the current model and
+// appends it to the sliding reference window, triggering a background
+// refit when due. Scoring is lock-free against the model (snapshot
+// semantics, like Score); the append takes only the ingest buffer's
+// own lock — a concurrent background refit never blocks either.
+func (m *Monitor) Ingest(record []float64) (Alert, error) {
+	ing := m.ingest.Load()
+	if ing == nil {
+		return Alert{}, ErrIngestDisabled
+	}
+	if len(record) != ing.d {
+		return Alert{}, fmt.Errorf("stream: ingest record has %d values, model has %d dims", len(record), ing.d)
+	}
+	a := m.Score(record)
+	ing.mu.Lock()
+	ing.appendLocked(record)
+	due := ing.sinceRefit >= ing.opt.RefitEvery
+	ing.mu.Unlock()
+	if due {
+		m.maybeBackgroundRefit(ing)
+	}
+	return a, nil
+}
+
+// IngestBatch is Ingest over a whole dataset: the batch is scored
+// against one consistent model snapshot (ScoreBatchBuf semantics,
+// including buf recycling), then appended to the window under a single
+// buffer lock. A refit due after the append starts in the background
+// before IngestBatch returns.
+func (m *Monitor) IngestBatch(ctx context.Context, ds *dataset.Dataset, workers int, buf []Alert) ([]Alert, error) {
+	ing := m.ingest.Load()
+	if ing == nil {
+		return nil, ErrIngestDisabled
+	}
+	if ds.D() != ing.d {
+		return nil, fmt.Errorf("stream: ingest batch has %d dims, model has %d", ds.D(), ing.d)
+	}
+	out, err := m.ScoreBatchBuf(ctx, ds, workers, buf)
+	if err != nil {
+		return nil, err
+	}
+	ing.mu.Lock()
+	for i := 0; i < ds.N(); i++ {
+		ing.appendLocked(ds.RowView(i))
+	}
+	due := ing.sinceRefit >= ing.opt.RefitEvery
+	ing.mu.Unlock()
+	if due {
+		m.maybeBackgroundRefit(ing)
+	}
+	return out, nil
+}
+
+// appendLocked adds one record to the active epoch, sealing it when
+// full and expiring whole epochs once the window overflows. Caller
+// holds ing.mu.
+func (ing *ingestState) appendLocked(record []float64) {
+	active := ing.epochs[len(ing.epochs)-1]
+	active.vals = append(active.vals, record...)
+	for j, v := range record {
+		active.sketches[j].Add(v)
+	}
+	active.rows++
+	ing.rows++
+	ing.sinceRefit++
+	if active.rows >= ing.epochSize {
+		ing.epochs = append(ing.epochs, newEpoch(ing.d, ing.opt.SketchCap, ing.epochSize))
+	}
+	for len(ing.epochs) > 1 && ing.rows > ing.opt.Window {
+		ing.rows -= ing.epochs[0].rows
+		ing.epochs[0] = nil
+		ing.epochs = ing.epochs[1:]
+	}
+}
+
+// IngestStats snapshots the ingestion state (zero value when ingest is
+// disabled).
+func (m *Monitor) IngestStats() IngestStats {
+	ing := m.ingest.Load()
+	if ing == nil {
+		return IngestStats{}
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return IngestStats{
+		WindowRows: ing.rows,
+		Epochs:     len(ing.epochs),
+		SinceRefit: ing.sinceRefit,
+		Refits:     ing.refits,
+		RefitErrs:  ing.refitErrs,
+		Drift:      ing.drift,
+		Refitting:  ing.refitting.Load(),
+	}
+}
+
+// Drift measures how far the buffered window has slid from the serving
+// model: the mean absolute difference, over dimensions and interior
+// grid boundaries, between each boundary's rank in the window (per the
+// epoch sketches) and its equi-depth target r/phi. Zero means the
+// model's grid still splits the window into equal-depth ranges; the
+// theoretical maximum approaches (phi−1)/(2·phi)… in practice values
+// above ~1/phi mean whole ranges have drained or flooded.
+func (m *Monitor) Drift() float64 {
+	ing := m.ingest.Load()
+	if ing == nil {
+		return 0
+	}
+	m.mu.RLock()
+	g := m.grid
+	m.mu.RUnlock()
+	if g == nil {
+		return 0
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return driftLocked(g, ing.epochs)
+}
+
+// driftLocked computes the sketch-vs-grid divergence over the live
+// epochs. The combined rank of a boundary across epochs is the
+// record-weighted mean of the per-epoch sketch ranks — exactly the
+// rank a merged sketch would report, without mutating anything.
+func driftLocked(g *discretize.Grid, epochs []*epoch) float64 {
+	total, count := 0.0, 0
+	for j := 0; j < g.D; j++ {
+		var n float64
+		for _, e := range epochs {
+			n += float64(e.sketches[j].N())
+		}
+		if n == 0 {
+			continue
+		}
+		cuts := g.Cuts(j)
+		for r := 1; r < g.Phi; r++ {
+			var below float64
+			for _, e := range epochs {
+				sk := e.sketches[j]
+				below += sk.Rank(cuts[r-1]) * float64(sk.N())
+			}
+			total += math.Abs(below/n - float64(r)/float64(g.Phi))
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// maybeBackgroundRefit starts the background refit unless one is
+// already in flight.
+func (m *Monitor) maybeBackgroundRefit(ing *ingestState) {
+	if !ing.refitting.CompareAndSwap(false, true) {
+		return
+	}
+	ing.refitWG.Add(1)
+	go func() {
+		defer ing.refitWG.Done()
+		defer ing.refitting.Store(false)
+		m.runWindowRefit(ing)
+	}()
+}
+
+// RefitFromWindow refits synchronously from the buffered window — the
+// foreground form of the background refit, for tests and operators
+// that want the error in hand. It reports ErrIngestDisabled without a
+// window and fails when a background refit is already in flight.
+func (m *Monitor) RefitFromWindow() error {
+	ing := m.ingest.Load()
+	if ing == nil {
+		return ErrIngestDisabled
+	}
+	if !ing.refitting.CompareAndSwap(false, true) {
+		return errors.New("stream: a background refit is already in flight")
+	}
+	defer ing.refitting.Store(false)
+	return m.runWindowRefit(ing).Err
+}
+
+// WaitIngest blocks until no background refit is in flight — the
+// shutdown/test barrier. It does not prevent new refits from starting.
+func (m *Monitor) WaitIngest() {
+	if ing := m.ingest.Load(); ing != nil {
+		ing.refitWG.Wait()
+	}
+}
+
+// runWindowRefit performs one refit attempt end to end: snapshot the
+// window, fit off-lock, swap, book-keep, notify. Panics in the fit are
+// converted to errors so a poisoned window cannot kill the process —
+// the old model keeps serving.
+func (m *Monitor) runWindowRefit(ing *ingestState) RefitResult {
+	res := func() (res RefitResult) {
+		defer func() {
+			if r := recover(); r != nil {
+				res.Err = fmt.Errorf("stream: ingest refit panicked: %v", r)
+			}
+		}()
+		return m.refitFromWindow(ing)
+	}()
+	ing.mu.Lock()
+	if res.Err != nil {
+		ing.refitErrs++
+	} else {
+		ing.refits++
+	}
+	ing.mu.Unlock()
+	if ing.opt.OnRefit != nil {
+		ing.opt.OnRefit(res)
+	}
+	return res
+}
+
+// refitFromWindow copies the buffered window and its sketches under
+// the ingest lock, then fits and swaps entirely off-lock: concurrent
+// Score/Ingest calls proceed throughout, and the swap itself reuses
+// the Refit path's exclusive-lock assignment, so scoring either sees
+// the old model or the new one — never a mixture.
+//
+// The grid boundaries come from the merged epoch sketches (Sketch.Cuts
+// per dimension), not a sorted pass over the window — the sketches are
+// the online boundary state, and a window no larger than the sketch
+// capacity reproduces the offline cuts exactly.
+func (m *Monitor) refitFromWindow(ing *ingestState) RefitResult {
+	m.mu.RLock()
+	g := m.grid
+	names := m.names
+	m.mu.RUnlock()
+
+	ing.mu.Lock()
+	rows := ing.rows
+	if rows == 0 {
+		ing.mu.Unlock()
+		return RefitResult{Err: errors.New("stream: ingest window is empty")}
+	}
+	drift := driftLocked(g, ing.epochs)
+	ing.drift = drift
+	win := dataset.New(names, rows)
+	merged := make([]*discretize.Sketch, ing.d)
+	for j := range merged {
+		merged[j] = discretize.NewSketchCap(ing.opt.SketchCap)
+	}
+	for _, e := range ing.epochs {
+		for i := 0; i < e.rows; i++ {
+			win.AppendRow(e.vals[i*ing.d:(i+1)*ing.d], "")
+		}
+		for j, sk := range e.sketches {
+			merged[j].Merge(sk)
+		}
+	}
+	// Reset at snapshot time: records arriving while the fit runs count
+	// toward the next refit, not this one.
+	ing.sinceRefit = 0
+	ing.mu.Unlock()
+
+	cuts := make([][]float64, ing.d)
+	for j, sk := range merged {
+		cuts[j] = sk.Cuts(m.opt.Phi)
+	}
+	det := core.NewDetectorFromGrid(win, discretize.Apply(win, m.opt.Phi, cuts))
+	res := RefitResult{Rows: rows, Drift: drift}
+	res.Err = m.refitDetector(win, det)
+	return res
+}

@@ -97,6 +97,11 @@ type Monitor struct {
 	// dedup marks) so steady-state serving does not allocate per record.
 	scorers sync.Pool
 
+	// ingest holds the continuous-ingestion state once EnableIngest has
+	// run (nil otherwise); see ingest.go. Atomic so the hot Ingest path
+	// reads it without touching mu.
+	ingest atomic.Pointer[ingestState]
+
 	mu          sync.RWMutex
 	grid        *discretize.Grid
 	names       []string
@@ -134,7 +139,33 @@ func NewMonitor(reference *dataset.Dataset, opt Options) (*Monitor, error) {
 // Refit replaces the model with one mined from a new reference window
 // (same dimensionality).
 func (m *Monitor) Refit(reference *dataset.Dataset) error {
-	det := core.NewDetector(reference, m.opt.Phi)
+	// Reject a mismatched window before discretizing or searching: the
+	// mismatch used to surface only after the full evolutionary run had
+	// burned CPU and fit-cache counters on a result that was then thrown
+	// away.
+	if err := m.checkDims(reference.D()); err != nil {
+		return err
+	}
+	return m.refitDetector(reference, core.NewDetector(reference, m.opt.Phi))
+}
+
+// checkDims rejects a refit window whose dimensionality disagrees with
+// the held model. A monitor without a model yet (first fit) accepts any
+// width.
+func (m *Monitor) checkDims(d int) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.grid != nil && d != m.grid.D {
+		return fmt.Errorf("stream: refit window has %d dims, model has %d", d, m.grid.D)
+	}
+	return nil
+}
+
+// refitDetector is Refit from a pre-built detector — the shared tail of
+// the offline path (detector from a full sorted pass over the window)
+// and the streaming path (detector from sketch-derived cuts). On any
+// error the held model, including fitStats, is left untouched.
+func (m *Monitor) refitDetector(reference *dataset.Dataset, det *core.Detector) error {
 	if m.opt.Ensemble != nil {
 		return m.refitEnsemble(reference, det)
 	}
@@ -159,6 +190,8 @@ func (m *Monitor) Refit(reference *dataset.Dataset) error {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Backstop for the up-front checkDims: a racing Refit could have
+	// swapped in a different-width model while this fit ran off-lock.
 	if m.grid != nil && det.D() != m.grid.D {
 		return fmt.Errorf("stream: refit window has %d dims, model has %d", det.D(), m.grid.D)
 	}
